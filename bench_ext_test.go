@@ -1,0 +1,105 @@
+package magus_test
+
+// Extension benchmarks: the ablation study of MAGUS's design choices,
+// the §6.1 cluster power-budget setting, and the §6.6 AMD/HSMP
+// portability path.
+
+import (
+	"testing"
+	"time"
+
+	magus "github.com/spear-repro/magus"
+)
+
+// BenchmarkAblation runs the variant × application design study and
+// reports the quantities each mechanism is responsible for.
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := magus.RunAblation(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		full, _ := res.Get("magus", "srad")
+		noHi, _ := res.Get("no-hifreq", "srad")
+		b.ReportMetric(noHi.PerfLossPct-full.PerfLossPct, "hifreq-protects-srad-%")
+		fullG, _ := res.Get("magus", "gemm")
+		shortG, _ := res.Get("short-deriv", "gemm")
+		b.ReportMetric(fullG.PowerSavingPct-shortG.PowerSavingPct, "derivspan-gains-gemm-%")
+		mb, _ := res.Get("model-based", "srad")
+		b.ReportMetric(mb.PerfLossPct, "modelbased-srad-loss-%")
+	}
+}
+
+// BenchmarkClusterBudget runs the six-node batch with and without
+// MAGUS and reports the aggregate-power improvement under a budget at
+// 92 % of the unmanaged peak.
+func BenchmarkClusterBudget(b *testing.B) {
+	var apps []*magus.Workload
+	for _, name := range []string{"bfs", "gemm", "where", "raytracing"} {
+		p, ok := magus.WorkloadByName(name)
+		if !ok {
+			b.Fatalf("%s missing", name)
+		}
+		apps = append(apps, p)
+	}
+	for i := 0; i < b.N; i++ {
+		base, err := magus.RunCluster(magus.UniformCluster(magus.IntelA100(), apps, 6, nil, 1), 100*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tuned, err := magus.RunCluster(magus.UniformCluster(magus.IntelA100(), apps, 6,
+			func() magus.Governor { return magus.NewRuntime(magus.DefaultConfig()) }, 1), 100*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		budget := base.PeakW * 0.92
+		b.ReportMetric(base.PeakW-tuned.PeakW, "peak-reduction-W")
+		b.ReportMetric((base.EnergyJ-tuned.EnergyJ)/base.EnergyJ*100, "cluster-energy-saving-%")
+		b.ReportMetric((base.TimeOverBudget(budget)-tuned.TimeOverBudget(budget))*100, "budget-relief-pp")
+	}
+}
+
+// BenchmarkMAGUSOnAMD runs the portability demonstration: unmodified
+// MAGUS over the HSMP fabric adapter on an EPYC-class node.
+func BenchmarkMAGUSOnAMD(b *testing.B) {
+	cfg := magus.AMDEpycMI250()
+	prog, ok := magus.WorkloadByName("unet")
+	if !ok {
+		b.Fatal("unet missing")
+	}
+	run := func(withMagus bool, seed int64) (float64, float64) {
+		n := magus.NewNode(cfg)
+		mb := magus.NewHSMPMailbox(n)
+		runner := magus.NewWorkloadRunner(prog, cfg.SystemBWGBs(), seed)
+		runner.SetAttained(n.AttainedGBs)
+		var rt *magus.Runtime
+		if withMagus {
+			rt = magus.NewRuntime(magus.DefaultConfig())
+			if err := rt.Attach(magus.BuildHSMPEnv(n, mb)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		var now, next time.Duration
+		for !runner.Done() && now < 5*time.Minute {
+			if rt != nil && now >= next {
+				d := rt.Invoke(now)
+				if d <= 0 {
+					d = rt.Interval()
+				}
+				next = now + d
+			}
+			runner.Step(now, time.Millisecond)
+			n.SetDemand(runner.Demand())
+			n.Step(now, time.Millisecond)
+			now += time.Millisecond
+		}
+		pkg, drm, gpu := n.EnergyJ()
+		return runner.Elapsed().Seconds(), pkg + drm + gpu
+	}
+	for i := 0; i < b.N; i++ {
+		baseT, baseE := run(false, 1)
+		magT, magE := run(true, 1)
+		b.ReportMetric((baseE-magE)/baseE*100, "amd-energy-saving-%")
+		b.ReportMetric((magT-baseT)/baseT*100, "amd-perf-loss-%")
+	}
+}

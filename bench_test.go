@@ -1,0 +1,210 @@
+package magus_test
+
+// One benchmark per table and figure of the paper's evaluation (§6).
+// Each iteration regenerates the experiment end-to-end on the
+// simulated systems and reports the headline quantities as custom
+// metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// prints, next to the usual ns/op, the reproduced numbers to compare
+// against the paper (see EXPERIMENTS.md for the side-by-side record).
+
+import (
+	"testing"
+	"time"
+
+	magus "github.com/spear-repro/magus"
+)
+
+func benchOpts() magus.ExperimentOptions { return magus.QuickExperiments() }
+
+// BenchmarkFigure1 regenerates the UNet motivation profile: dynamic
+// core/GPU clocks with the uncore pinned at max.
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := magus.ReproduceFigure1(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.UncoreGHz.Max(), "uncore-max-GHz")
+		b.ReportMetric(res.GPUClockMHz.Max(), "gpu-peak-MHz")
+	}
+}
+
+// BenchmarkFigure2 regenerates the uncore power/performance trade-off
+// (paper: ≈82 W package-power drop, ≈21 % runtime increase).
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := magus.ReproduceFigure2(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.PkgPowerDropW, "pkg-drop-W")
+		b.ReportMetric(res.RuntimeIncreasePct, "runtime-inc-%")
+		b.ReportMetric(res.MaxUncore.RuntimeS, "unet-runtime-s")
+	}
+}
+
+func benchFigure4(b *testing.B, system string) {
+	for i := 0; i < b.N; i++ {
+		res, err := magus.ReproduceFigure4(system, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MaxEnergySaving(), "max-energy-saving-%")
+		b.ReportMetric(res.MaxPerfLoss(), "max-perf-loss-%")
+		var magusSum float64
+		for _, a := range res.Apps {
+			magusSum += a.MAGUS.EnergySavingPct
+		}
+		b.ReportMetric(magusSum/float64(len(res.Apps)), "mean-energy-saving-%")
+	}
+}
+
+// BenchmarkFigure4a: end-to-end comparison on Intel+A100 (paper: up to
+// 27 % energy savings, < 5 % performance loss).
+func BenchmarkFigure4a(b *testing.B) { benchFigure4(b, "Intel+A100") }
+
+// BenchmarkFigure4b: Intel+Max1550 (paper: ≤ 4 % loss, up to 10 %
+// energy savings, UPS eroded by its own overhead).
+func BenchmarkFigure4b(b *testing.B) { benchFigure4(b, "Intel+Max1550") }
+
+// BenchmarkFigure4c: Intel+4A100 multi-GPU (paper: modest energy
+// savings — idle GPU power amplifies slowdown cost).
+func BenchmarkFigure4c(b *testing.B) { benchFigure4(b, "Intel+4A100") }
+
+// BenchmarkFigure5 regenerates the SRAD throughput case study (paper:
+// MAGUS ≈14 % CPU power saving at 3 % slowdown; UPS ≈20 % at 7.9 %).
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := magus.ReproduceFigure5(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MAGUSvsDefault.PowerSavingPct, "magus-power-%")
+		b.ReportMetric(res.MAGUSvsDefault.PerfLossPct, "magus-loss-%")
+		b.ReportMetric(res.UPSvsDefault.PowerSavingPct, "ups-power-%")
+		b.ReportMetric(res.UPSvsDefault.PerfLossPct, "ups-loss-%")
+	}
+}
+
+// BenchmarkFigure6 regenerates the SRAD uncore-frequency traces and
+// reports the high-frequency detector's engagement.
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := magus.ReproduceFigure6(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.MAGUSHighFreqOverrides), "hi-freq-overrides")
+		min := res.MAGUS.Values[0]
+		for _, v := range res.MAGUS.Values {
+			if v < min {
+				min = v
+			}
+		}
+		b.ReportMetric(min, "magus-min-GHz")
+	}
+}
+
+// BenchmarkFigure7 regenerates the threshold-sensitivity Pareto sweep
+// on SRAD (paper: the recommended defaults sit on or near the
+// frontier).
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := magus.ReproduceFigure7("srad", benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.Points)), "configs")
+		b.ReportMetric(res.DefaultDistance(), "default-dist")
+	}
+}
+
+// BenchmarkTable1 regenerates the burst-prediction Jaccard table
+// (paper: scores up to 0.99; fdtd2d lowest at 0.40).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := magus.ReproduceTable1(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Mean(), "mean-jaccard")
+		if j, ok := res.Get("unet"); ok {
+			b.ReportMetric(j, "unet-jaccard")
+		}
+		if j, ok := res.Get("fdtd2d"); ok {
+			b.ReportMetric(j, "fdtd2d-jaccard")
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the idle-overhead table (paper: MAGUS
+// ≈1.1 % power / 0.1 s per invocation; UPS ≈4.9–7.9 % / 0.3 s). A
+// two-minute idle window keeps the benchmark affordable; overhead
+// ratios are duration-independent.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := magus.ReproduceTable2(2*time.Minute, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r, ok := res.Get("Intel+A100", "magus"); ok {
+			b.ReportMetric(r.PowerOverheadPct, "magus-a100-power-%")
+			b.ReportMetric(r.InvocationS, "magus-invocation-s")
+		}
+		if r, ok := res.Get("Intel+Max1550", "ups"); ok {
+			b.ReportMetric(r.PowerOverheadPct, "ups-max1550-power-%")
+			b.ReportMetric(r.InvocationS, "ups-invocation-s")
+		}
+	}
+}
+
+// BenchmarkRuntimeDecisionCycle measures the cost of one MAGUS
+// decision cycle in isolation (monitor read + Algorithms 1–3 + MSR
+// write), the quantity the paper bounds at "under 1 % overhead".
+func BenchmarkRuntimeDecisionCycle(b *testing.B) {
+	cfg := magus.IntelA100()
+	n := magus.NewNode(cfg)
+	env, err := magus.BuildEnv(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := magus.NewRuntime(magus.DefaultConfig())
+	if err := rt.Attach(env); err != nil {
+		b.Fatal(err)
+	}
+	n.SetDemand(magus.Demand{MemGBs: 150, CPUBusyCores: 8, MemBoundFrac: 0.6})
+	now := time.Duration(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Step(now, time.Millisecond)
+		now += 300 * time.Millisecond
+		rt.Invoke(now)
+	}
+}
+
+// BenchmarkNodeStep measures the simulator's per-step cost (the
+// scalability floor for large experiment matrices).
+func BenchmarkNodeStep(b *testing.B) {
+	n := magus.NewNode(magus.IntelA100())
+	n.SetDemand(magus.Demand{MemGBs: 200, CPUBusyCores: 20, MemBoundFrac: 0.6, GPUSMUtil: 0.9})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Step(time.Duration(i)*time.Millisecond, time.Millisecond)
+	}
+}
+
+// BenchmarkFullRun measures one complete experiment run (UNet on
+// Intel+A100 under MAGUS) — the unit of the evaluation matrix.
+func BenchmarkFullRun(b *testing.B) {
+	cfg := magus.IntelA100()
+	prog, _ := magus.WorkloadByName("unet")
+	for i := 0; i < b.N; i++ {
+		if _, err := magus.Run(cfg, prog, magus.NewRuntime(magus.DefaultConfig()),
+			magus.Options{Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

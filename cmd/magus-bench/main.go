@@ -1,0 +1,295 @@
+// Command magus-bench regenerates the paper's evaluation: every
+// subplot of Figure 4, the SRAD case study (Figures 5–6), the
+// threshold sensitivity sweep (Figure 7), the Jaccard table (Table 1)
+// and the overhead table (Table 2), plus the motivation experiments
+// (Figures 1–2).
+//
+// Usage:
+//
+//	magus-bench -all                 # everything, paper methodology
+//	magus-bench -fig 4a -reps 5      # one experiment
+//	magus-bench -tab 2 -idle 10m
+//	magus-bench -fig 7 -app unet
+//	magus-bench -ext ablation        # extension studies: ablation,
+//	magus-bench -ext cluster         # cluster budgets, NUMA per-socket
+//	magus-bench -ext numa            # scaling, measurement noise
+//	magus-bench -ext noise -app unet
+//
+// Output is aligned ASCII tables with sparkline trace previews.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	magus "github.com/spear-repro/magus"
+	"github.com/spear-repro/magus/internal/report"
+)
+
+func main() {
+	var (
+		all  = flag.Bool("all", false, "run every experiment")
+		fig  = flag.String("fig", "", "figure to regenerate: 1, 2, 4a, 4b, 4c, 5, 6, 7")
+		tab  = flag.String("tab", "", "table to regenerate: 1, 2")
+		ext  = flag.String("ext", "", "extension study: ablation, cluster, numa, noise")
+		reps = flag.Int("reps", 5, "repeats per experiment cell")
+		seed = flag.Int64("seed", 1, "base seed")
+		app  = flag.String("app", "srad", "application for the Figure 7 sweep")
+		idle = flag.Duration("idle", 10*time.Minute, "idle window for Table 2")
+	)
+	flag.Parse()
+
+	opt := magus.ExperimentOptions{Repeats: *reps, Seed: *seed}
+	ran := false
+	want := func(f string) bool { return *all || *fig == f }
+	wantTab := func(t string) bool { return *all || *tab == t }
+
+	if want("1") {
+		ran = true
+		figure1(opt)
+	}
+	if want("2") {
+		ran = true
+		figure2(opt)
+	}
+	for _, sys := range []struct{ id, system string }{
+		{"4a", "Intel+A100"}, {"4b", "Intel+Max1550"}, {"4c", "Intel+4A100"},
+	} {
+		if want(sys.id) {
+			ran = true
+			figure4(sys.id, sys.system, opt)
+		}
+	}
+	if want("5") {
+		ran = true
+		figure5(opt)
+	}
+	if want("6") {
+		ran = true
+		figure6(opt)
+	}
+	if want("7") {
+		ran = true
+		figure7(*app, opt)
+	}
+	if wantTab("1") {
+		ran = true
+		table1(opt)
+	}
+	if wantTab("2") {
+		ran = true
+		table2(*idle, opt)
+	}
+	if *all || *ext == "ablation" {
+		ran = true
+		ablation(opt)
+	}
+	if *all || *ext == "cluster" {
+		ran = true
+		clusterStudy()
+	}
+	if *all || *ext == "numa" {
+		ran = true
+		numaStudy(opt)
+	}
+	if *all || *ext == "noise" {
+		ran = true
+		noiseStudy(*app, opt)
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func ablation(opt magus.ExperimentOptions) {
+	res, err := magus.RunAblation(opt)
+	fatalIf(err)
+	fmt.Println("== Extension: ablation of MAGUS design choices (Intel+A100) ==")
+	t := report.NewTable("Variant", "App", "Loss%", "Power%", "Energy%")
+	for _, r := range res.Rows {
+		t.AddRow(r.Variant, r.App, r.PerfLossPct, r.PowerSavingPct, r.EnergySavingPct)
+	}
+	fmt.Print(t)
+	fmt.Println()
+}
+
+func numaStudy(opt magus.ExperimentOptions) {
+	res, err := magus.RunNUMAStudy(opt)
+	fatalIf(err)
+	fmt.Println("== Extension: per-socket scaling on a NUMA-imbalanced workload ==")
+	t := report.NewTable("Policy", "Loss%", "Power%", "Energy%")
+	t.AddRow("magus (single domain)", res.Global.PerfLossPct, res.Global.PowerSavingPct, res.Global.EnergySavingPct)
+	t.AddRow("magus-persocket", res.PerSocket.PerfLossPct, res.PerSocket.PowerSavingPct, res.PerSocket.EnergySavingPct)
+	fmt.Print(t)
+	fmt.Println()
+}
+
+func noiseStudy(app string, opt magus.ExperimentOptions) {
+	res, err := magus.RunNoiseStudy(app, opt)
+	fatalIf(err)
+	fmt.Printf("== Extension: MAGUS under measurement noise (%s) ==\n", res.App)
+	t := report.NewTable("Noise amplitude", "Loss%", "Power%", "Energy%")
+	for _, p := range res.Points {
+		t.AddRow(p.Amplitude, p.PerfLossPct, p.PowerSavingPct, p.EnergySavingPct)
+	}
+	fmt.Print(t)
+	fmt.Println()
+}
+
+func clusterStudy() {
+	var apps []*magus.Workload
+	for _, name := range []string{"bfs", "gemm", "where", "raytracing"} {
+		p, ok := magus.WorkloadByName(name)
+		if !ok {
+			fatalIf(fmt.Errorf("workload %s missing", name))
+		}
+		apps = append(apps, p)
+	}
+	base, err := magus.RunCluster(magus.UniformCluster(magus.IntelA100(), apps, 6, nil, 1), 100*time.Millisecond)
+	fatalIf(err)
+	tuned, err := magus.RunCluster(magus.UniformCluster(magus.IntelA100(), apps, 6,
+		func() magus.Governor { return magus.NewRuntime(magus.DefaultConfig()) }, 1), 100*time.Millisecond)
+	fatalIf(err)
+	budget := base.PeakW * 0.92
+	fmt.Println("== Extension: six-node batch under a cluster power budget (§6.1) ==")
+	t := report.NewTable("Policy", "Peak (W)", "Avg (W)", "Energy (J)", "Makespan (s)", "Time over budget %")
+	t.AddRow("default", base.PeakW, base.AvgW, base.EnergyJ, base.MakespanS, base.TimeOverBudget(budget)*100)
+	t.AddRow("magus", tuned.PeakW, tuned.AvgW, tuned.EnergyJ, tuned.MakespanS, tuned.TimeOverBudget(budget)*100)
+	fmt.Print(t)
+	fmt.Printf("budget = %.0f W (92 %% of the unmanaged peak)\n", budget)
+	fmt.Printf("aggregate power: default %s\n", report.Sparkline(base.Aggregate, 60))
+	fmt.Printf("                 magus   %s\n\n", report.Sparkline(tuned.Aggregate, 60))
+}
+
+func figure1(opt magus.ExperimentOptions) {
+	res, err := magus.ReproduceFigure1(opt)
+	fatalIf(err)
+	fmt.Println("== Figure 1: UNet profiling under the vendor default (Intel+A100) ==")
+	fmt.Printf("core0 freq (GHz)   %s\n", report.Sparkline(res.CoreGHz[0], 60))
+	fmt.Printf("core1 freq (GHz)   %s\n", report.Sparkline(res.CoreGHz[1], 60))
+	fmt.Printf("GPU SM clock (MHz) %s\n", report.Sparkline(res.GPUClockMHz, 60))
+	fmt.Printf("uncore freq (GHz)  %s   <- pinned at max\n", report.Sparkline(res.UncoreGHz, 60))
+	fmt.Printf("uncore min/max over run: %.2f / %.2f GHz\n\n",
+		seriesMin(res.UncoreGHz), res.UncoreGHz.Max())
+}
+
+func figure2(opt magus.ExperimentOptions) {
+	res, err := magus.ReproduceFigure2(opt)
+	fatalIf(err)
+	fmt.Println("== Figure 2: UNet power profiles at uncore extremes (Intel+A100) ==")
+	t := report.NewTable("Uncore", "Runtime (s)", "Avg CPU power (W)", "Pkg+DRAM energy (J)")
+	t.AddRow("max (2.2 GHz)", res.MaxUncore.RuntimeS, res.MaxUncore.AvgCPUPowerW,
+		res.MaxUncore.PkgEnergyJ+res.MaxUncore.DramEnergyJ)
+	t.AddRow("min (0.8 GHz)", res.MinUncore.RuntimeS, res.MinUncore.AvgCPUPowerW,
+		res.MinUncore.PkgEnergyJ+res.MinUncore.DramEnergyJ)
+	fmt.Print(t)
+	fmt.Printf("package power drop: %.1f W; runtime increase: %.1f %% (paper: ≈82 W, ≈21 %%)\n",
+		res.PkgPowerDropW, res.RuntimeIncreasePct)
+	fmt.Printf("pkg power @max %s\n", report.Sparkline(res.CPUPowerMax, 60))
+	fmt.Printf("pkg power @min %s\n\n", report.Sparkline(res.CPUPowerMin, 60))
+}
+
+func figure4(id, system string, opt magus.ExperimentOptions) {
+	res, err := magus.ReproduceFigure4(system, opt)
+	fatalIf(err)
+	fmt.Printf("== Figure %s: end-to-end comparison on %s (%d repeats) ==\n", id, system, opt.Repeats)
+	t := report.NewTable("App",
+		"MAGUS loss%", "MAGUS pwr%", "MAGUS energy%",
+		"UPS loss%", "UPS pwr%", "UPS energy%")
+	for _, a := range res.Apps {
+		t.AddRow(a.App,
+			a.MAGUS.PerfLossPct, a.MAGUS.PowerSavingPct, a.MAGUS.EnergySavingPct,
+			a.UPS.PerfLossPct, a.UPS.PowerSavingPct, a.UPS.EnergySavingPct)
+	}
+	fmt.Print(t)
+	fmt.Printf("MAGUS: max energy saving %.1f %%, worst perf loss %.1f %%\n\n",
+		res.MaxEnergySaving(), res.MaxPerfLoss())
+}
+
+func figure5(opt magus.ExperimentOptions) {
+	res, err := magus.ReproduceFigure5(opt)
+	fatalIf(err)
+	fmt.Println("== Figure 5: SRAD memory throughput (Intel+A100) ==")
+	fmt.Printf("max uncore %s peak %.0f GB/s\n", report.Sparkline(res.MaxUncore, 60), res.MaxUncore.Max())
+	fmt.Printf("min uncore %s peak %.0f GB/s\n", report.Sparkline(res.MinUncore, 60), res.MinUncore.Max())
+	fmt.Printf("MAGUS      %s peak %.0f GB/s\n", report.Sparkline(res.MAGUS, 60), res.MAGUS.Max())
+	fmt.Printf("UPS        %s peak %.0f GB/s\n", report.Sparkline(res.UPS, 60), res.UPS.Max())
+	fmt.Printf("MAGUS vs default: loss %.1f %%, power %.1f %%, energy %.1f %%\n",
+		res.MAGUSvsDefault.PerfLossPct, res.MAGUSvsDefault.PowerSavingPct, res.MAGUSvsDefault.EnergySavingPct)
+	fmt.Printf("UPS   vs default: loss %.1f %%, power %.1f %%, energy %.1f %%\n\n",
+		res.UPSvsDefault.PerfLossPct, res.UPSvsDefault.PowerSavingPct, res.UPSvsDefault.EnergySavingPct)
+}
+
+func figure6(opt magus.ExperimentOptions) {
+	res, err := magus.ReproduceFigure6(opt)
+	fatalIf(err)
+	fmt.Println("== Figure 6: SRAD uncore frequency traces (Intel+A100) ==")
+	fmt.Printf("default %s flat at %.1f GHz\n", report.Sparkline(res.Default, 60), res.Default.Max())
+	fmt.Printf("UPS     %s min %.1f GHz\n", report.Sparkline(res.UPS, 60), seriesMin(res.UPS))
+	fmt.Printf("MAGUS   %s min %.1f GHz, %d high-freq overrides\n\n",
+		report.Sparkline(res.MAGUS, 60), seriesMin(res.MAGUS), res.MAGUSHighFreqOverrides)
+}
+
+func figure7(app string, opt magus.ExperimentOptions) {
+	res, err := magus.ReproduceFigure7(app, opt)
+	fatalIf(err)
+	fmt.Printf("== Figure 7: threshold sensitivity on %s (%d configurations) ==\n", app, len(res.Points))
+	t := report.NewTable("inc (GB/s)", "dec (GB/s)", "high-freq", "runtime (s)", "energy (J)", "frontier")
+	for i, p := range res.Points {
+		mark := ""
+		if p.OnFrontier {
+			mark = "*"
+		}
+		if i == res.Default {
+			mark += " <- default"
+		}
+		t.AddRow(p.IncGBs, p.DecGBs, p.HighFreq, p.RuntimeS, p.EnergyJ, mark)
+	}
+	fmt.Print(t)
+	fmt.Printf("default set distance to frontier (normalised): %.4f\n\n", res.DefaultDistance())
+}
+
+func table1(opt magus.ExperimentOptions) {
+	res, err := magus.ReproduceTable1(opt)
+	fatalIf(err)
+	fmt.Println("== Table 1: Jaccard similarity of memory-throughput bursts (MAGUS vs baseline) ==")
+	t := report.NewTable("App", "Jaccard")
+	for _, r := range res.Rows {
+		t.AddRow(r.App, r.Jaccard)
+	}
+	fmt.Print(t)
+	fmt.Printf("mean %.2f over %d apps (bins=%d, threshold=%.0f %% of baseline peak)\n\n",
+		res.Mean(), len(res.Rows), res.Bins, res.ThresholdFrac*100)
+}
+
+func table2(idle time.Duration, opt magus.ExperimentOptions) {
+	res, err := magus.ReproduceTable2(idle, opt)
+	fatalIf(err)
+	fmt.Printf("== Table 2: idle runtime overheads (%v window) ==\n", res.IdleWindow)
+	t := report.NewTable("System", "Method", "Power overhead %", "Invocation (s)")
+	for _, r := range res.Rows {
+		t.AddRow(r.System, r.Method, r.PowerOverheadPct, r.InvocationS)
+	}
+	fmt.Print(t)
+	fmt.Println()
+}
+
+func seriesMin(s *magus.Series) float64 {
+	m := s.Values[0]
+	for _, v := range s.Values {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "magus-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,131 @@
+// Command magus-trace dumps the raw time-series data behind the
+// paper's trace figures as CSV, ready for any plotting tool:
+//
+//	magus-trace -fig 1 -out fig1.csv   # UNet core/GPU/uncore frequencies
+//	magus-trace -fig 2 -out fig2.csv   # UNet power at uncore extremes
+//	magus-trace -fig 5 -out fig5.csv   # SRAD throughput, four policies
+//	magus-trace -fig 6 -out fig6.csv   # SRAD uncore frequency, three policies
+//
+// Columns are aligned on each run's own time axis; runs of different
+// lengths are padded by sample-and-hold of the final value.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	magus "github.com/spear-repro/magus"
+	"github.com/spear-repro/magus/internal/report"
+	"github.com/spear-repro/magus/internal/telemetry"
+)
+
+func main() {
+	var (
+		fig  = flag.Int("fig", 1, "figure to trace: 1, 2, 5 or 6")
+		out  = flag.String("out", "", "output CSV path (default stdout)")
+		seed = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	opt := magus.ExperimentOptions{Repeats: 1, Seed: *seed}
+
+	var names []string
+	series := map[string]*telemetry.Series{}
+	switch *fig {
+	case 1:
+		res, err := magus.ReproduceFigure1(opt)
+		fatalIf(err)
+		for i, s := range res.CoreGHz {
+			n := fmt.Sprintf("core%d_ghz", i)
+			names = append(names, n)
+			series[n] = s
+		}
+		names = append(names, "gpu_clock_mhz", "uncore_ghz")
+		series["gpu_clock_mhz"] = res.GPUClockMHz
+		series["uncore_ghz"] = res.UncoreGHz
+	case 2:
+		res, err := magus.ReproduceFigure2(opt)
+		fatalIf(err)
+		names = []string{"pkg_power_max_uncore_w", "pkg_power_min_uncore_w"}
+		series[names[0]] = res.CPUPowerMax
+		series[names[1]] = padTo(res.CPUPowerMin, res.CPUPowerMax.Len())
+		// The max-uncore run is shorter; align on the longer axis.
+		if res.CPUPowerMin.Len() > res.CPUPowerMax.Len() {
+			series[names[0]] = padTo(res.CPUPowerMax, res.CPUPowerMin.Len())
+			series[names[1]] = res.CPUPowerMin
+			names[0], names[1] = names[1], names[0]
+		}
+	case 5:
+		res, err := magus.ReproduceFigure5(opt)
+		fatalIf(err)
+		longest := maxLen(res.MaxUncore, res.MinUncore, res.MAGUS, res.UPS)
+		names = []string{"max_uncore_gbs", "min_uncore_gbs", "magus_gbs", "ups_gbs"}
+		series[names[0]] = padTo(res.MaxUncore, longest)
+		series[names[1]] = padTo(res.MinUncore, longest)
+		series[names[2]] = padTo(res.MAGUS, longest)
+		series[names[3]] = padTo(res.UPS, longest)
+	case 6:
+		res, err := magus.ReproduceFigure6(opt)
+		fatalIf(err)
+		longest := maxLen(res.Default, res.UPS, res.MAGUS)
+		names = []string{"default_ghz", "ups_ghz", "magus_ghz"}
+		series[names[0]] = padTo(res.Default, longest)
+		series[names[1]] = padTo(res.UPS, longest)
+		series[names[2]] = padTo(res.MAGUS, longest)
+	default:
+		fatalIf(fmt.Errorf("figure %d has no trace output (use 1, 2, 5 or 6)", *fig))
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		fatalIf(err)
+		defer f.Close()
+		w = f
+	}
+	fatalIf(report.WriteCSV(w, names, series))
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "magus-trace: wrote %s\n", *out)
+	}
+}
+
+// padTo extends a series to n samples by holding its last value on a
+// continuation of its own sampling grid.
+func padTo(s *telemetry.Series, n int) *telemetry.Series {
+	if s.Len() >= n {
+		return s
+	}
+	out := &telemetry.Series{
+		Times:  append([]float64(nil), s.Times...),
+		Values: append([]float64(nil), s.Values...),
+	}
+	dt := 0.1
+	if s.Len() >= 2 {
+		dt = s.Times[1] - s.Times[0]
+	}
+	last := s.Values[s.Len()-1]
+	t := s.Times[s.Len()-1]
+	for out.Len() < n {
+		t += dt
+		out.Append(t, last)
+	}
+	return out
+}
+
+func maxLen(ss ...*telemetry.Series) int {
+	m := 0
+	for _, s := range ss {
+		if s.Len() > m {
+			m = s.Len()
+		}
+	}
+	return m
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "magus-trace:", err)
+		os.Exit(1)
+	}
+}

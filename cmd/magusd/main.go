@@ -1,0 +1,174 @@
+// Command magusd runs an uncore frequency-scaling governor against a
+// simulated heterogeneous node executing one application, streaming
+// decisions as they happen and printing the run's energy metrics —
+// the closest analogue of deploying the paper's user-transparent
+// runtime daemon on a compute node.
+//
+// Usage:
+//
+//	magusd -system a100 -workload unet -governor magus -verbose
+//	magusd -system 4a100 -workload gromacs -governor ups -compare
+//	magusd -workload srad -governor magus -trace srad.csv -record srad.json
+//	magusd -workload-file myjob.json -power-cap 180 -compare
+//	magusd -dump-workload unet > unet.json
+//
+// Governors: magus (default), ups, duf, default (vendor), max, min; any of
+// them composes with -power-cap (RAPL PL1). With -compare, the
+// vendor-default baseline runs first and the summary reports the
+// paper's three metrics against it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	magus "github.com/spear-repro/magus"
+	"github.com/spear-repro/magus/internal/report"
+)
+
+func main() {
+	var (
+		system   = flag.String("system", "a100", "system preset: a100, 4a100, max1550")
+		workload = flag.String("workload", "unet", "catalog application to execute")
+		wlFile   = flag.String("workload-file", "", "JSON workload definition (overrides -workload)")
+		govName  = flag.String("governor", "magus", "governor: magus, ups, duf, default, max, min")
+		capW     = flag.Float64("power-cap", 0, "per-socket PL1 power cap in watts (0 = none)")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		verbose  = flag.Bool("verbose", false, "stream MAGUS decisions")
+		compare  = flag.Bool("compare", false, "also run the vendor-default baseline and compare")
+		trace    = flag.String("trace", "", "write telemetry CSV to this path")
+		record   = flag.String("record", "", "archive the run as a JSON record at this path")
+		list     = flag.Bool("list", false, "list catalog applications and exit")
+		dump     = flag.String("dump-workload", "", "print a catalog workload as JSON and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range magus.Workloads() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if *dump != "" {
+		p, ok := magus.WorkloadByName(*dump)
+		if !ok {
+			fatalIf(fmt.Errorf("unknown workload %q (use -list)", *dump))
+		}
+		fatalIf(p.WriteJSON(os.Stdout))
+		return
+	}
+
+	cfg, err := magus.SystemByName(*system)
+	fatalIf(err)
+	var prog *magus.Workload
+	if *wlFile != "" {
+		f, err := os.Open(*wlFile)
+		fatalIf(err)
+		prog, err = magus.WorkloadFromJSON(f)
+		f.Close()
+		fatalIf(err)
+	} else {
+		var ok bool
+		prog, ok = magus.WorkloadByName(*workload)
+		if !ok {
+			fatalIf(fmt.Errorf("unknown workload %q (use -list)", *workload))
+		}
+	}
+
+	gov, rt, err := buildGovernor(*govName, cfg)
+	fatalIf(err)
+	if *capW > 0 {
+		gov = magus.WithPowerCap(gov, *capW)
+	}
+	if rt != nil && *verbose {
+		rt.OnDecision(func(d magus.Decision) {
+			state := ""
+			if d.Warmup {
+				state = " [warmup]"
+			} else if d.HighFreq {
+				state = " [high-freq pin]"
+			}
+			fmt.Printf("t=%6.1fs  mem=%7.1f GB/s  trend=%-4s  uncore→%.1f GHz%s\n",
+				d.At.Seconds(), d.ThroughputGBs, d.Trend, d.TargetGHz, state)
+		})
+	}
+
+	opt := magus.Options{Seed: *seed}
+	if *trace != "" || *record != "" {
+		opt.TraceInterval = 100 * time.Millisecond
+	}
+
+	fmt.Printf("magusd: %s on %s under %s\n", prog.Name, cfg.Name, gov.Name())
+	res, err := magus.Run(cfg, prog, gov, opt)
+	fatalIf(err)
+
+	fmt.Printf("\nruntime      %8.2f s\n", res.RuntimeS)
+	fmt.Printf("avg CPU power%8.1f W (package + DRAM)\n", res.AvgCPUPowerW)
+	fmt.Printf("energy       %8.0f J  (pkg %.0f + dram %.0f + gpu %.0f)\n",
+		res.TotalEnergyJ(), res.PkgEnergyJ, res.DramEnergyJ, res.GPUEnergyJ)
+	if rt != nil {
+		s := rt.Stats()
+		fmt.Printf("runtime stats: %d invocations, %d tune events, %d high-freq overrides, %d MSR writes\n",
+			s.Invocations, s.TuneEvents, s.Overrides, s.MSRWrites)
+	}
+
+	if *compare {
+		base, err := magus.Run(cfg, prog, magus.NewDefaultGovernor(), magus.Options{Seed: *seed})
+		fatalIf(err)
+		c := magus.Compare(base, res)
+		fmt.Printf("\nversus vendor default:\n")
+		fmt.Printf("  performance loss %6.2f %%\n", c.PerfLossPct)
+		fmt.Printf("  CPU power saving %6.2f %%\n", c.PowerSavingPct)
+		fmt.Printf("  energy saving    %6.2f %%\n", c.EnergySavingPct)
+	}
+
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		fatalIf(err)
+		defer f.Close()
+		names := res.Traces.Names()
+		series := make(map[string]*magus.Series, len(names))
+		for _, n := range names {
+			series[n] = res.Traces.Series(n)
+		}
+		fatalIf(report.WriteCSV(f, names, series))
+		fmt.Printf("\ntrace written to %s (%d columns)\n", *trace, len(names))
+	}
+	if *record != "" {
+		f, err := os.Create(*record)
+		fatalIf(err)
+		defer f.Close()
+		fatalIf(magus.NewRecord(res, *seed).Write(f))
+		fmt.Printf("run record written to %s\n", *record)
+	}
+}
+
+// buildGovernor maps a name to a governor; the second return value is
+// non-nil when the governor is a MAGUS runtime (for stats/tracing).
+func buildGovernor(name string, cfg magus.NodeConfig) (magus.Governor, *magus.Runtime, error) {
+	switch name {
+	case "magus":
+		rt := magus.NewRuntime(magus.DefaultConfig())
+		return rt, rt, nil
+	case "ups":
+		return magus.NewUPS(magus.UPSConfig{}), nil, nil
+	case "duf":
+		return magus.NewDUF(magus.DUFConfig{}), nil, nil
+	case "default":
+		return magus.NewDefaultGovernor(), nil, nil
+	case "max":
+		return magus.NewStaticGovernor(cfg.UncoreMaxGHz), nil, nil
+	case "min":
+		return magus.NewStaticGovernor(cfg.UncoreMinGHz), nil, nil
+	}
+	return nil, nil, fmt.Errorf("unknown governor %q", name)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "magusd:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,107 @@
+// Custom governor: the public API exposes the same node-access surface
+// (MSR device, PCM throughput monitor, RAPL reader) the built-in
+// policies use, so new uncore-scaling strategies are ~40 lines. This
+// example implements a three-level ladder governor — min / mid / max
+// uncore chosen by throughput bands — and races it against MAGUS.
+//
+//	go run ./examples/customgov
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	magus "github.com/spear-repro/magus"
+)
+
+// ladder scales the uncore across three levels by throughput band.
+// Compared to MAGUS it is reactive (no trend prediction) and has no
+// protection against rapidly fluctuating phases.
+type ladder struct {
+	env  *magus.Env
+	low  float64 // below: min uncore
+	high float64 // above: max uncore
+	cur  float64
+}
+
+func (g *ladder) Name() string            { return "ladder" }
+func (g *ladder) Interval() time.Duration { return 300 * time.Millisecond }
+
+func (g *ladder) Attach(env *magus.Env) error {
+	if err := env.Validate(); err != nil {
+		return err
+	}
+	g.env = env
+	g.cur = env.UncoreMaxGHz
+	return env.SetUncoreMax(g.cur)
+}
+
+func (g *ladder) Invoke(now time.Duration) time.Duration {
+	// One PCM read per cycle, like MAGUS; charge the same cost.
+	if g.env.Charge != nil {
+		g.env.Charge(100*time.Millisecond, 0.3, 0.5)
+	}
+	thr, err := g.env.PCM.SystemMemoryThroughput(now)
+	if err != nil {
+		g.set(g.env.UncoreMaxGHz) // fail safe
+		return 0
+	}
+	mid := (g.env.UncoreMinGHz + g.env.UncoreMaxGHz) / 2
+	switch {
+	case thr >= g.high:
+		g.set(g.env.UncoreMaxGHz)
+	case thr >= g.low:
+		g.set(mid)
+	default:
+		g.set(g.env.UncoreMinGHz)
+	}
+	return 0
+}
+
+func (g *ladder) set(ghz float64) {
+	if ghz == g.cur {
+		return
+	}
+	if err := g.env.SetUncoreMax(ghz); err == nil {
+		g.cur = ghz
+	}
+}
+
+func main() {
+	system := magus.IntelA100()
+	apps := []string{"bfs", "srad", "unet"}
+
+	fmt.Printf("custom ladder governor vs MAGUS on %s\n\n", system.Name)
+	fmt.Printf("%-8s | %22s | %22s\n", "", "ladder", "MAGUS")
+	fmt.Printf("%-8s | %6s %7s %7s | %6s %7s %7s\n",
+		"app", "loss%", "power%", "energy%", "loss%", "power%", "energy%")
+
+	for _, name := range apps {
+		app, ok := magus.WorkloadByName(name)
+		if !ok {
+			log.Fatalf("%s missing from the catalog", name)
+		}
+		base, err := magus.Run(system, app, magus.NewDefaultGovernor(), magus.Options{Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		lad, err := magus.Run(system, app, &ladder{low: 60, high: 180}, magus.Options{Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mag, err := magus.Run(system, app, magus.NewRuntime(magus.DefaultConfig()), magus.Options{Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		l := magus.Compare(base, lad)
+		m := magus.Compare(base, mag)
+		fmt.Printf("%-8s | %6.1f %7.1f %7.1f | %6.1f %7.1f %7.1f\n",
+			name, l.PerfLossPct, l.PowerSavingPct, l.EnergySavingPct,
+			m.PerfLossPct, m.PowerSavingPct, m.EnergySavingPct)
+	}
+
+	fmt.Println("\nOn steady workloads the ladder is competitive; on srad's")
+	fmt.Println("high-frequency phases it chases the signal and loses performance,")
+	fmt.Println("which is exactly the failure mode MAGUS's detector prevents (§3.2).")
+}

@@ -1,0 +1,61 @@
+// MLPerf campaign: evaluate MAGUS against the vendor default and the
+// UPScavenger baseline across the three MLPerf training workloads the
+// paper uses (UNet, ResNet50, BERT-large) on the Intel+A100 system,
+// with the paper's repeat-and-trim methodology.
+//
+//	go run ./examples/mlperf
+package main
+
+import (
+	"fmt"
+	"log"
+
+	magus "github.com/spear-repro/magus"
+)
+
+const repeats = 5
+
+func main() {
+	system := magus.IntelA100()
+	apps := []string{"unet", "resnet50", "bert_large"}
+
+	fmt.Printf("MLPerf training on %s (%d repeats, outlier-trimmed)\n\n", system.Name, repeats)
+	fmt.Printf("%-12s | %22s | %22s\n", "", "MAGUS", "UPS")
+	fmt.Printf("%-12s | %6s %7s %7s | %6s %7s %7s\n",
+		"app", "loss%", "power%", "energy%", "loss%", "power%", "energy%")
+
+	for _, name := range apps {
+		app, ok := magus.WorkloadByName(name)
+		if !ok {
+			log.Fatalf("%s missing from the catalog", name)
+		}
+		base, err := magus.RunRepeated(system, app,
+			func() magus.Governor { return magus.NewDefaultGovernor() },
+			repeats, magus.Options{Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		withMagus, err := magus.RunRepeated(system, app,
+			func() magus.Governor { return magus.NewRuntime(magus.DefaultConfig()) },
+			repeats, magus.Options{Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		withUPS, err := magus.RunRepeated(system, app,
+			func() magus.Governor { return magus.NewUPS(magus.UPSConfig{}) },
+			repeats, magus.Options{Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := magus.Compare(base, withMagus)
+		u := magus.Compare(base, withUPS)
+		fmt.Printf("%-12s | %6.1f %7.1f %7.1f | %6.1f %7.1f %7.1f\n",
+			name, m.PerfLossPct, m.PowerSavingPct, m.EnergySavingPct,
+			u.PerfLossPct, u.PowerSavingPct, u.EnergySavingPct)
+	}
+
+	fmt.Println("\nTraining epochs alternate data-loading bursts with GPU-bound phases;")
+	fmt.Println("MAGUS drops the uncore to its minimum between bursts and predicts the")
+	fmt.Println("next burst from the throughput derivative, which is where the savings")
+	fmt.Println("come from (paper §6.1).")
+}

@@ -1,0 +1,161 @@
+package magus
+
+import (
+	"time"
+
+	"github.com/spear-repro/magus/internal/cluster"
+	"github.com/spear-repro/magus/internal/core"
+	"github.com/spear-repro/magus/internal/experiments"
+	"github.com/spear-repro/magus/internal/governor"
+	"github.com/spear-repro/magus/internal/hsmp"
+)
+
+// This file exposes the extensions beyond the paper's evaluation:
+// the ablation study of MAGUS's design choices, the model-based
+// related-work comparator, the multi-node power-budget setting the
+// paper motivates in §6.1, and the AMD/HSMP portability path the paper
+// sketches in §6.6.
+
+// ---- Ablation study ----
+
+// AblationResult is the variant × application design study.
+type AblationResult = experiments.AblationResult
+
+// AblationRow is one of its cells.
+type AblationRow = experiments.AblationRow
+
+// RunAblation executes the ablation matrix (full MAGUS, detector off,
+// short derivative, warm-up at max, model-based, UPS) on Intel+A100.
+func RunAblation(opt ExperimentOptions) (AblationResult, error) {
+	return experiments.Ablation(opt)
+}
+
+// ---- Model-based comparator (related work, §7) ----
+
+// ModelBasedConfig parameterises the model-based uncore policy.
+type ModelBasedConfig = governor.ModelBasedConfig
+
+// ModelBased selects the minimal sufficient uncore frequency from an
+// offline-profiled bandwidth model.
+type ModelBased = governor.ModelBased
+
+// NewModelBased builds the model-based policy; bwModel maps an uncore
+// frequency in GHz to deliverable system bandwidth in GB/s.
+func NewModelBased(cfg ModelBasedConfig, bwModel func(ghz float64) float64) *ModelBased {
+	return governor.NewModelBased(cfg, bwModel)
+}
+
+// BandwidthModelFor returns the exact bandwidth model of a node preset
+// — what an offline profiling pass would measure.
+func BandwidthModelFor(cfg NodeConfig) func(ghz float64) float64 {
+	return func(ghz float64) float64 {
+		return float64(cfg.Sockets) * cfg.BWAt(ghz)
+	}
+}
+
+// ---- DUF baseline (related work: André et al.) ----
+
+// DUFConfig parameterises the DUF slowdown-budget governor.
+type DUFConfig = governor.DUFConfig
+
+// DUF is the slowdown-budget uncore baseline from André et al.
+type DUF = governor.DUF
+
+// NewDUF builds a DUF governor (zero-value config = 5 % budget).
+func NewDUF(cfg DUFConfig) *DUF { return governor.NewDUF(cfg) }
+
+// ---- Power capping (related work: Guermouche, IPDPSW '22) ----
+
+// PowerCapped composes any governor with a RAPL PL1 package power cap.
+type PowerCapped = governor.PowerCapped
+
+// WithPowerCap wraps inner with a per-socket PL1 cap of capW watts;
+// the node's RAPL clamp enforces it autonomously while inner keeps
+// scaling the uncore below the cap.
+func WithPowerCap(inner Governor, capW float64) *PowerCapped {
+	return governor.WithPowerCap(inner, capW)
+}
+
+// ---- Cluster power budgets (§6.1) ----
+
+// ClusterNodeSpec assigns one cluster member its hardware, workload,
+// governor and seed.
+type ClusterNodeSpec = cluster.NodeSpec
+
+// ClusterResult aggregates a batch run: per-node and cluster-wide
+// power traces, makespan, energy, and budget analytics.
+type ClusterResult = cluster.Result
+
+// RunCluster executes a batch of nodes in lockstep.
+func RunCluster(specs []ClusterNodeSpec, sampleEvery time.Duration) (ClusterResult, error) {
+	return cluster.Run(specs, sampleEvery)
+}
+
+// UniformCluster builds count identical nodes running apps round-robin
+// under governors from factory (nil = vendor default).
+func UniformCluster(cfg NodeConfig, apps []*Workload, count int, factory GovernorFactory, baseSeed int64) []ClusterNodeSpec {
+	return cluster.Uniform(cfg, apps, count, factory, baseSeed)
+}
+
+// ---- Per-socket scaling (future-work extension) ----
+
+// PerSocket runs one MAGUS instance per CPU socket, each fed by that
+// socket's own memory-controller counters — the natural refinement for
+// NUMA-imbalanced workloads, where the paper's single system-wide
+// signal forces the quiet socket to follow the busy one.
+type PerSocket = core.PerSocket
+
+// NewPerSocket builds the per-socket runtime; requires an Env with
+// SocketPCM monitors (BuildEnv provides them).
+func NewPerSocket(cfg Config) *PerSocket { return core.NewPerSocket(cfg) }
+
+// NUMAStudyResult compares single-domain MAGUS with per-socket scaling
+// on the numa_etl workload.
+type NUMAStudyResult = experiments.NUMAStudyResult
+
+// RunNUMAStudy executes the comparison on Intel+A100.
+func RunNUMAStudy(opt ExperimentOptions) (NUMAStudyResult, error) {
+	return experiments.NUMAStudy(opt)
+}
+
+// ---- Measurement-noise robustness ----
+
+// NoiseStudyResult sweeps MAGUS under increasingly noisy throughput
+// measurement.
+type NoiseStudyResult = experiments.NoiseStudyResult
+
+// RunNoiseStudy executes the robustness sweep on one application.
+func RunNoiseStudy(app string, opt ExperimentOptions) (NoiseStudyResult, error) {
+	return experiments.NoiseStudy(app, opt)
+}
+
+// ---- AMD / HSMP portability (§6.6) ----
+
+// HSMPMailbox is the simulated AMD Host System Management Port: DF
+// P-state control and bandwidth/power telemetry over a node.
+type HSMPMailbox = hsmp.Mailbox
+
+// HSMPFunction identifies a mailbox message.
+type HSMPFunction = hsmp.Function
+
+// HSMP mailbox functions.
+const (
+	HSMPGetSocketPower  = hsmp.GetSocketPower
+	HSMPGetDDRBandwidth = hsmp.GetDDRBandwidth
+	HSMPSetDFPstate     = hsmp.SetDFPstate
+	HSMPGetDFPstate     = hsmp.GetDFPstate
+	HSMPGetFclkMclk     = hsmp.GetFclkMclk
+)
+
+// AMDEpycMI250 returns the EPYC-class heterogeneous node preset used
+// by the portability demonstration.
+func AMDEpycMI250() NodeConfig { return hsmp.AMDEpycMI250() }
+
+// NewHSMPMailbox builds a mailbox over a node whose uncore plays the
+// role of the Infinity Fabric.
+func NewHSMPMailbox(n *Node) *HSMPMailbox { return hsmp.NewMailbox(n) }
+
+// BuildHSMPEnv wires a governor environment whose frequency control
+// goes through the HSMP adapter (four discrete DF P-states) — the
+// unmodified MAGUS runtime attaches to it directly.
+func BuildHSMPEnv(n *Node, mb *HSMPMailbox) *Env { return hsmp.BuildEnv(n, mb) }

@@ -1,0 +1,106 @@
+package magus_test
+
+import (
+	"testing"
+	"time"
+
+	magus "github.com/spear-repro/magus"
+)
+
+func TestAblationPublicAPI(t *testing.T) {
+	res, err := magus.RunAblation(magus.QuickExperiments())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Variants) < 5 || len(res.Apps) < 3 {
+		t.Fatalf("ablation shape: %d variants × %d apps", len(res.Variants), len(res.Apps))
+	}
+	if _, ok := res.Get("magus", "srad"); !ok {
+		t.Fatal("reference cell missing")
+	}
+}
+
+func TestModelBasedPublicAPI(t *testing.T) {
+	cfg := magus.IntelA100()
+	prog, _ := magus.WorkloadByName("where")
+	gov := magus.NewModelBased(magus.ModelBasedConfig{}, magus.BandwidthModelFor(cfg))
+	base, err := magus.Run(cfg, prog, magus.NewDefaultGovernor(), magus.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := magus.Run(cfg, prog, gov, magus.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := magus.Compare(base, res)
+	if c.PowerSavingPct <= 0 {
+		t.Fatalf("model-based saved no power: %+v", c)
+	}
+}
+
+func TestClusterPublicAPI(t *testing.T) {
+	var apps []*magus.Workload
+	for _, name := range []string{"bfs", "gemm"} {
+		p, _ := magus.WorkloadByName(name)
+		apps = append(apps, p)
+	}
+	specs := magus.UniformCluster(magus.IntelA100(), apps, 4,
+		func() magus.Governor { return magus.NewRuntime(magus.DefaultConfig()) }, 1)
+	res, err := magus.RunCluster(specs, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakW <= 0 || res.MakespanS <= 0 || len(res.NodePower) != 4 {
+		t.Fatalf("cluster result: %+v", res)
+	}
+	if res.TimeOverBudget(res.PeakW+1) != 0 {
+		t.Fatal("budget above peak reported violations")
+	}
+}
+
+func TestHSMPPublicAPI(t *testing.T) {
+	cfg := magus.AMDEpycMI250()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	n := magus.NewNode(cfg)
+	mb := magus.NewHSMPMailbox(n)
+	env := magus.BuildHSMPEnv(n, mb)
+	rt := magus.NewRuntime(magus.DefaultConfig())
+	if err := rt.Attach(env); err != nil {
+		t.Fatal(err)
+	}
+	// Attach parked the fabric at the idle minimum P-state.
+	resp, err := mb.Call(0, magus.HSMPGetDFPstate, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp[0] != 3 {
+		t.Fatalf("P-state after attach = %d, want P3", resp[0])
+	}
+}
+
+func TestPowerCapPublicAPI(t *testing.T) {
+	cfg := magus.IntelA100()
+	prog, _ := magus.WorkloadByName("particlefilter_naive") // CPU/memory heavy
+	base, err := magus.Run(cfg, prog, magus.NewDefaultGovernor(), magus.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capW := base.PkgEnergyJ / base.RuntimeS / 2 * 0.85 // 85% of per-socket pkg power
+	capped, err := magus.Run(cfg, prog,
+		magus.WithPowerCap(magus.NewRuntime(magus.DefaultConfig()), capW),
+		magus.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cap bounds package power: average per-socket package power
+	// must come in under the cap (with a small transient allowance).
+	avgPkgPerSocket := capped.PkgEnergyJ / capped.RuntimeS / 2
+	if avgPkgPerSocket > capW*1.03 {
+		t.Fatalf("avg pkg power %.1f W exceeds PL1 cap %.1f W", avgPkgPerSocket, capW)
+	}
+	if capped.RuntimeS <= base.RuntimeS {
+		t.Fatal("capping a memory-heavy app should cost some runtime")
+	}
+}

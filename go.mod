@@ -1,0 +1,3 @@
+module github.com/spear-repro/magus
+
+go 1.24

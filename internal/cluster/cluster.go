@@ -1,0 +1,177 @@
+// Package cluster runs several simulated nodes in lockstep under a
+// shared virtual clock and aggregates their power draw — the setting
+// behind the paper's §6.1 remark that reducing instantaneous power
+// "helps prevent the aggregate power consumption of all applications
+// from exceeding the system's total power budget if one is in place".
+//
+// A Spec assigns each node its hardware preset, application and
+// governor; Run executes the batch to completion and returns per-node
+// and aggregate power traces plus budget analytics (peak power, time
+// over budget, energy, makespan).
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/spear-repro/magus/internal/harness"
+	"github.com/spear-repro/magus/internal/node"
+	"github.com/spear-repro/magus/internal/sim"
+	"github.com/spear-repro/magus/internal/telemetry"
+	"github.com/spear-repro/magus/internal/workload"
+)
+
+// NodeSpec describes one cluster member.
+type NodeSpec struct {
+	Name     string
+	Config   node.Config
+	Workload *workload.Program
+	// Factory builds the member's governor (nil = vendor default).
+	Factory harness.GovernorFactory
+	Seed    int64
+}
+
+// Result is one cluster run's outcome.
+type Result struct {
+	// NodePower holds each member's total power trace (CPU + GPU).
+	NodePower map[string]*telemetry.Series
+	// Aggregate is the cluster-wide power trace.
+	Aggregate *telemetry.Series
+	// MakespanS is the time until the last application finished.
+	MakespanS float64
+	// EnergyJ is total cluster energy to completion.
+	EnergyJ float64
+	// PeakW and AvgW summarise the aggregate trace.
+	PeakW, AvgW float64
+}
+
+// TimeOverBudget returns the fraction of the makespan during which the
+// aggregate power exceeded budgetW.
+func (r Result) TimeOverBudget(budgetW float64) float64 {
+	if r.Aggregate == nil || r.Aggregate.Len() < 2 {
+		return 0
+	}
+	over := 0
+	for _, v := range r.Aggregate.Values {
+		if v > budgetW {
+			over++
+		}
+	}
+	return float64(over) / float64(r.Aggregate.Len())
+}
+
+// member is one node's live state during a run.
+type member struct {
+	spec   NodeSpec
+	node   *node.Node
+	runner *workload.Runner
+}
+
+// Run executes the batch. All nodes share the virtual clock; each
+// application starts at t=0 (a batch launched together). sampleEvery
+// sets the power-trace resolution (0 = 100 ms).
+func Run(specs []NodeSpec, sampleEvery time.Duration) (Result, error) {
+	if len(specs) == 0 {
+		return Result{}, fmt.Errorf("cluster: empty spec list")
+	}
+	if sampleEvery <= 0 {
+		sampleEvery = 100 * time.Millisecond
+	}
+	eng := sim.NewEngine(0)
+	members := make([]*member, 0, len(specs))
+	var horizon time.Duration
+
+	for i, spec := range specs {
+		if spec.Name == "" {
+			spec.Name = fmt.Sprintf("node%d", i)
+		}
+		if spec.Workload == nil {
+			return Result{}, fmt.Errorf("cluster: %s has no workload", spec.Name)
+		}
+		n := node.New(spec.Config)
+		runner := workload.NewRunner(spec.Workload, spec.Config.SystemBWGBs(), spec.Seed)
+		runner.SetAttained(n.AttainedGBs)
+		m := &member{spec: spec, node: n, runner: runner}
+		members = append(members, m)
+
+		eng.AddComponent(sim.ComponentFunc(func(now, dt time.Duration) {
+			m.runner.Step(now, dt)
+			m.node.SetDemand(m.runner.Demand())
+		}))
+		eng.AddComponent(n)
+
+		if spec.Factory != nil {
+			gov := spec.Factory()
+			env, err := harness.BuildEnv(n)
+			if err != nil {
+				return Result{}, err
+			}
+			if err := gov.Attach(env); err != nil {
+				return Result{}, fmt.Errorf("cluster: %s: %w", spec.Name, err)
+			}
+			eng.AddTask(&sim.Task{Name: spec.Name + "/" + gov.Name(), Interval: gov.Interval(), Fn: gov.Invoke}, 0)
+		}
+		if h := spec.Workload.NominalDuration()*4 + 10*time.Second; h > horizon {
+			horizon = h
+		}
+	}
+
+	rec := telemetry.NewRecorder(sampleEvery)
+	for _, m := range members {
+		mm := m
+		rec.Track(mm.spec.Name, mm.node.TotalPowerW)
+	}
+	rec.Track("aggregate", func() float64 {
+		var p float64
+		for _, m := range members {
+			p += m.node.TotalPowerW()
+		}
+		return p
+	})
+	eng.AddComponent(rec)
+
+	done := func() bool {
+		for _, m := range members {
+			if !m.runner.Done() {
+				return false
+			}
+		}
+		return true
+	}
+	end, err := eng.RunUntil(done, horizon)
+	if err != nil {
+		return Result{}, fmt.Errorf("cluster: %w", err)
+	}
+
+	res := Result{
+		NodePower: make(map[string]*telemetry.Series, len(members)),
+		Aggregate: rec.Series("aggregate"),
+		MakespanS: end.Seconds(),
+	}
+	for _, m := range members {
+		res.NodePower[m.spec.Name] = rec.Series(m.spec.Name)
+		pkg, drm, gpu := m.node.EnergyJ()
+		res.EnergyJ += pkg + drm + gpu
+	}
+	if res.Aggregate.Len() > 0 {
+		res.PeakW = res.Aggregate.Max()
+		res.AvgW = res.Aggregate.Mean()
+	}
+	return res, nil
+}
+
+// Uniform builds a homogeneous spec list: count nodes of cfg, one
+// workload each taken round-robin from apps, all under factory.
+func Uniform(cfg node.Config, apps []*workload.Program, count int, factory harness.GovernorFactory, baseSeed int64) []NodeSpec {
+	specs := make([]NodeSpec, count)
+	for i := range specs {
+		specs[i] = NodeSpec{
+			Name:     fmt.Sprintf("node%d", i),
+			Config:   cfg,
+			Workload: apps[i%len(apps)],
+			Factory:  factory,
+			Seed:     baseSeed + int64(i)*131,
+		}
+	}
+	return specs
+}

@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"github.com/spear-repro/magus/internal/core"
+	"github.com/spear-repro/magus/internal/governor"
+	"github.com/spear-repro/magus/internal/node"
+	"github.com/spear-repro/magus/internal/workload"
+)
+
+func batchApps(t *testing.T) []*workload.Program {
+	t.Helper()
+	var out []*workload.Program
+	for _, name := range []string{"bfs", "gemm", "where", "raytracing"} {
+		p, ok := workload.ByName(name)
+		if !ok {
+			t.Fatalf("%s missing", name)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func magusFactory() governor.Governor { return core.New(core.DefaultConfig()) }
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(nil, 0); err == nil {
+		t.Fatal("empty spec list accepted")
+	}
+	if _, err := Run([]NodeSpec{{Config: node.IntelA100()}}, 0); err == nil {
+		t.Fatal("spec without workload accepted")
+	}
+}
+
+func TestUniformSpecs(t *testing.T) {
+	apps := batchApps(t)
+	specs := Uniform(node.IntelA100(), apps, 6, magusFactory, 1)
+	if len(specs) != 6 {
+		t.Fatalf("specs = %d", len(specs))
+	}
+	if specs[4].Workload != apps[0] || specs[5].Workload != apps[1] {
+		t.Fatal("round-robin assignment wrong")
+	}
+	seeds := map[int64]bool{}
+	for _, s := range specs {
+		if seeds[s.Seed] {
+			t.Fatal("duplicate seeds")
+		}
+		seeds[s.Seed] = true
+	}
+}
+
+func TestClusterRunAggregates(t *testing.T) {
+	apps := batchApps(t)
+	specs := Uniform(node.IntelA100(), apps, 4, nil, 1)
+	res, err := Run(specs, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.NodePower) != 4 {
+		t.Fatalf("node traces = %d", len(res.NodePower))
+	}
+	if res.Aggregate == nil || res.Aggregate.Len() < 50 {
+		t.Fatal("aggregate trace missing or short")
+	}
+	// Aggregate equals the sum of members at each sample.
+	for i := 0; i < res.Aggregate.Len(); i += 17 {
+		var sum float64
+		for _, s := range res.NodePower {
+			sum += s.Values[i]
+		}
+		if d := res.Aggregate.Values[i] - sum; d > 1e-6 || d < -1e-6 {
+			t.Fatalf("aggregate[%d] = %v, members sum %v", i, res.Aggregate.Values[i], sum)
+		}
+	}
+	// Makespan is governed by the slowest member (raytracing, ≈16 s).
+	if res.MakespanS < 14 || res.MakespanS > 20 {
+		t.Fatalf("makespan = %.1f s", res.MakespanS)
+	}
+	if res.PeakW <= res.AvgW || res.EnergyJ <= 0 {
+		t.Fatalf("summary: peak %.0f avg %.0f energy %.0f", res.PeakW, res.AvgW, res.EnergyJ)
+	}
+}
+
+// The §6.1 budget claim: per-node uncore scaling lowers the cluster's
+// aggregate power so a fixed budget is violated less (or not at all),
+// at a small makespan cost.
+func TestClusterBudgetClaim(t *testing.T) {
+	apps := batchApps(t)
+	base, err := Run(Uniform(node.IntelA100(), apps, 6, nil, 1), 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned, err := Run(Uniform(node.IntelA100(), apps, 6, magusFactory, 1), 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuned.AvgW >= base.AvgW {
+		t.Fatalf("MAGUS did not reduce average cluster power: %.0f vs %.0f W", tuned.AvgW, base.AvgW)
+	}
+	if tuned.EnergyJ >= base.EnergyJ {
+		t.Fatalf("MAGUS did not reduce cluster energy: %.0f vs %.0f J", tuned.EnergyJ, base.EnergyJ)
+	}
+	if tuned.MakespanS > base.MakespanS*1.06 {
+		t.Fatalf("makespan stretched too much: %.1f vs %.1f s", tuned.MakespanS, base.MakespanS)
+	}
+	// A budget at 92 % of the unmanaged peak: the unmanaged cluster
+	// violates it some of the time, the managed one much less.
+	budget := base.PeakW * 0.92
+	baseOver := base.TimeOverBudget(budget)
+	tunedOver := tuned.TimeOverBudget(budget)
+	if baseOver <= 0 {
+		t.Fatalf("budget %0.f W never violated by baseline (peak %.0f)", budget, base.PeakW)
+	}
+	if tunedOver >= baseOver {
+		t.Fatalf("time over budget: tuned %.2f vs base %.2f", tunedOver, baseOver)
+	}
+}
+
+func TestClusterDeterminism(t *testing.T) {
+	apps := batchApps(t)
+	a, err := Run(Uniform(node.IntelA100(), apps, 3, magusFactory, 9), 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Uniform(node.IntelA100(), apps, 3, magusFactory, 9), 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.EnergyJ != b.EnergyJ || a.MakespanS != b.MakespanS || a.PeakW != b.PeakW {
+		t.Fatal("cluster runs not deterministic")
+	}
+}

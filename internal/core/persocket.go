@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/spear-repro/magus/internal/governor"
+)
+
+// PerSocket runs one independent MAGUS instance per CPU socket, each
+// fed by that socket's own memory-controller counters and controlling
+// only that socket's uncore limit. The paper's runtime treats the node
+// as one domain (its PCM signal is system-wide); on NUMA-imbalanced
+// workloads that leaves the quiet socket pinned wherever the busy
+// socket's traffic drives the decision. Per-socket scaling is the
+// natural future-work refinement: the quiet socket idles at the
+// minimum frequency while the busy one keeps full bandwidth.
+//
+// The shared decision cycle performs one per-socket counter read per
+// socket instead of one system read; the invocation cost model splits
+// the configured budget across instances so the total daemon overhead
+// stays comparable to single-domain MAGUS.
+type PerSocket struct {
+	cfg       Config
+	instances []*MAGUS
+}
+
+// NewPerSocket builds the per-socket runtime with the given base
+// configuration (shared by every instance).
+func NewPerSocket(cfg Config) *PerSocket {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &PerSocket{cfg: cfg}
+}
+
+// Name implements governor.Governor.
+func (*PerSocket) Name() string { return "magus-persocket" }
+
+// Interval implements governor.Governor.
+func (p *PerSocket) Interval() time.Duration { return p.cfg.Interval + p.cfg.InvocationTime }
+
+// Instances returns the per-socket runtimes (after Attach), for stats
+// and tracing.
+func (p *PerSocket) Instances() []*MAGUS { return p.instances }
+
+// Attach implements governor.Governor: it splits the environment into
+// one single-socket view per socket and attaches a MAGUS instance to
+// each.
+func (p *PerSocket) Attach(env *governor.Env) error {
+	if err := env.Validate(); err != nil {
+		return err
+	}
+	if len(env.SocketPCM) != env.Sockets {
+		return fmt.Errorf("magus: per-socket scaling needs %d socket PCM monitors, have %d",
+			env.Sockets, len(env.SocketPCM))
+	}
+	sub := p.cfg
+	// Split the invocation budget across instances: the per-cycle work
+	// is one counter read per socket, not N full system sweeps.
+	sub.InvocationTime = p.cfg.InvocationTime / time.Duration(env.Sockets)
+	sub.BusyCores = p.cfg.BusyCores / float64(env.Sockets)
+	sub.ExtraWatts = p.cfg.ExtraWatts / float64(env.Sockets)
+
+	p.instances = p.instances[:0]
+	for s := 0; s < env.Sockets; s++ {
+		sock := s
+		subEnv := &governor.Env{
+			Dev:          env.Dev,
+			PCM:          env.SocketPCM[sock],
+			RAPL:         env.RAPL,
+			Sockets:      1,
+			CPUs:         env.CPUs / env.Sockets,
+			FirstCPU:     func(int) int { return env.FirstCPU(sock) },
+			UncoreMinGHz: env.UncoreMinGHz,
+			UncoreMaxGHz: env.UncoreMaxGHz,
+			Charge:       env.Charge,
+		}
+		m := New(sub)
+		if err := m.Attach(subEnv); err != nil {
+			return fmt.Errorf("magus: attach socket %d: %w", sock, err)
+		}
+		p.instances = append(p.instances, m)
+	}
+	return nil
+}
+
+// Invoke implements governor.Governor: one decision cycle on every
+// socket.
+func (p *PerSocket) Invoke(now time.Duration) time.Duration {
+	delay := time.Duration(0)
+	for _, m := range p.instances {
+		if d := m.Invoke(now); d > delay {
+			delay = d
+		}
+	}
+	return delay
+}
+
+// Stats sums the per-socket instances' counters.
+func (p *PerSocket) Stats() Stats {
+	var total Stats
+	for _, m := range p.instances {
+		s := m.Stats()
+		total.Invocations += s.Invocations
+		total.TuneEvents += s.TuneEvents
+		total.Overrides += s.Overrides
+		total.MSRWrites += s.MSRWrites
+		total.WarmupCycles += s.WarmupCycles
+	}
+	return total
+}

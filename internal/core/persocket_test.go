@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/spear-repro/magus/internal/governor"
+	"github.com/spear-repro/magus/internal/msr"
+	"github.com/spear-repro/magus/internal/pcm"
+)
+
+var _ governor.Governor = (*PerSocket)(nil)
+
+// perSockEnv builds an env with independently scripted per-socket
+// traffic counters.
+type perSockEnv struct {
+	space   *msr.Space
+	env     *governor.Env
+	traffic [2]float64
+}
+
+func newPerSockEnv(t *testing.T) *perSockEnv {
+	t.Helper()
+	te := &perSockEnv{space: msr.NewSpace(2, 4)}
+	mk := func(s int) *pcm.Monitor {
+		return pcm.New(func() float64 { return te.traffic[s] })
+	}
+	te.env = &governor.Env{
+		Dev:          te.space,
+		PCM:          pcm.New(func() float64 { return te.traffic[0] + te.traffic[1] }),
+		Sockets:      2,
+		CPUs:         8,
+		FirstCPU:     te.space.FirstCPUOf,
+		SocketPCM:    []*pcm.Monitor{mk(0), mk(1)},
+		UncoreMinGHz: 0.8,
+		UncoreMaxGHz: 2.2,
+	}
+	return te
+}
+
+func (te *perSockEnv) limitGHz(sock int) float64 {
+	maxHz, _ := msr.DecodeUncoreLimit(te.space.Peek(te.space.FirstCPUOf(sock), msr.UncoreRatioLimit))
+	return maxHz / 1e9
+}
+
+func TestPerSocketIndependentScaling(t *testing.T) {
+	te := newPerSockEnv(t)
+	cfg := DefaultConfig()
+	cfg.WarmupCycles = 2
+	ps := NewPerSocket(cfg)
+	if err := ps.Attach(te.env); err != nil {
+		t.Fatal(err)
+	}
+	if len(ps.Instances()) != 2 {
+		t.Fatalf("instances = %d", len(ps.Instances()))
+	}
+	// Feed: socket 0 stays high, socket 1 falls sharply after warm-up.
+	var now time.Duration
+	cycle := func(g0, g1 float64) {
+		te.traffic[0] += g0 * 0.3
+		te.traffic[1] += g1 * 0.3
+		now += 300 * time.Millisecond
+		ps.Invoke(now)
+	}
+	cycle(100, 100) // warm-up
+	cycle(100, 100) // warm-up end: both to max
+	if te.limitGHz(0) != 2.2 || te.limitGHz(1) != 2.2 {
+		t.Fatalf("post-warmup limits: %v / %v", te.limitGHz(0), te.limitGHz(1))
+	}
+	cycle(100, 100)
+	cycle(100, 5) // socket 1 collapses
+	if got := te.limitGHz(1); got != 0.8 {
+		t.Fatalf("socket 1 limit = %v, want 0.8", got)
+	}
+	if got := te.limitGHz(0); got != 2.2 {
+		t.Fatalf("socket 0 limit = %v, want untouched 2.2", got)
+	}
+	s := ps.Stats()
+	if s.Invocations != 8 { // 2 instances × 4 cycles
+		t.Fatalf("stats invocations = %d", s.Invocations)
+	}
+}
+
+func TestPerSocketRequiresSocketPCM(t *testing.T) {
+	te := newPerSockEnv(t)
+	te.env.SocketPCM = nil
+	if err := NewPerSocket(DefaultConfig()).Attach(te.env); err == nil {
+		t.Fatal("attach without SocketPCM accepted")
+	}
+}
+
+func TestPerSocketSplitsOverheadBudget(t *testing.T) {
+	te := newPerSockEnv(t)
+	var busy time.Duration
+	var watts float64
+	te.env.Charge = func(b time.Duration, cores, w float64) {
+		busy += b
+		watts += w
+	}
+	ps := NewPerSocket(DefaultConfig())
+	if err := ps.Attach(te.env); err != nil {
+		t.Fatal(err)
+	}
+	ps.Invoke(300 * time.Millisecond)
+	// One cycle across both sockets must cost the single-domain budget
+	// (0.1 s busy, ExtraWatts summed to the configured total).
+	if busy != 100*time.Millisecond {
+		t.Fatalf("busy per cycle = %v, want 100ms", busy)
+	}
+	if watts != DefaultConfig().ExtraWatts {
+		t.Fatalf("extra watts per cycle = %v, want %v", watts, DefaultConfig().ExtraWatts)
+	}
+}

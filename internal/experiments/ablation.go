@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/spear-repro/magus/internal/core"
+	"github.com/spear-repro/magus/internal/governor"
+	"github.com/spear-repro/magus/internal/harness"
+)
+
+// The ablation study quantifies the contribution of each MAGUS design
+// choice (DESIGN.md §6) and places the model-based related-work
+// approach next to them:
+//
+//   - magus:            the full runtime (reference);
+//   - no-hifreq:        Algorithm 2 disabled — quantifies what the
+//                       high-frequency override buys on fluttering
+//                       workloads (srad);
+//   - short-deriv:      derivative span 1 — quantifies what the longer
+//                       memory-dynamics window buys (falls that land
+//                       in monitoring gaps);
+//   - warmup-max:       warm-up at maximum uncore (§3.3's literal
+//                       reading) — trades early-burst performance for
+//                       warm-up energy;
+//   - model-based:      offline-profiled bandwidth model, minimal
+//                       sufficient frequency (related work, §7);
+//   - ups:              the UPScavenger baseline.
+
+// AblationRow is one (variant, app) cell.
+type AblationRow struct {
+	Variant string
+	App     string
+	harness.Comparison
+}
+
+// AblationResult is the full ablation table on Intel+A100.
+type AblationResult struct {
+	Apps     []string
+	Variants []string
+	Rows     []AblationRow
+}
+
+// Get returns the comparison for (variant, app).
+func (a AblationResult) Get(variant, app string) (harness.Comparison, bool) {
+	for _, r := range a.Rows {
+		if r.Variant == variant && r.App == app {
+			return r.Comparison, true
+		}
+	}
+	return harness.Comparison{}, false
+}
+
+// AblationApps returns the default application set for the study: a
+// fluttering app, an epoch app, a bursty app and an init-heavy app.
+func AblationApps() []string { return []string{"srad", "unet", "bfs", "gemm"} }
+
+// ablationVariants builds the variant factories for a system.
+func ablationVariants(system string) (names []string, factories []harness.GovernorFactory) {
+	base := magusConfigFor(system)
+
+	noHi := base
+	noHi.DisableHighFreq = true
+
+	shortDeriv := base
+	shortDeriv.DerivLen = 1
+
+	warmMax := base
+	warmMax.WarmupAtMax = true
+
+	cfg, _ := SystemByName(system)
+	bwModel := func(ghz float64) float64 {
+		return float64(cfg.Sockets) * cfg.BWAt(ghz)
+	}
+	mbCfg := governor.DefaultModelBasedConfig()
+	mbCfg.ExtraWatts = magusConfigFor(system).ExtraWatts
+
+	// oracle: an upper bound on what uncore scaling can harvest —
+	// exact platform model, 20 ms decisions, zero invocation cost.
+	oracleCfg := governor.DefaultModelBasedConfig()
+	oracleCfg.Interval = 20 * time.Millisecond
+	oracleCfg.InvocationTime = time.Millisecond
+	oracleCfg.BusyCores = 1e-9
+	oracleCfg.Headroom = 0.02
+
+	names = []string{"magus", "no-hifreq", "short-deriv", "warmup-max", "model-based", "ups", "duf", "oracle"}
+	factories = []harness.GovernorFactory{
+		func() governor.Governor { return core.New(base) },
+		func() governor.Governor { return core.New(noHi) },
+		func() governor.Governor { return core.New(shortDeriv) },
+		func() governor.Governor { return core.New(warmMax) },
+		func() governor.Governor { return governor.NewModelBased(mbCfg, bwModel) },
+		upsFactoryFor(system),
+		func() governor.Governor { return governor.NewDUF(governor.DUFConfig{}) },
+		func() governor.Governor { return governor.NewModelBased(oracleCfg, bwModel) },
+	}
+	return names, factories
+}
+
+// Ablation runs the variant × application matrix on Intel+A100 and
+// reports each cell against the vendor-default baseline.
+func Ablation(opt Options) (AblationResult, error) {
+	opt = opt.withDefaults()
+	cfg, err := SystemByName("Intel+A100")
+	if err != nil {
+		return AblationResult{}, err
+	}
+	apps := AblationApps()
+	variants, factories := ablationVariants(cfg.Name)
+	out := AblationResult{Apps: apps, Variants: variants}
+
+	for _, app := range apps {
+		prog := mustProgram(app)
+		runOpt := harness.Options{Seed: opt.Seed}
+		base, err := harness.RunRepeated(cfg, prog, defaultFactory, opt.Repeats, runOpt)
+		if err != nil {
+			return AblationResult{}, err
+		}
+		for i, variant := range variants {
+			res, err := harness.RunRepeated(cfg, prog, factories[i], opt.Repeats, runOpt)
+			if err != nil {
+				return AblationResult{}, err
+			}
+			out.Rows = append(out.Rows, AblationRow{
+				Variant:    variant,
+				App:        app,
+				Comparison: harness.Compare(base, res),
+			})
+		}
+	}
+	return out, nil
+}

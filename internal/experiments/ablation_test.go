@@ -1,0 +1,72 @@
+package experiments
+
+import "testing"
+
+func TestAblation(t *testing.T) {
+	res, err := Ablation(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(res.Apps)*len(res.Variants) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(res.Apps)*len(res.Variants))
+	}
+
+	// The high-frequency override is what protects srad: disabling it
+	// must cost performance there.
+	full, ok1 := res.Get("magus", "srad")
+	noHi, ok2 := res.Get("no-hifreq", "srad")
+	if !ok1 || !ok2 {
+		t.Fatal("srad cells missing")
+	}
+	if noHi.PerfLossPct <= full.PerfLossPct {
+		t.Errorf("disabling the high-frequency detector should hurt srad: full %.2f %% vs no-hifreq %.2f %%",
+			full.PerfLossPct, noHi.PerfLossPct)
+	}
+
+	// The longer derivative span is what catches gemm's staging fall
+	// (it lands inside the warm-up blackout): DerivLen=1 must save
+	// less power there.
+	fullG, _ := res.Get("magus", "gemm")
+	shortG, ok := res.Get("short-deriv", "gemm")
+	if !ok {
+		t.Fatal("gemm cells missing")
+	}
+	if shortG.PowerSavingPct >= fullG.PowerSavingPct-2 {
+		t.Errorf("short derivative should miss gemm's warm-up fall: full %.1f %% vs short %.1f %%",
+			fullG.PowerSavingPct, shortG.PowerSavingPct)
+	}
+
+	// Warm-up at max trades energy for early-burst speed on gemm
+	// (whose staging is inside the warm-up window): loss must shrink.
+	warmG, ok := res.Get("warmup-max", "gemm")
+	if !ok {
+		t.Fatal("warmup-max gemm cell missing")
+	}
+	if warmG.PerfLossPct >= fullG.PerfLossPct {
+		t.Errorf("warm-up at max should cut gemm's early stretch: full %.2f %% vs warmup-max %.2f %%",
+			fullG.PerfLossPct, warmG.PerfLossPct)
+	}
+
+	// The model-based policy with a perfect platform model is strong
+	// on steady signals but must still lose more than MAGUS on the
+	// fluttering app (its selections lag the signal by a full period).
+	mbS, ok := res.Get("model-based", "srad")
+	if !ok {
+		t.Fatal("model-based srad cell missing")
+	}
+	if mbS.PerfLossPct <= full.PerfLossPct {
+		t.Errorf("model-based should chase srad's flutter: magus %.2f %% vs model-based %.2f %%",
+			full.PerfLossPct, mbS.PerfLossPct)
+	}
+
+	// Every variant keeps energy savings non-negative on the epoch app.
+	for _, v := range res.Variants {
+		c, ok := res.Get(v, "unet")
+		if !ok {
+			t.Fatalf("unet cell missing for %s", v)
+		}
+		if c.EnergySavingPct < -1 {
+			t.Errorf("%s on unet: energy saving %.1f %%", v, c.EnergySavingPct)
+		}
+	}
+}

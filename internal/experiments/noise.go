@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"github.com/spear-repro/magus/internal/harness"
+)
+
+// NoisePoint is one amplitude of the robustness sweep.
+type NoisePoint struct {
+	// Amplitude is the relative measurement-noise level: each PCM
+	// reading is scaled by a deterministic pseudo-random factor in
+	// [1-A, 1+A].
+	Amplitude float64
+	harness.Comparison
+}
+
+// NoiseStudyResult sweeps MAGUS under increasingly noisy throughput
+// measurement on one application. Real PCM readings carry counter
+// jitter and interference from co-running processes; the sweep shows
+// how gracefully the runtime degrades when its single input signal
+// gets worse.
+type NoiseStudyResult struct {
+	App    string
+	Points []NoisePoint
+}
+
+// NoiseAmplitudes is the default sweep grid.
+func NoiseAmplitudes() []float64 { return []float64{0, 0.05, 0.1, 0.2, 0.4} }
+
+// noiseFn returns a deterministic relative-noise transform.
+func noiseFn(amplitude float64, seed int64) func(float64) float64 {
+	if amplitude <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return func(gbs float64) float64 {
+		return gbs * (1 + amplitude*(rng.Float64()*2-1))
+	}
+}
+
+// NoiseStudy runs MAGUS on app (Intel+A100) across the noise grid,
+// comparing each point against a clean-baseline default run.
+func NoiseStudy(app string, opt Options) (NoiseStudyResult, error) {
+	opt = opt.withDefaults()
+	cfg, err := SystemByName("Intel+A100")
+	if err != nil {
+		return NoiseStudyResult{}, err
+	}
+	prog := mustProgram(app)
+	base, err := harness.RunRepeated(cfg, prog, defaultFactory, opt.Repeats, harness.Options{Seed: opt.Seed})
+	if err != nil {
+		return NoiseStudyResult{}, err
+	}
+	out := NoiseStudyResult{App: app}
+	for _, amp := range NoiseAmplitudes() {
+		a := amp
+		res, err := harness.RunRepeated(cfg, prog, magusFactoryFor(cfg.Name), opt.Repeats,
+			harness.Options{Seed: opt.Seed, PCMNoise: noiseFn(a, opt.Seed*37+int64(a*1000))})
+		if err != nil {
+			return NoiseStudyResult{}, err
+		}
+		out.Points = append(out.Points, NoisePoint{
+			Amplitude:  a,
+			Comparison: harness.Compare(base, res),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import "testing"
+
+func TestNoiseStudy(t *testing.T) {
+	res, err := NoiseStudy("unet", Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(NoiseAmplitudes()) {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	clean := res.Points[0]
+	if clean.Amplitude != 0 {
+		t.Fatal("first point is not the clean run")
+	}
+	if clean.EnergySavingPct < 5 {
+		t.Fatalf("clean energy saving = %.1f %%, want ≥ 5", clean.EnergySavingPct)
+	}
+	for _, p := range res.Points {
+		// Graceful degradation: even at 40 % measurement noise the
+		// runtime must not tank performance or turn energy-negative —
+		// the fail-safe direction of the algorithm is "toward max
+		// uncore", which costs savings, not runtime.
+		if p.PerfLossPct > 6 {
+			t.Errorf("amplitude %.2f: perf loss %.1f %%", p.Amplitude, p.PerfLossPct)
+		}
+		if p.EnergySavingPct < -1 {
+			t.Errorf("amplitude %.2f: energy saving %.1f %%", p.Amplitude, p.EnergySavingPct)
+		}
+	}
+}

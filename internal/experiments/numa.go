@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"github.com/spear-repro/magus/internal/core"
+	"github.com/spear-repro/magus/internal/governor"
+	"github.com/spear-repro/magus/internal/harness"
+)
+
+// NUMAStudyResult compares single-domain MAGUS against the per-socket
+// extension on a NUMA-imbalanced workload (numa_etl): the paper's
+// runtime drives both sockets from one system-wide signal, so the
+// quiet socket follows the busy one; per-socket scaling parks the
+// quiet socket's uncore at minimum for the whole run.
+type NUMAStudyResult struct {
+	App       string
+	Global    harness.Comparison
+	PerSocket harness.Comparison
+}
+
+// NUMAStudy runs the comparison on Intel+A100.
+func NUMAStudy(opt Options) (NUMAStudyResult, error) {
+	opt = opt.withDefaults()
+	cfg, err := SystemByName("Intel+A100")
+	if err != nil {
+		return NUMAStudyResult{}, err
+	}
+	prog := mustProgram("numa_etl")
+	runOpt := harness.Options{Seed: opt.Seed}
+
+	base, err := harness.RunRepeated(cfg, prog, defaultFactory, opt.Repeats, runOpt)
+	if err != nil {
+		return NUMAStudyResult{}, err
+	}
+	global, err := harness.RunRepeated(cfg, prog, magusFactoryFor(cfg.Name), opt.Repeats, runOpt)
+	if err != nil {
+		return NUMAStudyResult{}, err
+	}
+	mc := magusConfigFor(cfg.Name)
+	perSock, err := harness.RunRepeated(cfg, prog,
+		func() governor.Governor { return core.NewPerSocket(mc) },
+		opt.Repeats, runOpt)
+	if err != nil {
+		return NUMAStudyResult{}, err
+	}
+	return NUMAStudyResult{
+		App:       prog.Name,
+		Global:    harness.Compare(base, global),
+		PerSocket: harness.Compare(base, perSock),
+	}, nil
+}

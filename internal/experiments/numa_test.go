@@ -1,0 +1,37 @@
+package experiments
+
+import "testing"
+
+func TestNUMAStudy(t *testing.T) {
+	res, err := NUMAStudy(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.App != "numa_etl" {
+		t.Fatalf("app = %q", res.App)
+	}
+	// Both policies must save power with bounded loss.
+	for _, c := range []struct {
+		name string
+		cmp  float64
+	}{
+		{"global power", res.Global.PowerSavingPct},
+		{"per-socket power", res.PerSocket.PowerSavingPct},
+	} {
+		if c.cmp <= 0 {
+			t.Errorf("%s saving = %.1f %%, want positive", c.name, c.cmp)
+		}
+	}
+	if res.Global.PerfLossPct > 5 || res.PerSocket.PerfLossPct > 5 {
+		t.Fatalf("losses: global %.1f %%, per-socket %.1f %%",
+			res.Global.PerfLossPct, res.PerSocket.PerfLossPct)
+	}
+	// The extension's point: on a NUMA-imbalanced workload, per-socket
+	// scaling beats the single-domain runtime on power, because the
+	// quiet socket parks at the minimum while the busy one keeps
+	// bandwidth.
+	if res.PerSocket.PowerSavingPct <= res.Global.PowerSavingPct {
+		t.Fatalf("per-socket %.1f %% should beat global %.1f %% on numa_etl",
+			res.PerSocket.PowerSavingPct, res.Global.PowerSavingPct)
+	}
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"flag"
+	"testing"
+	"time"
+)
+
+var probe = flag.Bool("probe", false, "print full experiment outputs")
+
+func TestProbeOutputs(t *testing.T) {
+	if !*probe {
+		t.Skip("probe disabled (use -probe)")
+	}
+	for _, sys := range []string{"Intel+Max1550", "Intel+4A100"} {
+		res, err := Figure4(sys, Quick())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range res.Apps {
+			t.Logf("[%s] %-22s MAGUS loss %5.1f pwr %5.1f en %5.1f | UPS loss %5.1f pwr %5.1f en %5.1f",
+				sys, a.App, a.MAGUS.PerfLossPct, a.MAGUS.PowerSavingPct, a.MAGUS.EnergySavingPct,
+				a.UPS.PerfLossPct, a.UPS.PowerSavingPct, a.UPS.EnergySavingPct)
+		}
+	}
+	tab1, err := Table1(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab1.Rows {
+		t.Logf("jaccard %-22s %.2f", r.App, r.Jaccard)
+	}
+	tab2, err := Table2(2*time.Minute, Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab2.Rows {
+		t.Logf("overhead %-14s %-6s power %5.2f%% invocation %.2fs", r.System, r.Method, r.PowerOverheadPct, r.InvocationS)
+	}
+}

@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/spear-repro/magus/internal/governor"
+	"github.com/spear-repro/magus/internal/harness"
+	"github.com/spear-repro/magus/internal/msr"
+	"github.com/spear-repro/magus/internal/node"
+	"github.com/spear-repro/magus/internal/sim"
+	"github.com/spear-repro/magus/internal/telemetry"
+	"github.com/spear-repro/magus/internal/workload"
+)
+
+// JaccardRow is one application of Table 1.
+type JaccardRow struct {
+	App     string
+	Jaccard float64
+}
+
+// Table1Result is the burst-prediction similarity table (§6.3).
+type Table1Result struct {
+	Rows []JaccardRow
+	// Bins and ThresholdFrac document the burst-extraction settings:
+	// both runs are resampled to Bins bins; a bin is a burst when its
+	// mean throughput exceeds ThresholdFrac of the baseline's peak.
+	Bins          int
+	ThresholdFrac float64
+}
+
+// Table1 computes the Jaccard similarity between the memory-throughput
+// burst patterns of the max-uncore baseline and MAGUS for every Table 1
+// application, on Intel+A100.
+func Table1(opt Options) (Table1Result, error) {
+	opt = opt.withDefaults()
+	cfg := node.IntelA100()
+	out := Table1Result{Bins: 200, ThresholdFrac: 0.5}
+	for _, app := range workload.Table1Apps() {
+		base, err := traceRun(cfg, app, defaultFactory(), opt.Seed)
+		if err != nil {
+			return Table1Result{}, err
+		}
+		magus, err := traceRun(cfg, app, magusFactoryFor(cfg.Name)(), opt.Seed)
+		if err != nil {
+			return Table1Result{}, err
+		}
+		j := telemetry.BurstJaccard(
+			base.Traces.Series("mem_gbs"),
+			magus.Traces.Series("mem_gbs"),
+			out.Bins, out.ThresholdFrac)
+		out.Rows = append(out.Rows, JaccardRow{App: app, Jaccard: j})
+	}
+	return out, nil
+}
+
+// Mean returns the table's mean Jaccard score.
+func (t Table1Result) Mean() float64 {
+	if len(t.Rows) == 0 {
+		return 0
+	}
+	var s float64
+	for _, r := range t.Rows {
+		s += r.Jaccard
+	}
+	return s / float64(len(t.Rows))
+}
+
+// Get returns one app's score.
+func (t Table1Result) Get(app string) (float64, bool) {
+	for _, r := range t.Rows {
+		if r.App == app {
+			return r.Jaccard, true
+		}
+	}
+	return 0, false
+}
+
+// OverheadRow is one (system, method) cell of Table 2.
+type OverheadRow struct {
+	System string
+	Method string
+	// PowerOverheadPct is the idle-power increase the runtime causes.
+	PowerOverheadPct float64
+	// InvocationS is the measured busy time per decision cycle.
+	InvocationS float64
+}
+
+// Table2Result is the runtime-overhead table (§6.5).
+type Table2Result struct {
+	Rows []OverheadRow
+	// IdleWindow is the measurement duration (the paper idles 10 min).
+	IdleWindow time.Duration
+}
+
+// Get returns the row for (system, method).
+func (t Table2Result) Get(system, method string) (OverheadRow, bool) {
+	for _, r := range t.Rows {
+		if r.System == system && r.Method == method {
+			return r, true
+		}
+	}
+	return OverheadRow{}, false
+}
+
+// discardWrites wraps an MSR device so uncore-limit writes are
+// accepted but ignored — Table 2 measures monitoring + decision cost
+// "excluding uncore scaling" (§6.5), so both runtimes run against a
+// node whose uncore state never changes.
+type discardWrites struct{ dev msr.Device }
+
+func (d discardWrites) Read(cpu int, reg uint32) (uint64, error) { return d.dev.Read(cpu, reg) }
+
+func (d discardWrites) Write(cpu int, reg uint32, val uint64) error {
+	if reg == msr.UncoreRatioLimit {
+		return nil
+	}
+	return d.dev.Write(cpu, reg, val)
+}
+
+// Table2 measures each runtime's idle overhead on the two single-GPU
+// systems: run the governor for idleWindow on an idle node and compare
+// average CPU power against an unmanaged idle node; invocation cost is
+// the daemon busy time per decision cycle. idleWindow <= 0 selects the
+// paper's 10 minutes.
+func Table2(idleWindow time.Duration, opt Options) (Table2Result, error) {
+	opt = opt.withDefaults()
+	if idleWindow <= 0 {
+		idleWindow = 10 * time.Minute
+	}
+	out := Table2Result{IdleWindow: idleWindow}
+	for _, cfg := range []node.Config{node.IntelA100(), node.IntelMax1550()} {
+		basePower, _, _, err := runIdle(cfg, nil, idleWindow, opt.Seed)
+		if err != nil {
+			return Table2Result{}, err
+		}
+		for _, method := range []string{"magus", "ups"} {
+			var gov governor.Governor
+			if method == "magus" {
+				gov = magusFactoryFor(cfg.Name)()
+			} else {
+				gov = upsFactoryFor(cfg.Name)()
+			}
+			power, busySec, invocations, err := runIdle(cfg, gov, idleWindow, opt.Seed)
+			if err != nil {
+				return Table2Result{}, err
+			}
+			row := OverheadRow{
+				System:           cfg.Name,
+				Method:           method,
+				PowerOverheadPct: (power - basePower) / basePower * 100,
+			}
+			if invocations > 0 {
+				row.InvocationS = busySec / float64(invocations)
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// runIdle runs an idle node for window under gov (nil = unmanaged) and
+// returns average CPU power, total daemon busy seconds, and the
+// invocation count.
+func runIdle(cfg node.Config, gov governor.Governor, window time.Duration, seed int64) (avgPowerW, busySec float64, invocations uint64, err error) {
+	eng := sim.NewEngine(0)
+	n := node.New(cfg)
+	runner := workload.NewRunner(workload.Idle(window), cfg.SystemBWGBs(), seed)
+	runner.SetAttained(n.AttainedGBs)
+	eng.AddComponent(sim.ComponentFunc(func(now, dt time.Duration) {
+		runner.Step(now, dt)
+		n.SetDemand(runner.Demand())
+	}))
+	eng.AddComponent(n)
+
+	var invCounter uint64
+	if gov != nil {
+		env, berr := BuildIdleEnv(n)
+		if berr != nil {
+			return 0, 0, 0, berr
+		}
+		if aerr := gov.Attach(env); aerr != nil {
+			return 0, 0, 0, aerr
+		}
+		eng.AddTask(&sim.Task{
+			Name:     gov.Name(),
+			Interval: gov.Interval(),
+			Fn: func(now time.Duration) time.Duration {
+				invCounter++
+				return gov.Invoke(now)
+			},
+		}, 0)
+	}
+	eng.RunFor(window)
+	pkgJ, drmJ, _ := n.EnergyJ()
+	return (pkgJ + drmJ) / window.Seconds(), n.DaemonBusySeconds(), invCounter, nil
+}
+
+// BuildIdleEnv is BuildEnv with uncore-limit writes discarded, per the
+// §6.5 methodology.
+func BuildIdleEnv(n *node.Node) (*governor.Env, error) {
+	env, err := harness.BuildEnv(n)
+	if err != nil {
+		return nil, err
+	}
+	env.Dev = discardWrites{dev: env.Dev}
+	return env, nil
+}

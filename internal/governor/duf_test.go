@@ -1,0 +1,105 @@
+package governor
+
+import (
+	"testing"
+	"time"
+
+	"github.com/spear-repro/magus/internal/msr"
+)
+
+var _ Governor = (*DUF)(nil)
+
+type dufHarness struct {
+	s   *msr.Space
+	duf *DUF
+	now time.Duration
+}
+
+func newDUFHarness(t *testing.T) *dufHarness {
+	t.Helper()
+	s, env := testEnv(t)
+	h := &dufHarness{s: s, duf: NewDUF(DUFConfig{})}
+	if err := h.duf.Attach(env); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// cycle advances 0.5 s feeding each of the 8 cores instDelta retired
+// instructions.
+func (h *dufHarness) cycle(instDelta uint64) {
+	h.now += 500 * time.Millisecond
+	for cpu := 0; cpu < 8; cpu++ {
+		h.s.Bump(cpu, msr.FixedCtrInstRetired, instDelta)
+	}
+	h.duf.Invoke(h.now)
+}
+
+func TestDUFHarvestsWithinBudget(t *testing.T) {
+	h := newDUFHarness(t)
+	if h.duf.CurrentMaxGHz() != 2.2 {
+		t.Fatalf("attach limit = %v", h.duf.CurrentMaxGHz())
+	}
+	h.cycle(1_000_000) // baseline sweep
+	for i := 0; i < 6; i++ {
+		h.cycle(1_000_000) // steady progress: within budget
+	}
+	if got := h.duf.CurrentMaxGHz(); got > 2.2-5*0.1+1e-9 {
+		t.Fatalf("DUF did not harvest: %v GHz", got)
+	}
+}
+
+func TestDUFBacksOffOnSlowdown(t *testing.T) {
+	h := newDUFHarness(t)
+	h.cycle(1_000_000)
+	for i := 0; i < 5; i++ {
+		h.cycle(1_000_000)
+	}
+	low := h.duf.CurrentMaxGHz()
+	h.cycle(800_000) // 20 % IPS drop: budget (5 %) exceeded
+	if got := h.duf.CurrentMaxGHz(); got <= low {
+		t.Fatalf("DUF did not back off: %v -> %v", low, got)
+	}
+}
+
+func TestDUFReferenceDecays(t *testing.T) {
+	s, env := testEnv(t)
+	h := &dufHarness{s: s, duf: NewDUF(DUFConfig{RefDecay: 0.08})}
+	if err := h.duf.Attach(env); err != nil {
+		t.Fatal(err)
+	}
+	h.cycle(2_000_000)
+	h.cycle(2_000_000)
+	// Phase change to a legitimately slower region: with decay the
+	// reference re-baselines and DUF resumes harvesting instead of
+	// pinning max forever.
+	for i := 0; i < 70; i++ {
+		h.cycle(1_000_000)
+	}
+	if got := h.duf.CurrentMaxGHz(); got > 1.5 {
+		t.Fatalf("DUF stuck high after re-baseline: %v GHz", got)
+	}
+}
+
+func TestDUFEndToEnd(t *testing.T) {
+	// Smoke: DUF on a simulated run must save power with bounded loss
+	// (its 5 % budget) — exercised through the public harness in the
+	// experiments package; here just validate interval/charging.
+	_, env := testEnv(t)
+	var busy time.Duration
+	env.Charge = func(b time.Duration, cores, watts float64) { busy += b }
+	d := NewDUF(DUFConfig{})
+	if err := d.Attach(env); err != nil {
+		t.Fatal(err)
+	}
+	d.Invoke(500 * time.Millisecond)
+	if busy != 300*time.Millisecond {
+		t.Fatalf("charged %v", busy)
+	}
+	if d.Interval() != 500*time.Millisecond {
+		t.Fatalf("interval = %v", d.Interval())
+	}
+	if d.Invocations() != 1 {
+		t.Fatalf("invocations = %d", d.Invocations())
+	}
+}

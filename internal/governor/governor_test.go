@@ -1,0 +1,276 @@
+package governor
+
+import (
+	"testing"
+	"time"
+
+	"github.com/spear-repro/magus/internal/msr"
+	"github.com/spear-repro/magus/internal/pcm"
+	"github.com/spear-repro/magus/internal/rapl"
+)
+
+var (
+	_ Governor = (*Default)(nil)
+	_ Governor = (*Static)(nil)
+	_ Governor = (*UPS)(nil)
+)
+
+func testEnv(t *testing.T) (*msr.Space, *Env) {
+	t.Helper()
+	s := msr.NewSpace(2, 4)
+	r, err := rapl.New(s, 2, s.FirstCPUOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traffic float64
+	return s, &Env{
+		Dev:          s,
+		PCM:          pcm.New(func() float64 { return traffic }),
+		RAPL:         r,
+		Sockets:      2,
+		CPUs:         8,
+		FirstCPU:     s.FirstCPUOf,
+		UncoreMinGHz: 0.8,
+		UncoreMaxGHz: 2.2,
+	}
+}
+
+func limitGHz(s *msr.Space, socket int) float64 {
+	maxHz, _ := msr.DecodeUncoreLimit(s.Peek(s.FirstCPUOf(socket), msr.UncoreRatioLimit))
+	return maxHz / 1e9
+}
+
+func TestEnvValidate(t *testing.T) {
+	_, env := testEnv(t)
+	if err := env.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := *env
+	bad.Dev = nil
+	if bad.Validate() == nil {
+		t.Fatal("nil Dev accepted")
+	}
+	bad = *env
+	bad.Sockets = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero sockets accepted")
+	}
+	bad = *env
+	bad.UncoreMinGHz = 3
+	if bad.Validate() == nil {
+		t.Fatal("inverted range accepted")
+	}
+}
+
+func TestSetUncoreMaxAllSockets(t *testing.T) {
+	s, env := testEnv(t)
+	if err := env.SetUncoreMax(1.5); err != nil {
+		t.Fatal(err)
+	}
+	for sock := 0; sock < 2; sock++ {
+		if got := limitGHz(s, sock); got != 1.5 {
+			t.Fatalf("socket %d limit = %v", sock, got)
+		}
+	}
+	s.FailWrites(msr.ErrInjected)
+	if err := env.SetUncoreMax(2.0); err == nil {
+		t.Fatal("write failure not propagated")
+	}
+}
+
+func TestDefaultGovernor(t *testing.T) {
+	s, env := testEnv(t)
+	// Simulate a previous policy leaving the limit lowered.
+	env.SetUncoreMax(0.8)
+	g := NewDefault()
+	if err := g.Attach(env); err != nil {
+		t.Fatal(err)
+	}
+	if got := limitGHz(s, 0); got != 2.2 {
+		t.Fatalf("default attach limit = %v, want restored max", got)
+	}
+	if g.Invoke(0) <= 0 {
+		t.Fatal("default Invoke must return a positive delay")
+	}
+}
+
+func TestStaticGovernor(t *testing.T) {
+	s, env := testEnv(t)
+	g := NewStatic(0.8)
+	if err := g.Attach(env); err != nil {
+		t.Fatal(err)
+	}
+	if got := limitGHz(s, 1); got != 0.8 {
+		t.Fatalf("static limit = %v", got)
+	}
+	if g.Name() != "static-0.8GHz" {
+		t.Fatalf("name = %q", g.Name())
+	}
+	if err := NewStatic(3.0).Attach(env); err == nil {
+		t.Fatal("out-of-range pin accepted")
+	}
+}
+
+// upsHarness drives UPS with scripted DRAM power and IPC.
+type upsHarness struct {
+	s   *msr.Space
+	env *Env
+	ups *UPS
+	now time.Duration
+	cyc uint64
+}
+
+func newUPSHarness(t *testing.T) *upsHarness {
+	t.Helper()
+	s, env := testEnv(t)
+	h := &upsHarness{s: s, env: env, ups: NewUPS(UPSConfig{})}
+	if err := h.ups.Attach(env); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// cycle advances 0.5 s with the given DRAM watts and per-core IPC on
+// cores 0..3 (socket 0).
+func (h *upsHarness) cycle(dramW, ipc float64) {
+	h.now += 500 * time.Millisecond
+	// DRAM energy: watts over 0.5 s split across 2 sockets.
+	units := uint64(dramW / 2 * 0.5 * 16384)
+	h.s.Bump(0, msr.DramEnergyStatus, units)
+	h.s.Bump(4, msr.DramEnergyStatus, units)
+	// Core counters: fixed cycle delta, IPC-scaled instructions.
+	const dCyc = 1_000_000
+	for cpu := 0; cpu < 4; cpu++ {
+		h.s.Bump(cpu, msr.FixedCtrCPUCycles, dCyc)
+		h.s.Bump(cpu, msr.FixedCtrInstRetired, uint64(ipc*dCyc))
+	}
+	h.ups.Invoke(h.now)
+}
+
+func TestUPSStartsAtMax(t *testing.T) {
+	h := newUPSHarness(t)
+	if got := limitGHz(h.s, 0); got != 2.2 {
+		t.Fatalf("attach limit = %v", got)
+	}
+}
+
+func TestUPSScavengesDownWhileIPCHolds(t *testing.T) {
+	h := newUPSHarness(t)
+	// Baselines (two cycles to establish counters and phase).
+	h.cycle(30, 2.0)
+	h.cycle(30, 2.0)
+	start := h.ups.CurrentMaxGHz()
+	for i := 0; i < 5; i++ {
+		h.cycle(30, 2.0) // steady phase, IPC unharmed
+	}
+	got := h.ups.CurrentMaxGHz()
+	if got >= start {
+		t.Fatalf("UPS did not scavenge: %v -> %v", start, got)
+	}
+	if want := start - 5*0.1; got > want+1e-9 {
+		t.Fatalf("UPS stepped too slowly: %v, want ≤ %v", got, want)
+	}
+	if got := limitGHz(h.s, 0); got != h.ups.CurrentMaxGHz() {
+		t.Fatalf("MSR limit %v != tracked %v", got, h.ups.CurrentMaxGHz())
+	}
+}
+
+func TestUPSBacksOffOnIPCDegradation(t *testing.T) {
+	h := newUPSHarness(t)
+	h.cycle(30, 2.0)
+	h.cycle(30, 2.0)
+	for i := 0; i < 6; i++ {
+		h.cycle(30, 2.0)
+	}
+	low := h.ups.CurrentMaxGHz()
+	h.cycle(30, 1.5) // 25 % IPC drop — well past the 6 % tolerance
+	backedOff := h.ups.CurrentMaxGHz()
+	if backedOff <= low {
+		t.Fatalf("UPS did not back off: %v -> %v", low, backedOff)
+	}
+	// With the floor raised, sustained good IPC must not dip below it.
+	for i := 0; i < 4; i++ {
+		h.cycle(30, 2.0)
+	}
+	if h.ups.CurrentMaxGHz() < backedOff-1e-9 {
+		t.Fatalf("UPS probed below its floor: %v < %v", h.ups.CurrentMaxGHz(), backedOff)
+	}
+}
+
+func TestUPSResetsOnPhaseTransition(t *testing.T) {
+	h := newUPSHarness(t)
+	h.cycle(30, 2.0)
+	h.cycle(30, 2.0)
+	for i := 0; i < 6; i++ {
+		h.cycle(30, 2.0)
+	}
+	if h.ups.CurrentMaxGHz() >= 2.0 {
+		t.Fatalf("setup: UPS at %v", h.ups.CurrentMaxGHz())
+	}
+	// DRAM power triples: even the smoothed signal crosses the phase
+	// threshold, so UPS resets to max.
+	h.cycle(90, 2.0)
+	if got := h.ups.CurrentMaxGHz(); got != 2.2 {
+		t.Fatalf("after phase transition limit = %v, want max", got)
+	}
+	_, _, _, resets := h.ups.Stats()
+	if resets == 0 {
+		t.Fatal("phase reset not counted")
+	}
+}
+
+func TestUPSMSRReadVolume(t *testing.T) {
+	// UPS sweeps two counters on every CPU each cycle — the §6.5
+	// overhead story. 8 CPUs × 2 regs × 3 cycles = 48 reads.
+	h := newUPSHarness(t)
+	h.cycle(30, 2.0)
+	h.cycle(30, 2.0)
+	h.cycle(30, 2.0)
+	_, reads, _, _ := h.ups.Stats()
+	if reads != 48 {
+		t.Fatalf("msr reads = %d, want 48", reads)
+	}
+}
+
+func TestUPSChargesPerInvocation(t *testing.T) {
+	s, env := testEnv(t)
+	var busy time.Duration
+	env.Charge = func(b time.Duration, cores, watts float64) { busy += b }
+	ups := NewUPS(UPSConfig{})
+	if err := ups.Attach(env); err != nil {
+		t.Fatal(err)
+	}
+	_ = s
+	ups.Invoke(500 * time.Millisecond)
+	ups.Invoke(time.Second)
+	if busy != 600*time.Millisecond {
+		t.Fatalf("charged %v, want 600ms (2 × 0.3 s sweeps)", busy)
+	}
+	if ups.Interval() != 500*time.Millisecond {
+		t.Fatalf("interval = %v, want 0.5s", ups.Interval())
+	}
+}
+
+func TestUPSRequiresRAPL(t *testing.T) {
+	_, env := testEnv(t)
+	env.RAPL = nil
+	if err := NewUPS(UPSConfig{}).Attach(env); err == nil {
+		t.Fatal("UPS attached without RAPL")
+	}
+}
+
+func TestUPSFailsSafeOnRAPLError(t *testing.T) {
+	h := newUPSHarness(t)
+	h.cycle(30, 2.0)
+	h.cycle(30, 2.0)
+	for i := 0; i < 6; i++ {
+		h.cycle(30, 2.0)
+	}
+	h.s.FailReads(msr.ErrInjected)
+	h.now += 500 * time.Millisecond
+	h.ups.Invoke(h.now)
+	h.s.FailReads(nil)
+	if got := limitGHz(h.s, 0); got != 2.2 {
+		t.Fatalf("limit after monitor failure = %v, want fail-safe max", got)
+	}
+}

@@ -1,0 +1,117 @@
+package governor
+
+import (
+	"testing"
+	"time"
+
+	"github.com/spear-repro/magus/internal/msr"
+	"github.com/spear-repro/magus/internal/pcm"
+	"github.com/spear-repro/magus/internal/rapl"
+)
+
+var _ Governor = (*ModelBased)(nil)
+
+// linear test bandwidth model: 60..400 GB/s across 0.8..2.2 GHz.
+func testBWModel(ghz float64) float64 {
+	return 400 * (0.15 + 0.85*ghz/2.2)
+}
+
+type mbHarness struct {
+	s       *msr.Space
+	env     *Env
+	mb      *ModelBased
+	traffic float64
+	now     time.Duration
+}
+
+func newMBHarness(t *testing.T) *mbHarness {
+	t.Helper()
+	s := msr.NewSpace(2, 4)
+	r, err := rapl.New(s, 2, s.FirstCPUOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &mbHarness{s: s}
+	h.env = &Env{
+		Dev:          s,
+		PCM:          pcm.New(func() float64 { return h.traffic }),
+		RAPL:         r,
+		Sockets:      2,
+		CPUs:         8,
+		FirstCPU:     s.FirstCPUOf,
+		UncoreMinGHz: 0.8,
+		UncoreMaxGHz: 2.2,
+	}
+	h.mb = NewModelBased(ModelBasedConfig{}, testBWModel)
+	if err := h.mb.Attach(h.env); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func (h *mbHarness) cycle(gbs float64) {
+	h.traffic += gbs * 0.3
+	h.now += 300 * time.Millisecond
+	h.mb.Invoke(h.now)
+}
+
+func TestModelBasedSelectsMinimalSufficientFrequency(t *testing.T) {
+	h := newMBHarness(t)
+	if h.mb.CurrentMaxGHz() != 2.2 {
+		t.Fatalf("attach frequency = %v", h.mb.CurrentMaxGHz())
+	}
+	h.cycle(0) // baseline
+	// Steady 100 GB/s demand: need 115 with headroom; model gives
+	// BW(0.8)=163 -> min frequency suffices.
+	h.cycle(100)
+	if got := h.mb.CurrentMaxGHz(); got != 0.8 {
+		t.Fatalf("selected %v GHz for 100 GB/s, want 0.8", got)
+	}
+	// 300 GB/s: need 345; BW(f)=345 at f≈1.90 -> selects ≈1.9.
+	h.cycle(300)
+	if got := h.mb.CurrentMaxGHz(); got < 1.8 || got > 2.1 {
+		t.Fatalf("selected %v GHz for 300 GB/s, want ≈1.9", got)
+	}
+	// Demand beyond the model's range pins max.
+	h.cycle(500)
+	if got := h.mb.CurrentMaxGHz(); got != 2.2 {
+		t.Fatalf("selected %v GHz for 500 GB/s, want max", got)
+	}
+}
+
+func TestModelBasedFailSafe(t *testing.T) {
+	h := newMBHarness(t)
+	h.cycle(0)
+	h.cycle(50)
+	if h.mb.CurrentMaxGHz() != 0.8 {
+		t.Fatal("setup failed")
+	}
+	h.traffic -= 1000 // PCM error: counter goes backwards
+	h.now += 300 * time.Millisecond
+	h.mb.Invoke(h.now)
+	if h.mb.CurrentMaxGHz() != 2.2 {
+		t.Fatalf("fail-safe frequency = %v", h.mb.CurrentMaxGHz())
+	}
+}
+
+func TestModelBasedRequiresModel(t *testing.T) {
+	h := newMBHarness(t)
+	g := NewModelBased(ModelBasedConfig{}, nil)
+	if err := g.Attach(h.env); err == nil {
+		t.Fatal("nil bandwidth model accepted")
+	}
+}
+
+func TestModelBasedChargesOverhead(t *testing.T) {
+	h := newMBHarness(t)
+	var busy time.Duration
+	h.env.Charge = func(b time.Duration, cores, watts float64) { busy += b }
+	h.cycle(0)
+	h.cycle(100)
+	if busy != 200*time.Millisecond {
+		t.Fatalf("charged %v, want 200ms", busy)
+	}
+	if h.mb.Interval() != 300*time.Millisecond {
+		t.Fatalf("interval = %v", h.mb.Interval())
+	}
+}

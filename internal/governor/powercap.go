@@ -1,0 +1,64 @@
+package governor
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/spear-repro/magus/internal/msr"
+)
+
+// PowerCapped composes an uncore frequency-scaling policy with a RAPL
+// package power cap (PL1), following the direction of Guermouche
+// (IPDPSW '22): power capping bounds worst-case draw in hardware,
+// uncore scaling harvests the waste below the cap. At attach it writes
+// the PL1 limit into MSR_PKG_POWER_LIMIT on every socket and then
+// delegates every decision to the inner policy; the node's clamp logic
+// enforces the cap autonomously, exactly as RAPL firmware does.
+type PowerCapped struct {
+	inner  Governor
+	capW   float64
+	env    *Env
+	capped bool
+}
+
+// WithPowerCap wraps inner with a per-socket PL1 cap of capW watts.
+func WithPowerCap(inner Governor, capW float64) *PowerCapped {
+	if inner == nil {
+		panic("governor: WithPowerCap(nil)")
+	}
+	return &PowerCapped{inner: inner, capW: capW}
+}
+
+// Name implements Governor.
+func (p *PowerCapped) Name() string {
+	return fmt.Sprintf("%s+cap%.0fW", p.inner.Name(), p.capW)
+}
+
+// Interval implements Governor.
+func (p *PowerCapped) Interval() time.Duration { return p.inner.Interval() }
+
+// CapWatts returns the configured PL1 limit.
+func (p *PowerCapped) CapWatts() float64 { return p.capW }
+
+// Attach implements Governor: program the cap, then attach the inner
+// policy.
+func (p *PowerCapped) Attach(env *Env) error {
+	if err := env.Validate(); err != nil {
+		return err
+	}
+	if p.capW <= 0 {
+		return fmt.Errorf("governor: non-positive power cap %v", p.capW)
+	}
+	p.env = env
+	val := msr.EncodePowerLimit(p.capW, 0.125, true)
+	for s := 0; s < env.Sockets; s++ {
+		if err := env.Dev.Write(env.FirstCPU(s), msr.PkgPowerLimit, val); err != nil {
+			return fmt.Errorf("governor: program PL1 on socket %d: %w", s, err)
+		}
+	}
+	p.capped = true
+	return p.inner.Attach(env)
+}
+
+// Invoke implements Governor by delegation.
+func (p *PowerCapped) Invoke(now time.Duration) time.Duration { return p.inner.Invoke(now) }

@@ -1,0 +1,69 @@
+package governor
+
+import (
+	"testing"
+	"time"
+
+	"github.com/spear-repro/magus/internal/msr"
+)
+
+var _ Governor = (*PowerCapped)(nil)
+
+func TestPowerCapAttachProgramsPL1(t *testing.T) {
+	s, env := testEnv(t)
+	g := WithPowerCap(NewDefault(), 180)
+	if err := g.Attach(env); err != nil {
+		t.Fatal(err)
+	}
+	for sock := 0; sock < 2; sock++ {
+		raw := s.Peek(s.FirstCPUOf(sock), msr.PkgPowerLimit)
+		w, enabled := msr.DecodePowerLimit(raw, 0.125)
+		if !enabled || w != 180 {
+			t.Fatalf("socket %d PL1 = %v W enabled=%v", sock, w, enabled)
+		}
+	}
+	if g.Name() != "default+cap180W" {
+		t.Fatalf("name = %q", g.Name())
+	}
+	if g.CapWatts() != 180 {
+		t.Fatalf("CapWatts = %v", g.CapWatts())
+	}
+	if g.Interval() != NewDefault().Interval() {
+		t.Fatal("interval not delegated")
+	}
+}
+
+func TestPowerCapValidation(t *testing.T) {
+	_, env := testEnv(t)
+	if err := WithPowerCap(NewDefault(), 0).Attach(env); err == nil {
+		t.Fatal("zero cap accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WithPowerCap(nil) did not panic")
+		}
+	}()
+	WithPowerCap(nil, 100)
+}
+
+func TestPowerCapDelegatesInvoke(t *testing.T) {
+	_, env := testEnv(t)
+	ups := NewUPS(UPSConfig{})
+	g := WithPowerCap(ups, 200)
+	if err := g.Attach(env); err != nil {
+		t.Fatal(err)
+	}
+	g.Invoke(500 * time.Millisecond)
+	inv, _, _, _ := ups.Stats()
+	if inv != 1 {
+		t.Fatalf("inner invocations = %d", inv)
+	}
+}
+
+func TestPowerCapWriteFailure(t *testing.T) {
+	s, env := testEnv(t)
+	s.FailWrites(msr.ErrInjected)
+	if err := WithPowerCap(NewDefault(), 200).Attach(env); err == nil {
+		t.Fatal("PL1 write failure not propagated")
+	}
+}

@@ -1,0 +1,79 @@
+package gpudvfs
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func newA100() *Clock { return New(210, 1410, 20*time.Millisecond) }
+
+func TestTargetShape(t *testing.T) {
+	c := newA100()
+	if got := c.Target(0); got != 210 {
+		t.Fatalf("idle target = %v", got)
+	}
+	if got := c.Target(0.5); got != 1410 {
+		t.Fatalf("loaded target = %v, want max (GPUs boost aggressively)", got)
+	}
+	if got := c.Target(0.15); got <= 210 || got >= 1410 {
+		t.Fatalf("light-load target = %v, want intermediate", got)
+	}
+}
+
+func TestBoostAndDecay(t *testing.T) {
+	c := newA100()
+	for i := 0; i < 200; i++ {
+		c.Step(0.9, time.Millisecond)
+	}
+	if c.Current() < 1400 {
+		t.Fatalf("boost clock = %v, want ≈1410", c.Current())
+	}
+	if rel := c.Rel(); rel < 0.99 || rel > 1.0 {
+		t.Fatalf("Rel = %v", rel)
+	}
+	for i := 0; i < 400; i++ {
+		c.Step(0, time.Millisecond)
+	}
+	if c.Current() > 215 {
+		t.Fatalf("decayed clock = %v, want ≈210", c.Current())
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := newA100()
+	c.Step(1, time.Second)
+	c.Reset()
+	if c.Current() != 210 {
+		t.Fatalf("Reset: %v", c.Current())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, c := range [][3]float64{{0, 100, 1}, {100, 100, 1}, {100, 200, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%v) did not panic", c)
+				}
+			}()
+			New(c[0], c[1], time.Duration(c[2])*time.Millisecond)
+		}()
+	}
+}
+
+func TestClockBounds(t *testing.T) {
+	prop := func(utils []uint8) bool {
+		c := newA100()
+		for _, u := range utils {
+			f := c.Step(float64(u%101)/100, 2*time.Millisecond)
+			if f < 210-1e-9 || f > 1410+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

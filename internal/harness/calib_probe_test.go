@@ -1,0 +1,59 @@
+package harness
+
+// Calibration probe: prints per-workload metrics for manual model
+// tuning. Run with:
+//   go test ./internal/harness/ -run TestCalibrationProbe -v -calib
+// It is skipped unless the -calib flag is set, so normal test runs stay
+// quiet and fast.
+
+import (
+	"flag"
+	"testing"
+
+	"github.com/spear-repro/magus/internal/core"
+	"github.com/spear-repro/magus/internal/governor"
+	"github.com/spear-repro/magus/internal/node"
+	"github.com/spear-repro/magus/internal/workload"
+)
+
+var calib = flag.Bool("calib", false, "run the calibration probe")
+
+func TestCalibrationProbe(t *testing.T) {
+	if !*calib {
+		t.Skip("calibration probe disabled (use -calib)")
+	}
+	cfg := node.IntelA100()
+	apps := workload.SingleGPU()
+	apps = append(apps, "srad")
+
+	for _, app := range apps {
+		prog, ok := workload.ByName(app)
+		if !ok {
+			t.Fatalf("unknown app %s", app)
+		}
+		base, err := Run(cfg, prog, governor.NewDefault(), Options{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		min, err := Run(cfg, prog, governor.NewStatic(cfg.UncoreMinGHz), Options{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		magus, err := Run(cfg, prog, core.New(core.DefaultConfig()), Options{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ups, err := Run(cfg, prog, governor.NewUPS(governor.UPSConfig{}), Options{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cMin := Compare(base, min)
+		cMagus := Compare(base, magus)
+		cUPS := Compare(base, ups)
+		t.Logf("%-22s base: %6.1fs %6.1fW cpu, %7.0fJ total | minpin: loss %5.1f%% pwr %5.1f%% en %5.1f%% | MAGUS: loss %5.1f%% pwr %5.1f%% en %5.1f%% | UPS: loss %5.1f%% pwr %5.1f%% en %5.1f%%",
+			app, base.RuntimeS, base.AvgCPUPowerW, base.TotalEnergyJ(),
+			cMin.PerfLossPct, cMin.PowerSavingPct, cMin.EnergySavingPct,
+			cMagus.PerfLossPct, cMagus.PowerSavingPct, cMagus.EnergySavingPct,
+			cUPS.PerfLossPct, cUPS.PowerSavingPct, cUPS.EnergySavingPct)
+	}
+}

@@ -1,0 +1,33 @@
+package harness
+
+import (
+	"flag"
+	"testing"
+
+	"github.com/spear-repro/magus/internal/core"
+	"github.com/spear-repro/magus/internal/node"
+	"github.com/spear-repro/magus/internal/workload"
+)
+
+var debugApp = flag.String("debugapp", "", "dump MAGUS decisions for one app")
+
+func TestDebugDecisions(t *testing.T) {
+	if *debugApp == "" {
+		t.Skip("debug probe disabled (use -debugapp=<name>)")
+	}
+	prog, ok := workload.ByName(*debugApp)
+	if !ok {
+		t.Fatalf("unknown app %q", *debugApp)
+	}
+	m := core.New(core.DefaultConfig())
+	m.OnDecision(func(d core.Decision) {
+		t.Logf("t=%6.1fs thr=%7.1f trend=%-5s hi=%-5v warm=%-5v target=%.1fGHz",
+			d.At.Seconds(), d.ThroughputGBs, d.Trend, d.HighFreq, d.Warmup, d.TargetGHz)
+	})
+	res, err := Run(node.IntelA100(), prog, m, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Stats()
+	t.Logf("runtime=%.1fs cpuW=%.1f stats=%+v", res.RuntimeS, res.AvgCPUPowerW, s)
+}

@@ -1,0 +1,257 @@
+// Package harness runs complete experiments: it wires a workload
+// runner, the node simulator, a governor and telemetry onto the
+// simulation engine, executes the run to completion, and reduces the
+// results into the paper's three metrics (§5):
+//
+//   - performance loss: percentage runtime increase versus baseline;
+//   - power saving: average CPU (package + DRAM) power reduction;
+//   - energy saving: total (CPU package + DRAM + GPU board)
+//     energy-to-solution reduction.
+//
+// Repeated runs use distinct seeds and the paper's outlier-trimmed
+// averaging (§6).
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/spear-repro/magus/internal/governor"
+	"github.com/spear-repro/magus/internal/node"
+	"github.com/spear-repro/magus/internal/pcm"
+	"github.com/spear-repro/magus/internal/rapl"
+	"github.com/spear-repro/magus/internal/sim"
+	"github.com/spear-repro/magus/internal/stats"
+	"github.com/spear-repro/magus/internal/telemetry"
+	"github.com/spear-repro/magus/internal/workload"
+)
+
+// Options controls a single run.
+type Options struct {
+	// Seed drives the workload's pseudo-random modulation.
+	Seed int64
+	// Step is the engine timestep (0 = sim.DefaultStep).
+	Step time.Duration
+	// TraceInterval enables telemetry recording at that period
+	// (0 = no traces). Figures 1/5/6 use 100 ms.
+	TraceInterval time.Duration
+	// Horizon bounds the run (0 = 4× nominal duration + 10 s).
+	Horizon time.Duration
+	// PCMNoise, when set, is installed as the measurement-noise
+	// transform on every PCM monitor the governor sees — robustness
+	// studies and failure injection.
+	PCMNoise func(gbs float64) float64
+}
+
+// Result is one run's outcome.
+type Result struct {
+	System   string
+	Workload string
+	Governor string
+
+	// RuntimeS is the application's end-to-end runtime in seconds.
+	RuntimeS float64
+	// AvgCPUPowerW is the run-average package+DRAM power.
+	AvgCPUPowerW float64
+	// Energy-to-solution components, joules.
+	PkgEnergyJ  float64
+	DramEnergyJ float64
+	GPUEnergyJ  float64
+
+	// Traces holds the recorder when Options.TraceInterval was set.
+	Traces *telemetry.Recorder
+}
+
+// TotalEnergyJ is the paper's energy metric: CPU package + DRAM + GPU
+// board energy.
+func (r Result) TotalEnergyJ() float64 { return r.PkgEnergyJ + r.DramEnergyJ + r.GPUEnergyJ }
+
+// Run executes prog on a node built from cfg under gov and returns the
+// metrics. The governor is attached fresh; governors are stateful and
+// must not be reused across runs.
+func Run(cfg node.Config, prog *workload.Program, gov governor.Governor, opt Options) (Result, error) {
+	eng := sim.NewEngine(opt.Step)
+	n := node.New(cfg)
+	runner := workload.NewRunner(prog, cfg.SystemBWGBs(), opt.Seed)
+	runner.SetAttained(n.AttainedGBs)
+
+	env, err := BuildEnv(n)
+	if err != nil {
+		return Result{}, err
+	}
+	if opt.PCMNoise != nil {
+		env.PCM.SetNoise(opt.PCMNoise)
+		for _, m := range env.SocketPCM {
+			m.SetNoise(opt.PCMNoise)
+		}
+	}
+	if err := gov.Attach(env); err != nil {
+		return Result{}, fmt.Errorf("harness: attach %s: %w", gov.Name(), err)
+	}
+
+	// Demand flows runner → node each step; the runner reads the
+	// node's service from the previous step.
+	eng.AddComponent(sim.ComponentFunc(func(now, dt time.Duration) {
+		runner.Step(now, dt)
+		n.SetDemand(runner.Demand())
+	}))
+	eng.AddComponent(n)
+
+	var rec *telemetry.Recorder
+	if opt.TraceInterval > 0 {
+		rec = NewNodeRecorder(n, opt.TraceInterval)
+		eng.AddComponent(rec)
+	}
+
+	eng.AddTask(&sim.Task{
+		Name:     gov.Name(),
+		Interval: gov.Interval(),
+		Fn:       gov.Invoke,
+	}, 0)
+
+	horizon := opt.Horizon
+	if horizon <= 0 {
+		horizon = prog.NominalDuration()*4 + 10*time.Second
+	}
+	if _, err := eng.RunUntil(runner.Done, horizon); err != nil {
+		return Result{}, fmt.Errorf("harness: %s/%s/%s: %w", cfg.Name, prog.Name, gov.Name(), err)
+	}
+
+	runtime := runner.Elapsed().Seconds()
+	pkgJ, drmJ, gpuJ := n.EnergyJ()
+	res := Result{
+		System:      cfg.Name,
+		Workload:    prog.Name,
+		Governor:    gov.Name(),
+		RuntimeS:    runtime,
+		PkgEnergyJ:  pkgJ,
+		DramEnergyJ: drmJ,
+		GPUEnergyJ:  gpuJ,
+		Traces:      rec,
+	}
+	if runtime > 0 {
+		res.AvgCPUPowerW = (pkgJ + drmJ) / runtime
+	}
+	return res, nil
+}
+
+// BuildEnv wires a governor environment onto a node: the node's MSR
+// device, a PCM monitor over its IMC traffic counter, a RAPL reader,
+// and the overhead-charging hook.
+func BuildEnv(n *node.Node) (*governor.Env, error) {
+	cfg := n.Config()
+	dev := n.MSRDevice()
+	raplReader, err := rapl.New(dev, cfg.Sockets, n.Space().FirstCPUOf)
+	if err != nil {
+		return nil, fmt.Errorf("harness: rapl: %w", err)
+	}
+	sockPCM := make([]*pcm.Monitor, cfg.Sockets)
+	for s := 0; s < cfg.Sockets; s++ {
+		sock := s
+		sockPCM[s] = pcm.New(func() float64 { return n.ServedGBSocket(sock) })
+	}
+	return &governor.Env{
+		Dev:          dev,
+		PCM:          pcm.New(n.ServedGB),
+		RAPL:         raplReader,
+		Sockets:      cfg.Sockets,
+		CPUs:         cfg.Sockets * cfg.CoresPerSocket,
+		FirstCPU:     n.Space().FirstCPUOf,
+		SocketPCM:    sockPCM,
+		UncoreMinGHz: cfg.UncoreMinGHz,
+		UncoreMaxGHz: cfg.UncoreMaxGHz,
+		Charge:       n.AddDaemonBusy,
+	}, nil
+}
+
+// NewNodeRecorder builds the standard telemetry set used by the trace
+// figures: memory throughput, uncore/core/GPU frequencies, and power by
+// domain.
+func NewNodeRecorder(n *node.Node, interval time.Duration) *telemetry.Recorder {
+	rec := telemetry.NewRecorder(interval)
+	rec.Track("mem_gbs", n.AttainedGBs)
+	rec.Track("uncore_ghz", func() float64 { return n.UncoreFreqGHz(0) })
+	rec.Track("cpu_power_w", n.CPUPowerW)
+	rec.Track("pkg0_power_w", func() float64 { return n.PkgPowerW(0) })
+	rec.Track("dram_power_w", func() float64 {
+		var p float64
+		for s := 0; s < n.Config().Sockets; s++ {
+			p += n.DramPowerW(s)
+		}
+		return p
+	})
+	for c := 0; c < 4 && c < n.Config().CoresPerSocket; c++ {
+		cpu := c
+		rec.Track(fmt.Sprintf("core%d_ghz", cpu), func() float64 { return n.CoreFreqGHz(cpu) })
+	}
+	if n.GPUCount() > 0 {
+		rec.Track("gpu0_clock_mhz", func() float64 { return n.GPUClockMHz(0) })
+		rec.Track("gpu0_power_w", func() float64 { return n.GPUPowerW(0) })
+	}
+	return rec
+}
+
+// GovernorFactory builds a fresh governor per run (they are stateful).
+type GovernorFactory func() governor.Governor
+
+// Comparison is the paper's three-metric comparison of a policy against
+// the baseline run.
+type Comparison struct {
+	PerfLossPct     float64
+	PowerSavingPct  float64
+	EnergySavingPct float64
+}
+
+// Compare reduces (baseline, candidate) results to the three metrics.
+func Compare(base, x Result) Comparison {
+	var c Comparison
+	if base.RuntimeS > 0 {
+		c.PerfLossPct = (x.RuntimeS - base.RuntimeS) / base.RuntimeS * 100
+	}
+	if base.AvgCPUPowerW > 0 {
+		c.PowerSavingPct = (base.AvgCPUPowerW - x.AvgCPUPowerW) / base.AvgCPUPowerW * 100
+	}
+	if be := base.TotalEnergyJ(); be > 0 {
+		c.EnergySavingPct = (be - x.TotalEnergyJ()) / be * 100
+	}
+	return c
+}
+
+// RunRepeated executes reps runs with distinct seeds and returns the
+// outlier-trimmed mean of every metric (§6's methodology).
+func RunRepeated(cfg node.Config, prog *workload.Program, factory GovernorFactory, reps int, opt Options) (Result, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	runtimes := make([]float64, 0, reps)
+	powers := make([]float64, 0, reps)
+	pkgs := make([]float64, 0, reps)
+	drams := make([]float64, 0, reps)
+	gpus := make([]float64, 0, reps)
+	var name string
+	for i := 0; i < reps; i++ {
+		o := opt
+		o.Seed = opt.Seed + int64(i)*7919
+		o.TraceInterval = 0 // traces only make sense per run
+		res, err := Run(cfg, prog, factory(), o)
+		if err != nil {
+			return Result{}, err
+		}
+		name = res.Governor
+		runtimes = append(runtimes, res.RuntimeS)
+		powers = append(powers, res.AvgCPUPowerW)
+		pkgs = append(pkgs, res.PkgEnergyJ)
+		drams = append(drams, res.DramEnergyJ)
+		gpus = append(gpus, res.GPUEnergyJ)
+	}
+	return Result{
+		System:       cfg.Name,
+		Workload:     prog.Name,
+		Governor:     name,
+		RuntimeS:     stats.TrimmedMean(runtimes),
+		AvgCPUPowerW: stats.TrimmedMean(powers),
+		PkgEnergyJ:   stats.TrimmedMean(pkgs),
+		DramEnergyJ:  stats.TrimmedMean(drams),
+		GPUEnergyJ:   stats.TrimmedMean(gpus),
+	}, nil
+}

@@ -1,0 +1,215 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"github.com/spear-repro/magus/internal/core"
+	"github.com/spear-repro/magus/internal/governor"
+	"github.com/spear-repro/magus/internal/node"
+	"github.com/spear-repro/magus/internal/workload"
+)
+
+func TestRunCompletesAndAccounts(t *testing.T) {
+	cfg := node.IntelA100()
+	prog, _ := workload.ByName("bfs")
+	res, err := Run(cfg, prog, governor.NewDefault(), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.System != "Intel+A100" || res.Workload != "bfs" || res.Governor != "default" {
+		t.Fatalf("labels: %+v", res)
+	}
+	nominal := prog.NominalDuration().Seconds()
+	if res.RuntimeS < nominal*0.99 || res.RuntimeS > nominal*1.2 {
+		t.Fatalf("runtime %.2f s vs nominal %.2f s", res.RuntimeS, nominal)
+	}
+	if res.PkgEnergyJ <= 0 || res.DramEnergyJ <= 0 || res.GPUEnergyJ <= 0 {
+		t.Fatalf("energy components: %+v", res)
+	}
+	if res.TotalEnergyJ() != res.PkgEnergyJ+res.DramEnergyJ+res.GPUEnergyJ {
+		t.Fatal("TotalEnergyJ inconsistent")
+	}
+	// Average power = energy / time must be physically plausible.
+	if res.AvgCPUPowerW < 80 || res.AvgCPUPowerW > 400 {
+		t.Fatalf("avg CPU power %.1f W implausible", res.AvgCPUPowerW)
+	}
+	if res.Traces != nil {
+		t.Fatal("traces recorded without TraceInterval")
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	cfg := node.IntelA100()
+	prog, _ := workload.ByName("srad")
+	a, err := Run(cfg, prog, core.New(core.DefaultConfig()), Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, prog, core.New(core.DefaultConfig()), Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RuntimeS != b.RuntimeS || a.PkgEnergyJ != b.PkgEnergyJ || a.GPUEnergyJ != b.GPUEnergyJ {
+		t.Fatalf("same-seed runs diverged: %+v vs %+v", a, b)
+	}
+	c, err := Run(cfg, prog, core.New(core.DefaultConfig()), Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PkgEnergyJ == c.PkgEnergyJ {
+		t.Fatal("different seeds produced identical energy")
+	}
+}
+
+func TestRunHorizonError(t *testing.T) {
+	cfg := node.IntelA100()
+	prog, _ := workload.ByName("unet")
+	_, err := Run(cfg, prog, governor.NewDefault(), Options{Seed: 1, Horizon: time.Second})
+	if err == nil {
+		t.Fatal("expected horizon error for a 1 s bound on a ~50 s app")
+	}
+}
+
+func TestRunAttachFailure(t *testing.T) {
+	cfg := node.IntelA100()
+	prog, _ := workload.ByName("bfs")
+	// Static pin outside the hardware range fails at attach.
+	if _, err := Run(cfg, prog, governor.NewStatic(9.9), Options{Seed: 1}); err == nil {
+		t.Fatal("attach failure not propagated")
+	}
+}
+
+func TestCompareMetrics(t *testing.T) {
+	base := Result{RuntimeS: 100, AvgCPUPowerW: 200, PkgEnergyJ: 15000, DramEnergyJ: 5000, GPUEnergyJ: 10000}
+	x := Result{RuntimeS: 104, AvgCPUPowerW: 150, PkgEnergyJ: 11000, DramEnergyJ: 4600, GPUEnergyJ: 10400}
+	c := Compare(base, x)
+	if c.PerfLossPct != 4 {
+		t.Fatalf("PerfLossPct = %v", c.PerfLossPct)
+	}
+	if c.PowerSavingPct != 25 {
+		t.Fatalf("PowerSavingPct = %v", c.PowerSavingPct)
+	}
+	want := (30000.0 - 26000.0) / 30000.0 * 100
+	if c.EnergySavingPct != want {
+		t.Fatalf("EnergySavingPct = %v, want %v", c.EnergySavingPct, want)
+	}
+	// Zero baseline: metrics stay zero rather than dividing by zero.
+	if z := Compare(Result{}, x); z.PerfLossPct != 0 || z.PowerSavingPct != 0 || z.EnergySavingPct != 0 {
+		t.Fatalf("zero-baseline comparison: %+v", z)
+	}
+}
+
+func TestRunRepeatedAggregates(t *testing.T) {
+	cfg := node.IntelA100()
+	prog, _ := workload.ByName("where")
+	res, err := RunRepeated(cfg, prog,
+		func() governor.Governor { return core.New(core.DefaultConfig()) },
+		3, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Governor != "magus" {
+		t.Fatalf("governor label %q", res.Governor)
+	}
+	// The aggregate must be close to any single run.
+	single, err := Run(cfg, prog, core.New(core.DefaultConfig()), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := res.RuntimeS / single.RuntimeS; rel < 0.9 || rel > 1.1 {
+		t.Fatalf("aggregate runtime %.2f vs single %.2f", res.RuntimeS, single.RuntimeS)
+	}
+	// Repeats must use distinct seeds: traces disabled, metrics differ
+	// slightly between individual repeats, but the trimmed mean is
+	// stable across calls.
+	res2, err := RunRepeated(cfg, prog,
+		func() governor.Governor { return core.New(core.DefaultConfig()) },
+		3, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RuntimeS != res2.RuntimeS {
+		t.Fatal("RunRepeated not deterministic for a fixed base seed")
+	}
+}
+
+func TestBuildEnvWiring(t *testing.T) {
+	n := node.New(node.IntelA100())
+	env, err := BuildEnv(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if env.Sockets != 2 || env.CPUs != 80 {
+		t.Fatalf("topology: %d/%d", env.Sockets, env.CPUs)
+	}
+	if env.UncoreMinGHz != 0.8 || env.UncoreMaxGHz != 2.2 {
+		t.Fatalf("uncore range: %v-%v", env.UncoreMinGHz, env.UncoreMaxGHz)
+	}
+	// The env's Charge hook must reach the node.
+	env.Charge(50*time.Millisecond, 1, 2)
+	n.Step(0, time.Millisecond)
+	if n.DaemonBusySeconds() <= 0 {
+		t.Fatal("Charge did not reach the node")
+	}
+}
+
+func TestNodeRecorderProbes(t *testing.T) {
+	n := node.New(node.Intel4A100())
+	rec := NewNodeRecorder(n, 50*time.Millisecond)
+	names := rec.Names()
+	want := []string{"mem_gbs", "uncore_ghz", "cpu_power_w", "gpu0_clock_mhz"}
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("probe %q missing (have %v)", w, names)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		n.Step(time.Duration(i)*time.Millisecond, time.Millisecond)
+		rec.Step(time.Duration(i)*time.Millisecond, time.Millisecond)
+	}
+	if rec.Series("cpu_power_w").Len() != 4 {
+		t.Fatalf("sampled %d points over 200ms at 50ms", rec.Series("cpu_power_w").Len())
+	}
+}
+
+// Cross-check: the RAPL view a governor sees must agree with the
+// node's ground-truth energy accounting.
+func TestRAPLAgreesWithGroundTruth(t *testing.T) {
+	cfg := node.IntelA100()
+	n := node.New(cfg)
+	env, err := BuildEnv(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetDemand(workload.Demand{MemGBs: 120, CPUBusyCores: 10, MemBoundFrac: 0.5})
+	if _, err := env.RAPL.Sample(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		n.Step(time.Duration(i)*time.Millisecond, time.Millisecond)
+	}
+	s, err := env.RAPL.Sample(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgJ, drmJ, _ := n.EnergyJ()
+	raplPkg := env.RAPL.TotalPkgJ()
+	raplDrm := env.RAPL.TotalDramJ()
+	if rel := raplPkg / pkgJ; rel < 0.999 || rel > 1.001 {
+		t.Fatalf("RAPL pkg %.2f J vs ground truth %.2f J", raplPkg, pkgJ)
+	}
+	if rel := raplDrm / drmJ; rel < 0.999 || rel > 1.001 {
+		t.Fatalf("RAPL dram %.2f J vs ground truth %.2f J", raplDrm, drmJ)
+	}
+	if s.TotalCPUW() < 100 {
+		t.Fatalf("sampled CPU power %.1f W implausible", s.TotalCPUW())
+	}
+}

@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/spear-repro/magus/internal/telemetry"
+)
+
+// Record is the durable, JSON-serialisable form of a run's results —
+// what magusd -record writes so runs can be archived, diffed and
+// re-plotted without re-simulating.
+type Record struct {
+	System   string `json:"system"`
+	Workload string `json:"workload"`
+	Governor string `json:"governor"`
+	Seed     int64  `json:"seed"`
+
+	RuntimeS     float64 `json:"runtime_s"`
+	AvgCPUPowerW float64 `json:"avg_cpu_power_w"`
+	PkgEnergyJ   float64 `json:"pkg_energy_j"`
+	DramEnergyJ  float64 `json:"dram_energy_j"`
+	GPUEnergyJ   float64 `json:"gpu_energy_j"`
+	TotalEnergyJ float64 `json:"total_energy_j"`
+
+	// Traces holds the recorded series (when the run was traced),
+	// keyed by probe name.
+	Traces map[string]TraceJSON `json:"traces,omitempty"`
+}
+
+// TraceJSON is one serialised time series.
+type TraceJSON struct {
+	TimesS []float64 `json:"times_s"`
+	Values []float64 `json:"values"`
+}
+
+// NewRecord converts a Result (and the seed that produced it) into a
+// Record, including any traces.
+func NewRecord(res Result, seed int64) Record {
+	rec := Record{
+		System:       res.System,
+		Workload:     res.Workload,
+		Governor:     res.Governor,
+		Seed:         seed,
+		RuntimeS:     res.RuntimeS,
+		AvgCPUPowerW: res.AvgCPUPowerW,
+		PkgEnergyJ:   res.PkgEnergyJ,
+		DramEnergyJ:  res.DramEnergyJ,
+		GPUEnergyJ:   res.GPUEnergyJ,
+		TotalEnergyJ: res.TotalEnergyJ(),
+	}
+	if res.Traces != nil {
+		rec.Traces = make(map[string]TraceJSON)
+		for _, name := range res.Traces.Names() {
+			s := res.Traces.Series(name)
+			rec.Traces[name] = TraceJSON{
+				TimesS: append([]float64(nil), s.Times...),
+				Values: append([]float64(nil), s.Values...),
+			}
+		}
+	}
+	return rec
+}
+
+// Write encodes the record as indented JSON.
+func (r Record) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadRecord decodes a record and sanity-checks it.
+func ReadRecord(r io.Reader) (Record, error) {
+	var rec Record
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rec); err != nil {
+		return Record{}, fmt.Errorf("harness: decode record: %w", err)
+	}
+	if rec.RuntimeS <= 0 {
+		return Record{}, fmt.Errorf("harness: record without a runtime")
+	}
+	for name, tr := range rec.Traces {
+		if len(tr.TimesS) != len(tr.Values) {
+			return Record{}, fmt.Errorf("harness: trace %q times/values mismatch", name)
+		}
+	}
+	return rec, nil
+}
+
+// Series reconstructs a telemetry series from a stored trace; ok is
+// false when the record has no trace under that name.
+func (r Record) Series(name string) (*telemetry.Series, bool) {
+	tr, ok := r.Traces[name]
+	if !ok {
+		return nil, false
+	}
+	return &telemetry.Series{
+		Times:  append([]float64(nil), tr.TimesS...),
+		Values: append([]float64(nil), tr.Values...),
+	}, true
+}

@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/spear-repro/magus/internal/core"
+	"github.com/spear-repro/magus/internal/node"
+	"github.com/spear-repro/magus/internal/workload"
+)
+
+func TestRecordRoundtrip(t *testing.T) {
+	cfg := node.IntelA100()
+	prog, _ := workload.ByName("gemm")
+	res, err := Run(cfg, prog, core.New(core.DefaultConfig()),
+		Options{Seed: 4, TraceInterval: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecord(res, 4)
+	var buf bytes.Buffer
+	if err := rec.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRecord(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.RuntimeS != res.RuntimeS || back.TotalEnergyJ != res.TotalEnergyJ() || back.Seed != 4 {
+		t.Fatalf("roundtrip: %+v", back)
+	}
+	s, ok := back.Series("uncore_ghz")
+	if !ok || s.Len() < 10 {
+		t.Fatal("trace missing from record")
+	}
+	orig := res.Traces.Series("uncore_ghz")
+	for i := range orig.Values {
+		if s.Values[i] != orig.Values[i] {
+			t.Fatalf("trace value drift at %d", i)
+		}
+	}
+	if _, ok := back.Series("nonexistent"); ok {
+		t.Fatal("unknown series reported ok")
+	}
+}
+
+func TestRecordWithoutTraces(t *testing.T) {
+	rec := NewRecord(Result{System: "x", Workload: "y", Governor: "z", RuntimeS: 1}, 1)
+	if rec.Traces != nil {
+		t.Fatal("traces map created for traceless run")
+	}
+	var buf bytes.Buffer
+	rec.Write(&buf)
+	if _, err := ReadRecord(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRecordErrors(t *testing.T) {
+	for label, js := range map[string]string{
+		"bad json":    "{",
+		"unknown":     `{"runtime_s":1,"bogus":2}`,
+		"no runtime":  `{"system":"x"}`,
+		"trace shape": `{"runtime_s":1,"traces":{"a":{"times_s":[1,2],"values":[1]}}}`,
+	} {
+		if _, err := ReadRecord(strings.NewReader(js)); err == nil {
+			t.Errorf("%s: accepted", label)
+		}
+	}
+}

@@ -1,0 +1,258 @@
+// Package hsmp models AMD's Host System Management Port — the
+// mailbox interface the amd_hsmp driver exposes on EPYC systems — far
+// enough to demonstrate the paper's §6.6 claim: MAGUS's core logic
+// ports to non-Intel processors whose "uncore" is the Infinity
+// Fabric, provided the platform offers (a) a memory-bandwidth
+// telemetry source and (b) a fabric frequency control.
+//
+// On EPYC those are the HSMP GET_DDR_BANDWIDTH telemetry message and
+// the APB/Data-Fabric P-state control (SET_DF_PSTATE, four discrete
+// states P0–P3). This package implements the mailbox over the node
+// simulator and an msr.Device adapter that translates the runtime's
+// uncore ratio-limit writes into DF P-state selections — so the
+// unmodified MAGUS (and any other governor that only touches the
+// uncore limit) drives an AMD-style node end to end.
+package hsmp
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/spear-repro/magus/internal/governor"
+	"github.com/spear-repro/magus/internal/msr"
+	"github.com/spear-repro/magus/internal/node"
+	"github.com/spear-repro/magus/internal/pcm"
+	"github.com/spear-repro/magus/internal/power"
+)
+
+// Function is an HSMP mailbox message identifier. Values follow the
+// amd_hsmp driver's message enumeration shape (not byte-exact).
+type Function uint32
+
+// Supported mailbox functions.
+const (
+	// GetSocketPower returns the socket's power draw in mW.
+	GetSocketPower Function = 0x04
+	// GetDDRBandwidth returns [maxBW, utilizedBW, utilPct] with
+	// bandwidths in GB/s ×10 (the driver reports tenths).
+	GetDDRBandwidth Function = 0x14
+	// SetDFPstate pins the Data-Fabric P-state (arg: 0..3, lower is
+	// faster); arg 0xFFFFFFFF restores automatic selection.
+	SetDFPstate Function = 0x06
+	// GetDFPstate reports the current fabric P-state.
+	GetDFPstate Function = 0x07
+	// GetFclkMclk returns [fabric clock MHz, memory clock MHz].
+	GetFclkMclk Function = 0x08
+)
+
+// AutoPstate is the SetDFPstate argument restoring automatic control.
+const AutoPstate = 0xFFFFFFFF
+
+// Errors.
+var (
+	ErrBadSocket   = fmt.Errorf("hsmp: socket out of range")
+	ErrBadFunction = fmt.Errorf("hsmp: unsupported function")
+	ErrBadArgument = fmt.Errorf("hsmp: bad argument")
+)
+
+// Mailbox is the simulated HSMP endpoint for one node. P-state writes
+// land on the node's uncore (fabric) limit; telemetry reads come from
+// the node's live state. Safe for concurrent use.
+type Mailbox struct {
+	mu     sync.Mutex
+	node   *node.Node
+	levels []float64 // fabric GHz per P-state, P0 first (fastest)
+	cur    []int     // current P-state per socket (-1 = auto)
+}
+
+// NewMailbox builds a mailbox over n. The four DF P-states are spread
+// evenly across the node's uncore (fabric) frequency range.
+func NewMailbox(n *node.Node) *Mailbox {
+	cfg := n.Config()
+	levels := make([]float64, 4)
+	span := cfg.UncoreMaxGHz - cfg.UncoreMinGHz
+	for i := range levels {
+		levels[i] = cfg.UncoreMaxGHz - span*float64(i)/3
+	}
+	cur := make([]int, cfg.Sockets)
+	for i := range cur {
+		cur[i] = -1 // auto
+	}
+	return &Mailbox{node: n, levels: levels, cur: cur}
+}
+
+// Levels returns the fabric frequency (GHz) of each DF P-state.
+func (m *Mailbox) Levels() []float64 { return append([]float64(nil), m.levels...) }
+
+// Call executes one mailbox message and returns its response words.
+func (m *Mailbox) Call(socket int, fn Function, args []uint32) ([]uint32, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cfg := m.node.Config()
+	if socket < 0 || socket >= cfg.Sockets {
+		return nil, fmt.Errorf("%w: %d", ErrBadSocket, socket)
+	}
+	switch fn {
+	case GetSocketPower:
+		mw := uint32(m.node.PkgPowerW(socket) * 1000)
+		return []uint32{mw}, nil
+
+	case GetDDRBandwidth:
+		maxBW := cfg.BWAt(cfg.UncoreMaxGHz)
+		served := m.node.AttainedGBs() / float64(cfg.Sockets)
+		utilPct := uint32(0)
+		if maxBW > 0 {
+			utilPct = uint32(served / maxBW * 100)
+		}
+		return []uint32{uint32(maxBW * 10), uint32(served * 10), utilPct}, nil
+
+	case SetDFPstate:
+		if len(args) != 1 {
+			return nil, fmt.Errorf("%w: SetDFPstate wants 1 arg", ErrBadArgument)
+		}
+		if args[0] == AutoPstate {
+			m.cur[socket] = -1
+			return nil, m.writeFabric(socket, cfg.UncoreMaxGHz)
+		}
+		p := int(args[0])
+		if p < 0 || p >= len(m.levels) {
+			return nil, fmt.Errorf("%w: P-state %d", ErrBadArgument, p)
+		}
+		m.cur[socket] = p
+		return nil, m.writeFabric(socket, m.levels[p])
+
+	case GetDFPstate:
+		p := m.cur[socket]
+		if p < 0 {
+			// Auto: report the state nearest the live frequency.
+			p = m.nearestLevel(m.node.UncoreFreqGHz(socket))
+		}
+		return []uint32{uint32(p)}, nil
+
+	case GetFclkMclk:
+		fclk := uint32(m.node.UncoreFreqGHz(socket) * 1000)
+		mclk := uint32(3200) // DDR transfer clock, fixed
+		return []uint32{fclk, mclk}, nil
+	}
+	return nil, fmt.Errorf("%w: %#x", ErrBadFunction, uint32(fn))
+}
+
+// writeFabric pins the fabric limit through the node's register file
+// (the fabric and the Intel uncore share the node's limit plumbing).
+func (m *Mailbox) writeFabric(socket int, ghz float64) error {
+	dev := m.node.MSRDevice()
+	cpu := m.node.Space().FirstCPUOf(socket)
+	old, err := dev.Read(cpu, msr.UncoreRatioLimit)
+	if err != nil {
+		return err
+	}
+	return dev.Write(cpu, msr.UncoreRatioLimit, msr.WithUncoreMax(old, ghz*1e9))
+}
+
+// nearestLevel maps a frequency to the closest P-state index.
+func (m *Mailbox) nearestLevel(ghz float64) int {
+	best, bestD := 0, -1.0
+	for i, l := range m.levels {
+		d := l - ghz
+		if d < 0 {
+			d = -d
+		}
+		if bestD < 0 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// fabricDevice adapts the HSMP mailbox to the msr.Device interface the
+// runtimes drive: uncore ratio-limit writes become DF P-state
+// selections quantised to the four fabric states; reads synthesise the
+// register from the current P-state. Any other register is rejected —
+// on AMD there is no Intel-style PCM/fixed-counter surface, which is
+// exactly why MAGUS's single-signal design matters for portability
+// (UPS, which sweeps per-core Intel counters, cannot attach).
+type fabricDevice struct {
+	mb *Mailbox
+}
+
+// Read implements msr.Device.
+func (d fabricDevice) Read(cpu int, reg uint32) (uint64, error) {
+	if reg != msr.UncoreRatioLimit {
+		return 0, fmt.Errorf("%w: register %#x has no HSMP equivalent", ErrBadFunction, reg)
+	}
+	cfg := d.mb.node.Config()
+	socket := d.mb.node.Space().SocketOf(cpu)
+	resp, err := d.mb.Call(socket, GetDFPstate, nil)
+	if err != nil {
+		return 0, err
+	}
+	ghz := d.mb.levels[resp[0]]
+	return msr.EncodeUncoreLimit(ghz*1e9, cfg.UncoreMinGHz*1e9), nil
+}
+
+// Write implements msr.Device.
+func (d fabricDevice) Write(cpu int, reg uint32, val uint64) error {
+	if reg != msr.UncoreRatioLimit {
+		return fmt.Errorf("%w: register %#x has no HSMP equivalent", ErrBadFunction, reg)
+	}
+	maxHz, _ := msr.DecodeUncoreLimit(val)
+	socket := d.mb.node.Space().SocketOf(cpu)
+	p := d.mb.nearestLevel(maxHz / 1e9)
+	_, err := d.mb.Call(socket, SetDFPstate, []uint32{uint32(p)})
+	return err
+}
+
+// BuildEnv wires a governor environment for an AMD-style node: fabric
+// control through the HSMP adapter, memory throughput from the node's
+// DDR traffic telemetry. RAPL is absent (AMD exposes socket power via
+// the mailbox instead), so IPC-sweeping governors cannot attach —
+// MAGUS can.
+func BuildEnv(n *node.Node, mb *Mailbox) *governor.Env {
+	cfg := n.Config()
+	return &governor.Env{
+		Dev:          fabricDevice{mb: mb},
+		PCM:          pcm.New(n.ServedGB),
+		Sockets:      cfg.Sockets,
+		CPUs:         cfg.Sockets * cfg.CoresPerSocket,
+		FirstCPU:     n.Space().FirstCPUOf,
+		UncoreMinGHz: cfg.UncoreMinGHz,
+		UncoreMaxGHz: cfg.UncoreMaxGHz,
+		Charge:       n.AddDaemonBusy,
+	}
+}
+
+// AMDEpycMI250 returns an EPYC-class heterogeneous node: two 64-core
+// sockets whose Infinity Fabric spans 0.8–2.0 GHz, with one MI250-like
+// accelerator. Power coefficients follow the same calibration
+// methodology as the Intel presets (DESIGN.md §2); the fabric's
+// dynamic range is a somewhat smaller share of package power than an
+// Ice Lake uncore, as EPYC measurements suggest.
+func AMDEpycMI250() node.Config {
+	return node.Config{
+		Name:           "AMD+MI250",
+		Sockets:        2,
+		CoresPerSocket: 64,
+		CoreMinGHz:     1.5,
+		CoreBaseGHz:    2.4,
+		CoreMaxGHz:     3.7,
+		UncoreMinGHz:   0.8,
+		UncoreMaxGHz:   2.0,
+		TDPWatts:       360,
+		BWPerSocketGBs: 230,
+		BWFloorFrac:    0.18,
+		Core:           power.CoreParams{IdleWatts: 45, MaxPerCoreWatts: 2.2, FreqExp: 2.4},
+		Uncore:         power.UncoreParams{BaseWatts: 9, DynMaxWatts: 38, TrafficWattsPerGBs: 0.03},
+		Dram:           power.DramParams{IdleWatts: 11, WattsPerGBs: 0.14},
+		GPUs: []node.GPUSpec{{
+			Model:        "MI250",
+			Power:        power.GPUParams{IdleWatts: 90, MaxWatts: 560, ComputeShare: 0.7},
+			IdleClockMHz: 800,
+			MaxClockMHz:  1700,
+		}},
+		UncoreTau: 6e6, // 6 ms, as time.Duration nanoseconds
+		CoreTau:   5e6,
+		GPUTau:    25e6,
+		TDPClamp:  true,
+		CoreIPC:   2.0,
+	}
+}

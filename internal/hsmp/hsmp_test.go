@@ -1,0 +1,214 @@
+package hsmp
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/spear-repro/magus/internal/core"
+	"github.com/spear-repro/magus/internal/msr"
+	"github.com/spear-repro/magus/internal/node"
+	"github.com/spear-repro/magus/internal/workload"
+)
+
+func newAMD(t *testing.T) (*node.Node, *Mailbox) {
+	t.Helper()
+	cfg := AMDEpycMI250()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	n := node.New(cfg)
+	return n, NewMailbox(n)
+}
+
+func stepFor(n *node.Node, d time.Duration) {
+	for t := time.Duration(0); t < d; t += time.Millisecond {
+		n.Step(t, time.Millisecond)
+	}
+}
+
+func TestPstateLevels(t *testing.T) {
+	_, mb := newAMD(t)
+	lv := mb.Levels()
+	if len(lv) != 4 {
+		t.Fatalf("levels = %v", lv)
+	}
+	if lv[0] != 2.0 || lv[3] != 0.8 {
+		t.Fatalf("P0/P3 = %v/%v, want fabric range ends", lv[0], lv[3])
+	}
+	for i := 1; i < len(lv); i++ {
+		if lv[i] >= lv[i-1] {
+			t.Fatalf("levels not descending: %v", lv)
+		}
+	}
+}
+
+func TestSetDFPstateControlsFabric(t *testing.T) {
+	n, mb := newAMD(t)
+	stepFor(n, 100*time.Millisecond)
+	if f := n.UncoreFreqGHz(0); f < 1.95 {
+		t.Fatalf("auto fabric = %v, want ≈2.0", f)
+	}
+	for sock := 0; sock < 2; sock++ {
+		if _, err := mb.Call(sock, SetDFPstate, []uint32{3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stepFor(n, 100*time.Millisecond)
+	for sock := 0; sock < 2; sock++ {
+		if f := n.UncoreFreqGHz(sock); f > 0.85 {
+			t.Fatalf("fabric socket %d = %v after P3, want ≈0.8", sock, f)
+		}
+	}
+	resp, err := mb.Call(0, GetDFPstate, nil)
+	if err != nil || resp[0] != 3 {
+		t.Fatalf("GetDFPstate = %v, %v", resp, err)
+	}
+	// Auto restores the fast state.
+	if _, err := mb.Call(0, SetDFPstate, []uint32{AutoPstate}); err != nil {
+		t.Fatal(err)
+	}
+	stepFor(n, 100*time.Millisecond)
+	if f := n.UncoreFreqGHz(0); f < 1.95 {
+		t.Fatalf("fabric after auto = %v", f)
+	}
+}
+
+func TestTelemetryMessages(t *testing.T) {
+	n, mb := newAMD(t)
+	n.SetDemand(workload.Demand{MemGBs: 200, CPUBusyCores: 16, MemBoundFrac: 0.5})
+	stepFor(n, 200*time.Millisecond)
+
+	resp, err := mb.Call(0, GetSocketPower, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := float64(resp[0]) / 1000; w < 50 || w > 360 {
+		t.Fatalf("socket power = %v W", w)
+	}
+
+	resp, err = mb.Call(0, GetDDRBandwidth, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxBW, used := float64(resp[0])/10, float64(resp[1])/10
+	if maxBW != 230 {
+		t.Fatalf("max BW = %v", maxBW)
+	}
+	if used < 95 || used > 105 { // 200 GB/s over 2 sockets
+		t.Fatalf("utilized BW = %v, want ≈100", used)
+	}
+	if resp[2] < 40 || resp[2] > 50 {
+		t.Fatalf("util%% = %d", resp[2])
+	}
+
+	resp, err = mb.Call(0, GetFclkMclk, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp[0] < 1950 || resp[0] > 2050 || resp[1] != 3200 {
+		t.Fatalf("fclk/mclk = %v", resp)
+	}
+}
+
+func TestMailboxErrors(t *testing.T) {
+	_, mb := newAMD(t)
+	if _, err := mb.Call(5, GetSocketPower, nil); !errors.Is(err, ErrBadSocket) {
+		t.Fatalf("bad socket: %v", err)
+	}
+	if _, err := mb.Call(0, Function(0xFF), nil); !errors.Is(err, ErrBadFunction) {
+		t.Fatalf("bad function: %v", err)
+	}
+	if _, err := mb.Call(0, SetDFPstate, nil); !errors.Is(err, ErrBadArgument) {
+		t.Fatalf("missing arg: %v", err)
+	}
+	if _, err := mb.Call(0, SetDFPstate, []uint32{9}); !errors.Is(err, ErrBadArgument) {
+		t.Fatalf("bad pstate: %v", err)
+	}
+}
+
+func TestFabricDeviceAdapter(t *testing.T) {
+	n, mb := newAMD(t)
+	env := BuildEnv(n, mb)
+	if err := env.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// A ratio-limit write quantises to the nearest P-state.
+	if err := env.SetUncoreMax(0.9); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := mb.Call(0, GetDFPstate, nil)
+	if resp[0] != 3 { // 0.9 GHz rounds to P3 (0.8)
+		t.Fatalf("P-state after 0.9 GHz write = %d, want 3", resp[0])
+	}
+	if err := env.SetUncoreMax(1.5); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ = mb.Call(0, GetDFPstate, nil)
+	if lv := mb.Levels()[resp[0]]; lv < 1.2 || lv > 1.6 {
+		t.Fatalf("1.5 GHz write mapped to %v GHz", lv)
+	}
+	// Registers without an HSMP equivalent are rejected.
+	if _, err := env.Dev.Read(0, msr.FixedCtrInstRetired); err == nil {
+		t.Fatal("fixed-counter read accepted on AMD")
+	}
+	if err := env.Dev.Write(0, msr.PkgPowerLimit, 1); err == nil {
+		t.Fatal("power-limit write accepted on AMD")
+	}
+}
+
+// The §6.6 claim, end to end: the unmodified MAGUS runtime drives the
+// EPYC-style node through the HSMP adapter and saves energy on a GPU
+// workload with bounded loss.
+func TestMAGUSOnAMDFabric(t *testing.T) {
+	cfg := AMDEpycMI250()
+	prog, ok := workload.ByName("unet")
+	if !ok {
+		t.Fatal("unet missing")
+	}
+	run := func(attachMagus bool) (runtime, cpuJ, gpuJ float64) {
+		n := node.New(cfg)
+		mb := NewMailbox(n)
+		runner := workload.NewRunner(prog, cfg.SystemBWGBs(), 1)
+		runner.SetAttained(n.AttainedGBs)
+		var m *core.MAGUS
+		if attachMagus {
+			m = core.New(core.DefaultConfig())
+			if err := m.Attach(BuildEnv(n, mb)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var now time.Duration
+		next := time.Duration(0)
+		for !runner.Done() && now < 5*time.Minute {
+			if m != nil && now >= next {
+				d := m.Invoke(now)
+				if d <= 0 {
+					d = m.Interval()
+				}
+				next = now + d
+			}
+			runner.Step(now, time.Millisecond)
+			n.SetDemand(runner.Demand())
+			n.Step(now, time.Millisecond)
+			now += time.Millisecond
+		}
+		if !runner.Done() {
+			t.Fatal("run did not complete")
+		}
+		pkgJ, drmJ, gJ := n.EnergyJ()
+		return runner.Elapsed().Seconds(), pkgJ + drmJ, gJ
+	}
+
+	baseT, baseCPU, baseGPU := run(false)
+	magT, magCPU, magGPU := run(true)
+
+	loss := (magT - baseT) / baseT * 100
+	if loss > 5 {
+		t.Fatalf("MAGUS-on-AMD perf loss = %.1f %%", loss)
+	}
+	saving := (baseCPU + baseGPU - magCPU - magGPU) / (baseCPU + baseGPU) * 100
+	if saving < 2 {
+		t.Fatalf("MAGUS-on-AMD energy saving = %.1f %%, want clearly positive", saving)
+	}
+}

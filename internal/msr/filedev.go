@@ -1,0 +1,99 @@
+package msr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// FileDevice accesses real MSRs through the Linux msr character devices
+// (/dev/cpu/N/msr), the same interface the paper's C++ runtime and the
+// wrmsr utility use. Reads and writes are 8-byte pread/pwrite at the
+// register address. Requires the msr kernel module and root (or
+// CAP_SYS_RAWIO); on machines without that access every call returns an
+// error and callers fall back to the simulated Space.
+//
+// File handles are opened lazily per CPU and cached.
+type FileDevice struct {
+	// Dir is the msr device directory, default "/dev/cpu". Tests point
+	// it at a fixture tree.
+	Dir string
+
+	mu    sync.Mutex
+	files map[int]*os.File
+}
+
+// NewFileDevice returns a FileDevice rooted at dir (empty = /dev/cpu).
+func NewFileDevice(dir string) *FileDevice {
+	if dir == "" {
+		dir = "/dev/cpu"
+	}
+	return &FileDevice{Dir: dir, files: make(map[int]*os.File)}
+}
+
+// Available reports whether the msr device for cpu0 exists (it does not
+// check permissions).
+func (d *FileDevice) Available() bool {
+	_, err := os.Stat(fmt.Sprintf("%s/0/msr", d.Dir))
+	return err == nil
+}
+
+func (d *FileDevice) file(cpu int) (*os.File, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if f, ok := d.files[cpu]; ok {
+		return f, nil
+	}
+	f, err := os.OpenFile(fmt.Sprintf("%s/%d/msr", d.Dir, cpu), os.O_RDWR, 0)
+	if err != nil {
+		// Retry read-only: monitoring-only deployments.
+		f, err = os.Open(fmt.Sprintf("%s/%d/msr", d.Dir, cpu))
+		if err != nil {
+			return nil, fmt.Errorf("msr: open cpu %d: %w", cpu, err)
+		}
+	}
+	d.files[cpu] = f
+	return f, nil
+}
+
+// Read implements Device.
+func (d *FileDevice) Read(cpu int, reg uint32) (uint64, error) {
+	f, err := d.file(cpu)
+	if err != nil {
+		return 0, err
+	}
+	var buf [8]byte
+	if _, err := f.ReadAt(buf[:], int64(reg)); err != nil {
+		return 0, fmt.Errorf("msr: read cpu %d reg %#x: %w", cpu, reg, err)
+	}
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}
+
+// Write implements Device.
+func (d *FileDevice) Write(cpu int, reg uint32, val uint64) error {
+	f, err := d.file(cpu)
+	if err != nil {
+		return err
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], val)
+	if _, err := f.WriteAt(buf[:], int64(reg)); err != nil {
+		return fmt.Errorf("msr: write cpu %d reg %#x: %w", cpu, reg, err)
+	}
+	return nil
+}
+
+// Close releases all cached file handles.
+func (d *FileDevice) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var first error
+	for cpu, f := range d.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(d.files, cpu)
+	}
+	return first
+}

@@ -1,0 +1,119 @@
+package msr
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fixtureDev builds a fake /dev/cpu tree with sparse msr "devices" big
+// enough to address the modelled registers.
+func fixtureDev(t *testing.T, cpus int) string {
+	t.Helper()
+	dir := t.TempDir()
+	for cpu := 0; cpu < cpus; cpu++ {
+		cpuDir := filepath.Join(dir, itoa(cpu))
+		if err := os.MkdirAll(cpuDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.Create(filepath.Join(cpuDir, "msr"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Truncate(0x1000); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	return dir
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestFileDeviceRoundtrip(t *testing.T) {
+	dir := fixtureDev(t, 2)
+	d := NewFileDevice(dir)
+	defer d.Close()
+
+	if !d.Available() {
+		t.Fatal("fixture device not detected as available")
+	}
+	want := EncodeUncoreLimit(2.2e9, 0.8e9)
+	if err := d.Write(1, UncoreRatioLimit, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Read(1, UncoreRatioLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("roundtrip = %#x, want %#x", got, want)
+	}
+	// Verify on-disk little-endian layout at the register offset.
+	raw, err := os.ReadFile(filepath.Join(dir, "1", "msr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := binary.LittleEndian.Uint64(raw[UncoreRatioLimit:]); v != want {
+		t.Fatalf("on-disk value = %#x, want %#x", v, want)
+	}
+}
+
+func TestFileDeviceMissingCPU(t *testing.T) {
+	dir := fixtureDev(t, 1)
+	d := NewFileDevice(dir)
+	defer d.Close()
+	if _, err := d.Read(7, UncoreRatioLimit); err == nil {
+		t.Fatal("read of missing cpu device succeeded")
+	}
+	if err := d.Write(7, UncoreRatioLimit, 1); err == nil {
+		t.Fatal("write to missing cpu device succeeded")
+	}
+}
+
+func TestFileDeviceUnavailable(t *testing.T) {
+	d := NewFileDevice(filepath.Join(t.TempDir(), "nope"))
+	if d.Available() {
+		t.Fatal("empty dir reported available")
+	}
+}
+
+func TestFileDeviceDefaultDir(t *testing.T) {
+	d := NewFileDevice("")
+	if d.Dir != "/dev/cpu" {
+		t.Fatalf("default dir = %q", d.Dir)
+	}
+}
+
+func TestFileDeviceHandleCaching(t *testing.T) {
+	dir := fixtureDev(t, 1)
+	d := NewFileDevice(dir)
+	defer d.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := d.Read(0, PkgEnergyStatus); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(d.files) != 1 {
+		t.Fatalf("cached %d handles, want 1", len(d.files))
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.files) != 0 {
+		t.Fatal("Close did not clear the cache")
+	}
+}

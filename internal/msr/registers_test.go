@@ -1,0 +1,149 @@
+package msr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUncoreLimitEncodeDecode(t *testing.T) {
+	cases := []struct {
+		maxGHz, minGHz float64
+	}{
+		{2.2, 0.8}, // Xeon Platinum 8380 range
+		{2.5, 0.8}, // Xeon Max 9462 range
+		{1.5, 0.8},
+		{0.8, 0.8},
+	}
+	for _, c := range cases {
+		v := EncodeUncoreLimit(c.maxGHz*1e9, c.minGHz*1e9)
+		gotMax, gotMin := DecodeUncoreLimit(v)
+		if gotMax != c.maxGHz*1e9 || gotMin != c.minGHz*1e9 {
+			t.Errorf("roundtrip(%v,%v GHz) = %v,%v Hz", c.maxGHz, c.minGHz, gotMax, gotMin)
+		}
+	}
+}
+
+// The paper's §4 example: setting max uncore to 1.5 GHz writes ratio
+// 0x0F into the low byte while preserving the min-ratio byte.
+func TestPaperWrmsrExample(t *testing.T) {
+	old := EncodeUncoreLimit(2.2e9, 0.8e9)
+	v := WithUncoreMax(old, 1.5e9)
+	if v&0x7F != 0x0F {
+		t.Fatalf("max ratio bits = %#x, want 0x0F", v&0x7F)
+	}
+	_, minHz := DecodeUncoreLimit(v)
+	if minHz != 0.8e9 {
+		t.Fatalf("min bits disturbed: %v Hz", minHz)
+	}
+}
+
+func TestHzToRatioClamp(t *testing.T) {
+	if got := HzToRatio(-1e9); got != 0 {
+		t.Fatalf("negative ratio = %d, want 0", got)
+	}
+	if got := HzToRatio(100e9); got != 0x7F {
+		t.Fatalf("huge ratio = %d, want 127", got)
+	}
+	if got := HzToRatio(0.84e9); got != 8 {
+		t.Fatalf("rounding: got %d, want 8", got)
+	}
+	if got := HzToRatio(0.86e9); got != 9 {
+		t.Fatalf("rounding: got %d, want 9", got)
+	}
+}
+
+// Property: encode/decode roundtrips exactly for any ratio pair in
+// field range.
+func TestUncoreLimitRoundtripProperty(t *testing.T) {
+	prop := func(maxR, minR uint8) bool {
+		maxHz := RatioToHz(int(maxR % 128))
+		minHz := RatioToHz(int(minR % 128))
+		gm, gn := DecodeUncoreLimit(EncodeUncoreLimit(maxHz, minHz))
+		return gm == maxHz && gn == minHz
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: WithUncoreMax never disturbs bits outside the max field.
+func TestWithUncoreMaxPreservesOtherBits(t *testing.T) {
+	prop := func(old uint64, maxR uint8) bool {
+		v := WithUncoreMax(old, RatioToHz(int(maxR%128)))
+		return v&^uint64(0x7F) == old&^uint64(0x7F)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerUnitDefaults(t *testing.T) {
+	v := EncodePowerUnit(DefaultPowerUnitExp, DefaultEnergyUnitExp, DefaultTimeUnitExp)
+	w, j, s := DecodePowerUnit(v)
+	if w != 0.125 {
+		t.Fatalf("watt unit = %v, want 0.125", w)
+	}
+	if math.Abs(j-1.0/16384) > 1e-15 {
+		t.Fatalf("joule unit = %v, want 2^-14", j)
+	}
+	if math.Abs(s-1.0/1024) > 1e-15 {
+		t.Fatalf("second unit = %v, want 2^-10", s)
+	}
+}
+
+func TestEnergyDelta(t *testing.T) {
+	cases := []struct {
+		prev, cur, want uint64
+	}{
+		{0, 100, 100},
+		{100, 100, 0},
+		{0xFFFFFFFF, 0, 1},         // exact wrap
+		{0xFFFFFF00, 0x100, 0x200}, // wrap with remainder
+		{42, 41, 0xFFFFFFFF},       // full-range wrap
+	}
+	for _, c := range cases {
+		if got := EnergyDelta(c.prev, c.cur); got != c.want {
+			t.Errorf("EnergyDelta(%#x,%#x) = %d, want %d", c.prev, c.cur, got, c.want)
+		}
+	}
+}
+
+// Property: accumulating any sequence of small deltas through a wrapping
+// counter and recovering them via EnergyDelta preserves the total.
+func TestEnergyDeltaWrapProperty(t *testing.T) {
+	prop := func(deltas []uint32) bool {
+		var counter uint64 = 0xFFFFFF00 // start near wrap
+		prev := counter
+		var recovered uint64
+		var total uint64
+		for _, d := range deltas {
+			dd := uint64(d % 100000)
+			total += dd
+			counter = (counter + dd) & EnergyCounterMask
+			recovered += EnergyDelta(prev, counter)
+			prev = counter
+		}
+		return recovered == total
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerLimitEncodeDecode(t *testing.T) {
+	wattUnit := 0.125
+	v := EncodePowerLimit(270, wattUnit, true)
+	w, en := DecodePowerLimit(v, wattUnit)
+	if w != 270 || !en {
+		t.Fatalf("roundtrip = %v,%v, want 270,true", w, en)
+	}
+	v = EncodePowerLimit(5000, wattUnit, false)
+	w, en = DecodePowerLimit(v, wattUnit)
+	if en {
+		t.Fatal("enable bit set unexpectedly")
+	}
+	if w > 5000 {
+		t.Fatalf("clamped power = %v exceeds request", w)
+	}
+}

@@ -1,0 +1,177 @@
+package msr
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestSpaceTopology(t *testing.T) {
+	s := NewSpace(2, 40) // Intel+A100 topology: 2 × Xeon 8380
+	if s.Sockets() != 2 || s.CPUs() != 80 {
+		t.Fatalf("topology = %d sockets, %d cpus", s.Sockets(), s.CPUs())
+	}
+	if s.SocketOf(0) != 0 || s.SocketOf(39) != 0 || s.SocketOf(40) != 1 || s.SocketOf(79) != 1 {
+		t.Fatal("SocketOf mapping wrong")
+	}
+	if s.FirstCPUOf(0) != 0 || s.FirstCPUOf(1) != 40 {
+		t.Fatal("FirstCPUOf mapping wrong")
+	}
+}
+
+func TestPackageScopeSharing(t *testing.T) {
+	s := NewSpace(2, 4)
+	// Write through cpu 1, read through cpu 3 (same socket).
+	if err := s.Write(1, UncoreRatioLimit, 0x0F08); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Read(3, UncoreRatioLimit)
+	if err != nil || v != 0x0F08 {
+		t.Fatalf("same-socket read = %#x, %v", v, err)
+	}
+	// Other socket sees its own (zero) instance.
+	v, err = s.Read(4, UncoreRatioLimit)
+	if err != nil || v != 0 {
+		t.Fatalf("cross-socket read = %#x, %v, want 0", v, err)
+	}
+}
+
+func TestCoreScopeIsolation(t *testing.T) {
+	s := NewSpace(1, 4)
+	s.Poke(2, FixedCtrInstRetired, 12345)
+	v, err := s.Read(2, FixedCtrInstRetired)
+	if err != nil || v != 12345 {
+		t.Fatalf("core read = %d, %v", v, err)
+	}
+	v, err = s.Read(3, FixedCtrInstRetired)
+	if err != nil || v != 0 {
+		t.Fatalf("neighbour core read = %d, %v, want 0", v, err)
+	}
+}
+
+func TestReadOnlyRegisters(t *testing.T) {
+	s := NewSpace(1, 2)
+	for _, reg := range []uint32{PkgEnergyStatus, DramEnergyStatus, RaplPowerUnit, UncorePerfStatus, PkgPowerInfo} {
+		if err := s.Write(0, reg, 1); !errors.Is(err, ErrReadOnly) {
+			t.Errorf("write to %#x: err = %v, want ErrReadOnly", reg, err)
+		}
+	}
+	// Hardware side may still set them.
+	s.Poke(0, PkgEnergyStatus, 77)
+	if v, _ := s.Read(0, PkgEnergyStatus); v != 77 {
+		t.Fatalf("Poke'd value = %d, want 77", v)
+	}
+}
+
+func TestDefaultRaplUnits(t *testing.T) {
+	s := NewSpace(1, 1)
+	v, err := s.Read(0, RaplPowerUnit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, j, _ := DecodePowerUnit(v)
+	if w != 0.125 || j != 1.0/16384 {
+		t.Fatalf("default units = %v W, %v J", w, j)
+	}
+}
+
+func TestBumpWrapsEnergyCounters(t *testing.T) {
+	s := NewSpace(1, 1)
+	s.Poke(0, PkgEnergyStatus, 0xFFFFFFF0)
+	s.Bump(0, PkgEnergyStatus, 0x20)
+	if v := s.Peek(0, PkgEnergyStatus); v != 0x10 {
+		t.Fatalf("wrapped counter = %#x, want 0x10", v)
+	}
+	// Non-energy counters do not wrap at 32 bits.
+	s.Poke(0, FixedCtrCPUCycles, 0xFFFFFFF0)
+	s.Bump(0, FixedCtrCPUCycles, 0x20)
+	if v := s.Peek(0, FixedCtrCPUCycles); v != 0x100000010 {
+		t.Fatalf("cycle counter = %#x, want 0x100000010", v)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	s := NewSpace(1, 2)
+	if _, err := s.Read(5, UncoreRatioLimit); !errors.Is(err, ErrBadCPU) {
+		t.Fatalf("bad cpu: %v", err)
+	}
+	if _, err := s.Read(0, 0xDEAD); !errors.Is(err, ErrUnknownReg) {
+		t.Fatalf("unknown reg: %v", err)
+	}
+	if err := s.Write(-1, UncoreRatioLimit, 0); !errors.Is(err, ErrBadCPU) {
+		t.Fatalf("bad cpu write: %v", err)
+	}
+}
+
+func TestFaultInjection(t *testing.T) {
+	s := NewSpace(1, 1)
+	s.FailWrites(ErrInjected)
+	if err := s.Write(0, UncoreRatioLimit, 1); !errors.Is(err, ErrInjected) {
+		t.Fatalf("injected write fault: %v", err)
+	}
+	s.FailWrites(nil)
+	if err := s.Write(0, UncoreRatioLimit, 1); err != nil {
+		t.Fatalf("fault not cleared: %v", err)
+	}
+	s.FailReads(ErrInjected)
+	if _, err := s.Read(0, UncoreRatioLimit); !errors.Is(err, ErrInjected) {
+		t.Fatalf("injected read fault: %v", err)
+	}
+}
+
+func TestAccessCounts(t *testing.T) {
+	s := NewSpace(1, 4)
+	for cpu := 0; cpu < 4; cpu++ {
+		s.Read(cpu, FixedCtrInstRetired)
+		s.Read(cpu, FixedCtrCPUCycles)
+	}
+	s.Write(0, UncoreRatioLimit, 5)
+	r, w := s.AccessCounts()
+	if r != 8 || w != 1 {
+		t.Fatalf("counts = %d reads, %d writes", r, w)
+	}
+	// Pokes/Peeks and failed accesses are not counted.
+	s.Poke(0, PkgEnergyStatus, 1)
+	s.Peek(0, PkgEnergyStatus)
+	s.Read(99, UncoreRatioLimit)
+	r, w = s.AccessCounts()
+	if r != 8 || w != 1 {
+		t.Fatalf("counts after non-counting ops = %d, %d", r, w)
+	}
+	s.ResetAccessCounts()
+	if r, w = s.AccessCounts(); r != 0 || w != 0 {
+		t.Fatal("ResetAccessCounts did not zero")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := NewSpace(2, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cpu := g * 2
+			for i := 0; i < 1000; i++ {
+				s.Bump(cpu, FixedCtrInstRetired, 1)
+				s.Read(cpu, FixedCtrInstRetired)
+				s.Write(cpu, UncoreRatioLimit, uint64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < 8; g++ {
+		if v := s.Peek(g*2, FixedCtrInstRetired); v != 1000 {
+			t.Fatalf("cpu %d counter = %d, want 1000", g*2, v)
+		}
+	}
+}
+
+func TestNewSpacePanicsOnBadTopology(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSpace(0,0) did not panic")
+		}
+	}()
+	NewSpace(0, 0)
+}

@@ -1,0 +1,110 @@
+package msr
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Access is one recorded MSR operation.
+type Access struct {
+	At    time.Duration
+	CPU   int
+	Reg   uint32
+	Value uint64
+	Write bool
+	Err   error
+}
+
+// String renders the access in wrmsr/rdmsr style.
+func (a Access) String() string {
+	op := "rdmsr"
+	if a.Write {
+		op = "wrmsr"
+	}
+	s := fmt.Sprintf("%8.3fs %s -p %d %#x %#x", a.At.Seconds(), op, a.CPU, a.Reg, a.Value)
+	if a.Err != nil {
+		s += " ! " + a.Err.Error()
+	}
+	return s
+}
+
+// TraceDevice wraps an msr.Device and records every access with a
+// virtual timestamp — an audit log for debugging governor behaviour
+// ("which register did the runtime touch, when, and what did it
+// write?"). Safe for concurrent use.
+type TraceDevice struct {
+	dev Device
+	now func() time.Duration
+
+	mu  sync.Mutex
+	log []Access
+	cap int
+}
+
+// NewTraceDevice wraps dev; now supplies timestamps (e.g. the engine
+// clock's Now). maxEntries bounds the log (0 = 64k entries); once full
+// the oldest entries are dropped.
+func NewTraceDevice(dev Device, now func() time.Duration, maxEntries int) *TraceDevice {
+	if dev == nil {
+		panic("msr: NewTraceDevice(nil)")
+	}
+	if now == nil {
+		now = func() time.Duration { return 0 }
+	}
+	if maxEntries <= 0 {
+		maxEntries = 1 << 16
+	}
+	return &TraceDevice{dev: dev, now: now, cap: maxEntries}
+}
+
+// Read implements Device.
+func (t *TraceDevice) Read(cpu int, reg uint32) (uint64, error) {
+	v, err := t.dev.Read(cpu, reg)
+	t.append(Access{At: t.now(), CPU: cpu, Reg: reg, Value: v, Err: err})
+	return v, err
+}
+
+// Write implements Device.
+func (t *TraceDevice) Write(cpu int, reg uint32, val uint64) error {
+	err := t.dev.Write(cpu, reg, val)
+	t.append(Access{At: t.now(), CPU: cpu, Reg: reg, Value: val, Write: true, Err: err})
+	return err
+}
+
+func (t *TraceDevice) append(a Access) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.log) >= t.cap {
+		drop := len(t.log) - t.cap + 1
+		t.log = append(t.log[:0], t.log[drop:]...)
+	}
+	t.log = append(t.log, a)
+}
+
+// Log returns a copy of the recorded accesses in order.
+func (t *TraceDevice) Log() []Access {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Access(nil), t.log...)
+}
+
+// Writes returns only the recorded writes to reg.
+func (t *TraceDevice) Writes(reg uint32) []Access {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Access
+	for _, a := range t.log {
+		if a.Write && a.Reg == reg {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Reset clears the log.
+func (t *TraceDevice) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.log = t.log[:0]
+}

@@ -1,0 +1,78 @@
+package msr
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceDeviceRecordsAccesses(t *testing.T) {
+	s := NewSpace(1, 2)
+	var now time.Duration
+	td := NewTraceDevice(s, func() time.Duration { return now }, 0)
+
+	now = 100 * time.Millisecond
+	td.Write(0, UncoreRatioLimit, 0x0F08)
+	now = 200 * time.Millisecond
+	td.Read(0, UncoreRatioLimit)
+	td.Read(1, FixedCtrInstRetired)
+
+	log := td.Log()
+	if len(log) != 3 {
+		t.Fatalf("log = %d entries", len(log))
+	}
+	if !log[0].Write || log[0].Value != 0x0F08 || log[0].At != 100*time.Millisecond {
+		t.Fatalf("write entry: %+v", log[0])
+	}
+	if log[1].Write || log[1].Value != 0x0F08 {
+		t.Fatalf("read entry: %+v", log[1])
+	}
+	writes := td.Writes(UncoreRatioLimit)
+	if len(writes) != 1 {
+		t.Fatalf("Writes = %d", len(writes))
+	}
+	if !strings.Contains(log[0].String(), "wrmsr -p 0 0x620") {
+		t.Fatalf("String = %q", log[0].String())
+	}
+	td.Reset()
+	if len(td.Log()) != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestTraceDeviceRecordsErrors(t *testing.T) {
+	s := NewSpace(1, 1)
+	td := NewTraceDevice(s, nil, 0)
+	td.Read(9, UncoreRatioLimit) // bad cpu
+	log := td.Log()
+	if len(log) != 1 || log[0].Err == nil {
+		t.Fatalf("error not recorded: %+v", log)
+	}
+	if !strings.Contains(log[0].String(), "!") {
+		t.Fatalf("String = %q", log[0].String())
+	}
+}
+
+func TestTraceDeviceBounded(t *testing.T) {
+	s := NewSpace(1, 1)
+	td := NewTraceDevice(s, nil, 10)
+	for i := 0; i < 25; i++ {
+		td.Write(0, UncoreRatioLimit, uint64(i))
+	}
+	log := td.Log()
+	if len(log) != 10 {
+		t.Fatalf("bounded log = %d", len(log))
+	}
+	if log[len(log)-1].Value != 24 || log[0].Value != 15 {
+		t.Fatalf("kept wrong window: first %d last %d", log[0].Value, log[len(log)-1].Value)
+	}
+}
+
+func TestTraceDeviceNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTraceDevice(nil) did not panic")
+		}
+	}()
+	NewTraceDevice(nil, nil, 0)
+}

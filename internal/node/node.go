@@ -1,0 +1,449 @@
+package node
+
+import (
+	"math"
+	"time"
+
+	"github.com/spear-repro/magus/internal/cpufreq"
+	"github.com/spear-repro/magus/internal/gpudvfs"
+	"github.com/spear-repro/magus/internal/msr"
+	"github.com/spear-repro/magus/internal/workload"
+)
+
+// gpuState is one GPU board's live state.
+type gpuState struct {
+	spec    GPUSpec
+	clock   *gpudvfs.Clock
+	smUtil  float64
+	memUtil float64
+	powerW  float64
+	energyJ float64
+}
+
+// daemonWork is pending runtime-daemon activity (governor invocations)
+// charged to socket 0: busy host cores plus extra power (MSR IPIs,
+// interconnect wakeups) for a duration.
+type daemonWork struct {
+	remaining time.Duration
+	cores     float64
+	extraW    float64
+}
+
+// Node is the simulated machine. It implements sim.Component; register
+// the workload runner before the node so demand precedes service.
+type Node struct {
+	cfg   Config
+	space *msr.Space
+
+	// Per-socket state.
+	uncoreEff    []float64 // effective uncore frequency (GHz)
+	clampCeil    []float64 // TDP-clamp ceiling (GHz)
+	pkgPowerW    []float64
+	drmPowerW    []float64
+	pkgEnergyAcc []float64 // fractional RAPL units not yet in the MSR
+	drmEnergyAcc []float64
+
+	// Per-core state.
+	pstates  []*cpufreq.PState
+	coreUtil []float64
+	instAcc  []float64 // instructions retired (float accumulator)
+	cycAcc   []float64 // unhalted cycles
+
+	gpus []*gpuState
+
+	demand           workload.Demand
+	attained         float64   // GB/s served last step
+	attainedSock     []float64 // per-socket GB/s served last step
+	servedGB         float64   // cumulative GB served
+	servedGBSock     []float64 // cumulative GB served per socket
+	pkgJ, drmJ, gpuJ float64   // cumulative joules
+
+	daemon        []daemonWork
+	daemonBusyNow float64 // cores busy this step (for telemetry)
+	daemonBusySec float64 // cumulative daemon busy time drained
+}
+
+// New builds a node from cfg with all controllers at their idle points
+// and MSRs initialised to vendor defaults (uncore limit = full range).
+func New(cfg Config) *Node {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	n := &Node{
+		cfg:          cfg,
+		space:        msr.NewSpace(cfg.Sockets, cfg.CoresPerSocket),
+		uncoreEff:    make([]float64, cfg.Sockets),
+		clampCeil:    make([]float64, cfg.Sockets),
+		pkgPowerW:    make([]float64, cfg.Sockets),
+		drmPowerW:    make([]float64, cfg.Sockets),
+		pkgEnergyAcc: make([]float64, cfg.Sockets),
+		drmEnergyAcc: make([]float64, cfg.Sockets),
+		pstates:      make([]*cpufreq.PState, cfg.Sockets*cfg.CoresPerSocket),
+		coreUtil:     make([]float64, cfg.Sockets*cfg.CoresPerSocket),
+		instAcc:      make([]float64, cfg.Sockets*cfg.CoresPerSocket),
+		cycAcc:       make([]float64, cfg.Sockets*cfg.CoresPerSocket),
+		attainedSock: make([]float64, cfg.Sockets),
+		servedGBSock: make([]float64, cfg.Sockets),
+	}
+	for s := 0; s < cfg.Sockets; s++ {
+		n.uncoreEff[s] = cfg.UncoreMaxGHz
+		n.clampCeil[s] = cfg.UncoreMaxGHz
+		cpu0 := n.space.FirstCPUOf(s)
+		n.space.Poke(cpu0, msr.UncoreRatioLimit,
+			msr.EncodeUncoreLimit(cfg.UncoreMaxGHz*1e9, cfg.UncoreMinGHz*1e9))
+		n.space.Poke(cpu0, msr.PkgPowerInfo,
+			uint64(cfg.TDPWatts/0.125)) // power units of 1/8 W
+	}
+	for i := range n.pstates {
+		n.pstates[i] = cpufreq.New(cfg.CoreMinGHz, cfg.CoreBaseGHz, cfg.CoreMaxGHz, cfg.CoreTau)
+	}
+	for _, g := range cfg.GPUs {
+		n.gpus = append(n.gpus, &gpuState{
+			spec:  g,
+			clock: gpudvfs.New(g.IdleClockMHz, g.MaxClockMHz, cfg.GPUTau),
+		})
+	}
+	return n
+}
+
+// Config returns the node's configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// Space exposes the raw simulated register file (tests, fault injection).
+func (n *Node) Space() *msr.Space { return n.space }
+
+// MSRDevice returns the device handle runtimes should use: it flushes
+// the node's counter accumulators into the register file before reads,
+// so per-core fixed counters and RAPL status registers are current.
+func (n *Node) MSRDevice() msr.Device { return nodeDevice{n} }
+
+// SetDemand installs the application demand for the next step.
+func (n *Node) SetDemand(d workload.Demand) { n.demand = d }
+
+// Demand returns the demand currently applied.
+func (n *Node) Demand() workload.Demand { return n.demand }
+
+// AttainedGBs returns the memory throughput served during the last
+// step, in GB/s.
+func (n *Node) AttainedGBs() float64 { return n.attained }
+
+// ServedGB returns cumulative GB served — the IMC counter PCM reads.
+func (n *Node) ServedGB() float64 { return n.servedGB }
+
+// ServedGBSocket returns one socket's cumulative served GB — the
+// per-socket IMC counters the per-socket scaling extension reads.
+func (n *Node) ServedGBSocket(socket int) float64 { return n.servedGBSock[socket] }
+
+// AttainedGBsSocket returns one socket's served throughput last step.
+func (n *Node) AttainedGBsSocket(socket int) float64 { return n.attainedSock[socket] }
+
+// socketShare returns the fraction of memory traffic routed to a
+// socket: even interleaving shifted toward socket 0 by the demand's
+// NUMA skew.
+func (n *Node) socketShare(socket int) float64 {
+	s := float64(n.cfg.Sockets)
+	even := 1 / s
+	skew := n.demand.NUMASkew
+	if skew <= 0 || n.cfg.Sockets == 1 {
+		return even
+	}
+	if skew > 1 {
+		skew = 1
+	}
+	if socket == 0 {
+		return even + skew*(1-even)
+	}
+	return even * (1 - skew)
+}
+
+// AddDaemonBusy charges governor invocation work to the node: cores
+// busy host cores on socket 0 plus extraW watts for dur of virtual time.
+// Work queues and drains in FIFO order.
+func (n *Node) AddDaemonBusy(dur time.Duration, cores, extraW float64) {
+	if dur <= 0 {
+		return
+	}
+	n.daemon = append(n.daemon, daemonWork{remaining: dur, cores: cores, extraW: extraW})
+}
+
+// DaemonBusySeconds returns the cumulative runtime-daemon busy time the
+// node has drained — used by the Table 2 invocation-overhead analysis.
+func (n *Node) DaemonBusySeconds() float64 { return n.daemonBusySec }
+
+// UncoreFreqGHz returns a socket's current effective uncore frequency.
+func (n *Node) UncoreFreqGHz(socket int) float64 { return n.uncoreEff[socket] }
+
+// CoreFreqGHz returns a logical CPU's current frequency.
+func (n *Node) CoreFreqGHz(cpu int) float64 { return n.pstates[cpu].Current() }
+
+// PkgPowerW returns a socket's package power (core + uncore domains).
+func (n *Node) PkgPowerW(socket int) float64 { return n.pkgPowerW[socket] }
+
+// DramPowerW returns a socket's DRAM power.
+func (n *Node) DramPowerW(socket int) float64 { return n.drmPowerW[socket] }
+
+// CPUPowerW returns total package + DRAM power across sockets — the
+// quantity the paper's "power saving" metric uses.
+func (n *Node) CPUPowerW() float64 {
+	var p float64
+	for s := 0; s < n.cfg.Sockets; s++ {
+		p += n.pkgPowerW[s] + n.drmPowerW[s]
+	}
+	return p
+}
+
+// GPUCount returns the number of GPU boards.
+func (n *Node) GPUCount() int { return len(n.gpus) }
+
+// GPUPowerW returns a board's current power draw.
+func (n *Node) GPUPowerW(i int) float64 { return n.gpus[i].powerW }
+
+// GPUClockMHz returns a board's current SM clock.
+func (n *Node) GPUClockMHz(i int) float64 { return n.gpus[i].clock.Current() }
+
+// GPUUtil returns a board's SM and memory utilisation.
+func (n *Node) GPUUtil(i int) (sm, mem float64) { return n.gpus[i].smUtil, n.gpus[i].memUtil }
+
+// GPUEnergyJ returns a board's cumulative energy.
+func (n *Node) GPUEnergyJ(i int) float64 { return n.gpus[i].energyJ }
+
+// EnergyJ returns cumulative package, DRAM and GPU energy in joules.
+func (n *Node) EnergyJ() (pkg, dram, gpu float64) { return n.pkgJ, n.drmJ, n.gpuJ }
+
+// TotalPowerW returns instantaneous node power (CPU + DRAM + GPUs).
+func (n *Node) TotalPowerW() float64 {
+	p := n.CPUPowerW()
+	for _, g := range n.gpus {
+		p += g.powerW
+	}
+	return p
+}
+
+// Step implements sim.Component.
+func (n *Node) Step(now, dt time.Duration) {
+	dtSec := dt.Seconds()
+
+	// 1. Resolve each socket's uncore target from the MSR limit and
+	// the TDP clamp, then slew the effective frequency.
+	for s := 0; s < n.cfg.Sockets; s++ {
+		limMaxHz, limMinHz := msr.DecodeUncoreLimit(n.space.Peek(n.space.FirstCPUOf(s), msr.UncoreRatioLimit))
+		limMax, limMin := limMaxHz/1e9, limMinHz/1e9
+		if limMax < limMin {
+			limMax = limMin
+		}
+		target := limMax
+		if n.cfg.TDPClamp && target > n.clampCeil[s] {
+			target = n.clampCeil[s]
+		}
+		if target < limMin {
+			target = limMin
+		}
+		alpha := float64(dt) / float64(n.cfg.UncoreTau)
+		if alpha > 1 {
+			alpha = 1
+		}
+		n.uncoreEff[s] += (target - n.uncoreEff[s]) * alpha
+		n.space.Poke(n.space.FirstCPUOf(s), msr.UncorePerfStatus,
+			uint64(msr.HzToRatio(n.uncoreEff[s]*1e9)))
+	}
+
+	// 2. Serve memory demand: split across sockets (interleaved
+	// allocation, optionally skewed toward socket 0 for
+	// NUMA-imbalanced workloads), each socket caps at BW(f).
+	var attained float64
+	sockTraffic := make([]float64, n.cfg.Sockets)
+	for s := 0; s < n.cfg.Sockets; s++ {
+		bw := n.cfg.BWAt(n.uncoreEff[s])
+		served := n.demand.MemGBs * n.socketShare(s)
+		if served > bw {
+			served = bw
+		}
+		sockTraffic[s] = served
+		n.attainedSock[s] = served
+		n.servedGBSock[s] += served * dtSec
+		attained += served
+	}
+	n.attained = attained
+	n.servedGB += attained * dtSec
+
+	// Service ratio drives the IPC the cores achieve on memory work.
+	serviceRatio := 1.0
+	if n.demand.MemGBs > 1e-9 {
+		serviceRatio = attained / n.demand.MemGBs
+		if serviceRatio > 1 {
+			serviceRatio = 1
+		}
+	}
+
+	// 3. Drain daemon work for this step.
+	n.daemonBusyNow = 0
+	var daemonW float64
+	budget := dt
+	for len(n.daemon) > 0 && budget > 0 {
+		w := &n.daemon[0]
+		use := w.remaining
+		if use > budget {
+			use = budget
+		}
+		frac := float64(use) / float64(dt)
+		n.daemonBusyNow += w.cores * frac
+		daemonW += w.extraW * frac
+		w.remaining -= use
+		budget -= use
+		n.daemonBusySec += use.Seconds()
+		if w.remaining <= 0 {
+			n.daemon = n.daemon[1:]
+		}
+	}
+
+	// 4. Distribute busy cores across sockets and step per-core DVFS.
+	busyPerSock := n.demand.CPUBusyCores / float64(n.cfg.Sockets)
+	for s := 0; s < n.cfg.Sockets; s++ {
+		busy := busyPerSock
+		if s == 0 {
+			busy += n.daemonBusyNow
+		}
+		base := s * n.cfg.CoresPerSocket
+		for c := 0; c < n.cfg.CoresPerSocket; c++ {
+			util := 0.0
+			switch {
+			case busy >= 1:
+				util = 0.9
+				busy--
+			case busy > 0:
+				util = 0.9 * busy
+				busy = 0
+			}
+			cpu := base + c
+			n.coreUtil[cpu] = util
+			f := n.pstates[cpu].Step(util, dt)
+			if util > 0 {
+				cyc := f * 1e9 * util * dtSec
+				n.cycAcc[cpu] += cyc
+				beta := n.demand.MemBoundFrac
+				ipc := n.cfg.CoreIPC * ((1 - beta) + beta*serviceRatio)
+				n.instAcc[cpu] += cyc * ipc
+			}
+		}
+	}
+
+	// 5. Power and energy per socket.
+	for s := 0; s < n.cfg.Sockets; s++ {
+		base := s * n.cfg.CoresPerSocket
+		intensity := n.demand.CPUIntensity
+		if intensity <= 0 {
+			intensity = 1
+		}
+		var coreW float64
+		for c := 0; c < n.cfg.CoresPerSocket; c++ {
+			cpu := base + c
+			if u := n.coreUtil[cpu]; u > 0 {
+				coreW += n.cfg.Core.MaxPerCoreWatts * intensity * u *
+					relPow(n.pstates[cpu].Current()/n.cfg.CoreMaxGHz, n.cfg.Core.FreqExp)
+			}
+		}
+		coreW += n.cfg.Core.IdleWatts
+		uncW := n.cfg.Uncore.Power(n.uncoreEff[s]/n.cfg.UncoreMaxGHz, sockTraffic[s])
+		pkg := coreW + uncW
+		if s == 0 {
+			pkg += daemonW
+		}
+		n.pkgPowerW[s] = pkg
+		n.drmPowerW[s] = n.cfg.Dram.Power(sockTraffic[s])
+
+		n.pkgJ += pkg * dtSec
+		n.drmJ += n.drmPowerW[s] * dtSec
+		n.accumulateEnergy(s, pkg, n.drmPowerW[s], dtSec)
+
+		// TDP clamp dynamics: back off 100 MHz per 10 ms above 97 %
+		// of the active limit, recover at the same rate below 90 %.
+		// The active limit is the TDP unless software set a lower PL1
+		// cap through MSR_PKG_POWER_LIMIT (RAPL power capping).
+		if n.cfg.TDPClamp {
+			limit := n.cfg.TDPWatts
+			if pl1, enabled := msr.DecodePowerLimit(
+				n.space.Peek(n.space.FirstCPUOf(s), msr.PkgPowerLimit), 0.125); enabled && pl1 > 0 && pl1 < limit {
+				limit = pl1
+			}
+			stepGHz := 0.1 * float64(dt) / float64(10*time.Millisecond)
+			switch {
+			case pkg > 0.97*limit:
+				n.clampCeil[s] -= stepGHz
+				if n.clampCeil[s] < n.cfg.UncoreMinGHz {
+					n.clampCeil[s] = n.cfg.UncoreMinGHz
+				}
+			case pkg < 0.90*limit:
+				n.clampCeil[s] += stepGHz
+				if n.clampCeil[s] > n.cfg.UncoreMaxGHz {
+					n.clampCeil[s] = n.cfg.UncoreMaxGHz
+				}
+			}
+		}
+	}
+
+	// 6. GPUs.
+	for _, g := range n.gpus {
+		g.smUtil = n.demand.GPUSMUtil
+		g.memUtil = n.demand.GPUMemUtil
+		g.clock.Step(g.smUtil, dt)
+		g.powerW = g.spec.Power.Power(g.smUtil, g.clock.Rel(), g.memUtil)
+		g.energyJ += g.powerW * dtSec
+		n.gpuJ += g.powerW * dtSec
+	}
+}
+
+// accumulateEnergy pushes joules into the socket's wrapping RAPL
+// counters, carrying fractional units between steps.
+func (n *Node) accumulateEnergy(s int, pkgW, drmW, dtSec float64) {
+	const unitsPerJoule = 16384 // 2^14, matching MSR_RAPL_POWER_UNIT default
+	cpu0 := n.space.FirstCPUOf(s)
+
+	n.pkgEnergyAcc[s] += pkgW * dtSec * unitsPerJoule
+	if u := uint64(n.pkgEnergyAcc[s]); u > 0 {
+		n.space.Bump(cpu0, msr.PkgEnergyStatus, u)
+		n.pkgEnergyAcc[s] -= float64(u)
+	}
+	n.drmEnergyAcc[s] += drmW * dtSec * unitsPerJoule
+	if u := uint64(n.drmEnergyAcc[s]); u > 0 {
+		n.space.Bump(cpu0, msr.DramEnergyStatus, u)
+		n.drmEnergyAcc[s] -= float64(u)
+	}
+}
+
+// flushCoreCounters publishes the per-core accumulators into the
+// register file (called before runtime reads).
+func (n *Node) flushCoreCounters() {
+	for cpu := range n.instAcc {
+		n.space.Poke(cpu, msr.FixedCtrInstRetired, uint64(n.instAcc[cpu]))
+		n.space.Poke(cpu, msr.FixedCtrCPUCycles, uint64(n.cycAcc[cpu]))
+	}
+}
+
+// nodeDevice is the msr.Device runtimes use: reads of core-scope
+// counters see current accumulator state.
+type nodeDevice struct{ n *Node }
+
+// Read implements msr.Device.
+func (d nodeDevice) Read(cpu int, reg uint32) (uint64, error) {
+	switch reg {
+	case msr.FixedCtrInstRetired, msr.FixedCtrCPUCycles:
+		d.n.flushCoreCounters()
+	}
+	return d.n.space.Read(cpu, reg)
+}
+
+// Write implements msr.Device.
+func (d nodeDevice) Write(cpu int, reg uint32, val uint64) error {
+	return d.n.space.Write(cpu, reg, val)
+}
+
+// relPow is a clamped power-law helper.
+func relPow(rel, exp float64) float64 {
+	if rel <= 0 {
+		return 0
+	}
+	if rel >= 1 {
+		return 1
+	}
+	return math.Pow(rel, exp)
+}

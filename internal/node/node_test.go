@@ -1,0 +1,383 @@
+package node
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/spear-repro/magus/internal/msr"
+	"github.com/spear-repro/magus/internal/workload"
+)
+
+func stepFor(n *Node, d time.Duration) {
+	dt := time.Millisecond
+	for t := time.Duration(0); t < d; t += dt {
+		n.Step(t, dt)
+	}
+}
+
+func TestPresetsValidate(t *testing.T) {
+	for _, cfg := range []Config{IntelA100(), Intel4A100(), IntelMax1550()} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+	if got := IntelA100().SystemBWGBs(); got != 400 {
+		t.Errorf("Intel+A100 system BW = %v, want 400", got)
+	}
+	if got := Intel4A100().GPUs; len(got) != 4 {
+		t.Errorf("Intel+4A100 has %d GPUs", len(got))
+	}
+}
+
+func TestBWAt(t *testing.T) {
+	cfg := IntelA100()
+	if got := cfg.BWAt(cfg.UncoreMaxGHz); got != cfg.BWPerSocketGBs {
+		t.Fatalf("BW at max uncore = %v", got)
+	}
+	low := cfg.BWAt(cfg.UncoreMinGHz)
+	if low >= cfg.BWPerSocketGBs || low <= cfg.BWFloorFrac*cfg.BWPerSocketGBs {
+		t.Fatalf("BW at min uncore = %v", low)
+	}
+	if cfg.BWAt(-1) != cfg.BWFloorFrac*cfg.BWPerSocketGBs {
+		t.Fatal("BW below zero not clamped to floor")
+	}
+	if cfg.BWAt(99) != cfg.BWPerSocketGBs {
+		t.Fatal("BW above max not clamped")
+	}
+}
+
+func TestIdleNodeState(t *testing.T) {
+	n := New(IntelA100())
+	stepFor(n, 200*time.Millisecond)
+	// Uncore follows the vendor-default limit: max.
+	for s := 0; s < 2; s++ {
+		if f := n.UncoreFreqGHz(s); f < 2.19 {
+			t.Fatalf("idle uncore socket %d = %v, want ≈2.2", s, f)
+		}
+	}
+	// Idle power: core idle + uncore at max, both sockets, plus DRAM.
+	cpu := n.CPUPowerW()
+	if cpu < 100 || cpu > 220 {
+		t.Fatalf("idle CPU power = %v W, want O(100–220)", cpu)
+	}
+	if n.AttainedGBs() != 0 {
+		t.Fatalf("idle attained = %v", n.AttainedGBs())
+	}
+	// GPU idles near its floor.
+	if p := n.GPUPowerW(0); p < 29 || p > 35 {
+		t.Fatalf("idle GPU power = %v, want ≈30", p)
+	}
+}
+
+func TestUncoreLimitWriteTakesEffect(t *testing.T) {
+	n := New(IntelA100())
+	stepFor(n, 100*time.Millisecond)
+	highPower := n.CPUPowerW()
+
+	dev := n.MSRDevice()
+	for s := 0; s < 2; s++ {
+		cpu0 := n.Space().FirstCPUOf(s)
+		old, err := dev.Read(cpu0, msr.UncoreRatioLimit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dev.Write(cpu0, msr.UncoreRatioLimit, msr.WithUncoreMax(old, 0.8e9)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stepFor(n, 100*time.Millisecond)
+	for s := 0; s < 2; s++ {
+		if f := n.UncoreFreqGHz(s); f > 0.85 {
+			t.Fatalf("uncore socket %d = %v after limit write, want ≈0.8", s, f)
+		}
+	}
+	lowPower := n.CPUPowerW()
+	// Two sockets dropping their uncore dynamic power: the Figure 2
+	// swing (≈82 W) within generous bounds.
+	if d := highPower - lowPower; d < 60 || d > 110 {
+		t.Fatalf("uncore power swing = %v W, want ≈80", d)
+	}
+	// Status register tracks the effective frequency.
+	st := n.Space().Peek(0, msr.UncorePerfStatus)
+	if st != 8 {
+		t.Fatalf("UncorePerfStatus ratio = %d, want 8", st)
+	}
+}
+
+func TestUncoreSlewIsGradual(t *testing.T) {
+	n := New(IntelA100())
+	stepFor(n, 50*time.Millisecond)
+	dev := n.MSRDevice()
+	old, _ := dev.Read(0, msr.UncoreRatioLimit)
+	dev.Write(0, msr.UncoreRatioLimit, msr.WithUncoreMax(old, 0.8e9))
+	n.Step(0, time.Millisecond)
+	if f := n.UncoreFreqGHz(0); f < 1.5 {
+		t.Fatalf("uncore jumped instantly to %v", f)
+	}
+}
+
+func TestMemoryServiceClipping(t *testing.T) {
+	n := New(IntelA100())
+	n.SetDemand(workload.Demand{MemGBs: 380, MemBoundFrac: 1})
+	stepFor(n, 100*time.Millisecond)
+	if att := n.AttainedGBs(); att < 379 || att > 380.5 {
+		t.Fatalf("attained at max uncore = %v, want ≈380", att)
+	}
+	// Clamp uncore to min: service drops to BW(0.8)·2 ≈ 183.
+	dev := n.MSRDevice()
+	for s := 0; s < 2; s++ {
+		cpu0 := n.Space().FirstCPUOf(s)
+		old, _ := dev.Read(cpu0, msr.UncoreRatioLimit)
+		dev.Write(cpu0, msr.UncoreRatioLimit, msr.WithUncoreMax(old, 0.8e9))
+	}
+	stepFor(n, 100*time.Millisecond)
+	cfg := n.Config()
+	wantBW := 2 * cfg.BWAt(cfg.UncoreMinGHz)
+	if att := n.AttainedGBs(); att < wantBW*0.98 || att > wantBW*1.02 {
+		t.Fatalf("attained at min uncore = %v, want ≈%v", att, wantBW)
+	}
+	// ServedGB integrates.
+	if n.ServedGB() <= 0 {
+		t.Fatal("ServedGB did not accumulate")
+	}
+}
+
+func TestRaplCountersMatchAccumulators(t *testing.T) {
+	n := New(IntelA100())
+	n.SetDemand(workload.Demand{MemGBs: 100, CPUBusyCores: 8})
+	stepFor(n, 2*time.Second)
+	pkgJ, drmJ, _ := n.EnergyJ()
+
+	var ctrPkg, ctrDrm float64
+	for s := 0; s < 2; s++ {
+		cpu0 := n.Space().FirstCPUOf(s)
+		unit := 1.0 / 16384
+		ctrPkg += float64(n.Space().Peek(cpu0, msr.PkgEnergyStatus)) * unit
+		ctrDrm += float64(n.Space().Peek(cpu0, msr.DramEnergyStatus)) * unit
+	}
+	if diff := pkgJ - ctrPkg; diff < 0 || diff > 0.01 {
+		t.Fatalf("pkg energy: accumulator %v vs counter %v", pkgJ, ctrPkg)
+	}
+	if diff := drmJ - ctrDrm; diff < 0 || diff > 0.01 {
+		t.Fatalf("dram energy: accumulator %v vs counter %v", drmJ, ctrDrm)
+	}
+	// Sanity: ≈2 s at >100 W means hundreds of joules.
+	if pkgJ < 150 {
+		t.Fatalf("pkg energy = %v J after 2 s", pkgJ)
+	}
+}
+
+func TestTDPClampEngagesUnderExtremeLoad(t *testing.T) {
+	cfg := IntelA100()
+	cfg.TDPWatts = 120 // artificially low so the clamp must engage
+	n := New(cfg)
+	n.SetDemand(workload.Demand{CPUBusyCores: 80, MemGBs: 350, MemBoundFrac: 0.5})
+	stepFor(n, 3*time.Second)
+	if f := n.UncoreFreqGHz(0); f > 1.8 {
+		t.Fatalf("uncore = %v GHz under TDP pressure, want backed off", f)
+	}
+}
+
+func TestTDPClampStaysIdleForGPUWorkloads(t *testing.T) {
+	// The paper's core observation: GPU-dominant workloads never get
+	// near TDP, so the default behaviour leaves uncore at max.
+	n := New(IntelA100())
+	n.SetDemand(workload.Demand{CPUBusyCores: 10, MemGBs: 150, MemBoundFrac: 0.5, GPUSMUtil: 0.9})
+	stepFor(n, 3*time.Second)
+	if f := n.UncoreFreqGHz(0); f < 2.19 {
+		t.Fatalf("uncore = %v GHz, want pinned at 2.2 (no TDP pressure)", f)
+	}
+	if p := n.PkgPowerW(0); p > 0.9*n.Config().TDPWatts {
+		t.Fatalf("GPU workload pkg power %v W too close to TDP %v", p, n.Config().TDPWatts)
+	}
+}
+
+func TestFixedCountersAndIPC(t *testing.T) {
+	n := New(IntelA100())
+	n.SetDemand(workload.Demand{CPUBusyCores: 4, MemGBs: 100, MemBoundFrac: 0.5})
+	stepFor(n, time.Second)
+	dev := n.MSRDevice()
+	inst, err := dev.Read(0, msr.FixedCtrInstRetired)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyc, err := dev.Read(0, msr.FixedCtrCPUCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst == 0 || cyc == 0 {
+		t.Fatal("busy core counters did not advance")
+	}
+	ipc := float64(inst) / float64(cyc)
+	if ipc < 1.8 || ipc > 2.05 {
+		t.Fatalf("full-service IPC = %v, want ≈2", ipc)
+	}
+	// An idle core holds at zero.
+	instIdle, _ := dev.Read(39, msr.FixedCtrInstRetired)
+	if instIdle != 0 {
+		t.Fatalf("idle core instructions = %d", instIdle)
+	}
+}
+
+func TestIPCDropsUnderStarvation(t *testing.T) {
+	n := New(IntelA100())
+	dev := n.MSRDevice()
+	for s := 0; s < 2; s++ {
+		cpu0 := n.Space().FirstCPUOf(s)
+		old, _ := dev.Read(cpu0, msr.UncoreRatioLimit)
+		dev.Write(cpu0, msr.UncoreRatioLimit, msr.WithUncoreMax(old, 0.8e9))
+	}
+	n.SetDemand(workload.Demand{CPUBusyCores: 4, MemGBs: 380, MemBoundFrac: 1})
+	stepFor(n, time.Second)
+	inst, _ := dev.Read(0, msr.FixedCtrInstRetired)
+	cyc, _ := dev.Read(0, msr.FixedCtrCPUCycles)
+	ipc := float64(inst) / float64(cyc)
+	if ipc > 1.4 {
+		t.Fatalf("starved IPC = %v, want well below 2", ipc)
+	}
+}
+
+func TestDaemonBusyRaisesPower(t *testing.T) {
+	n := New(IntelA100())
+	stepFor(n, 100*time.Millisecond)
+	base := n.PkgPowerW(0)
+	n.AddDaemonBusy(50*time.Millisecond, 1.0, 3.0)
+	n.Step(0, time.Millisecond)
+	during := n.PkgPowerW(0)
+	if during <= base+2.5 {
+		t.Fatalf("daemon power: %v -> %v, want ≥ +3 W", base, during)
+	}
+	// Work drains: after 60 ms power returns near base.
+	stepFor(n, 200*time.Millisecond)
+	after := n.PkgPowerW(0)
+	if after > base+1 {
+		t.Fatalf("daemon power did not drain: %v vs base %v", after, base)
+	}
+}
+
+func TestGPUDynamics(t *testing.T) {
+	n := New(IntelA100())
+	n.SetDemand(workload.Demand{GPUSMUtil: 0.95, GPUMemUtil: 0.7})
+	stepFor(n, 500*time.Millisecond)
+	if clk := n.GPUClockMHz(0); clk < 1380 {
+		t.Fatalf("loaded GPU clock = %v, want ≈1410", clk)
+	}
+	if p := n.GPUPowerW(0); p < 150 || p > 252 {
+		t.Fatalf("loaded GPU power = %v", p)
+	}
+	sm, mem := n.GPUUtil(0)
+	if sm != 0.95 || mem != 0.7 {
+		t.Fatalf("GPU util = %v/%v", sm, mem)
+	}
+	if n.GPUEnergyJ(0) <= 0 {
+		t.Fatal("GPU energy did not accumulate")
+	}
+	_, _, gpuJ := n.EnergyJ()
+	if gpuJ <= 0 {
+		t.Fatal("node GPU energy total missing")
+	}
+}
+
+func TestEnergyMonotonicity(t *testing.T) {
+	n := New(IntelA100())
+	var lastPkg, lastDrm, lastGpu float64
+	for i := 0; i < 500; i++ {
+		n.Step(time.Duration(i)*time.Millisecond, time.Millisecond)
+		pkg, drm, gpu := n.EnergyJ()
+		if pkg < lastPkg || drm < lastDrm || gpu < lastGpu {
+			t.Fatalf("energy decreased at step %d", i)
+		}
+		lastPkg, lastDrm, lastGpu = pkg, drm, gpu
+	}
+}
+
+func TestPL1PowerCapEngagesClamp(t *testing.T) {
+	n := New(IntelA100())
+	// A load that sits near 200 W package per socket at max uncore —
+	// far below TDP (270 W), so the clamp stays idle by default.
+	n.SetDemand(workload.Demand{CPUBusyCores: 40, MemGBs: 300, MemBoundFrac: 0.6})
+	stepFor(n, 2*time.Second)
+	if f := n.UncoreFreqGHz(0); f < 2.19 {
+		t.Fatalf("uncore backed off without a cap: %v GHz", f)
+	}
+	before := n.PkgPowerW(0)
+
+	// Program a PL1 cap below the current draw on both sockets.
+	capVal := msr.EncodePowerLimit(before-40, 0.125, true)
+	for s := 0; s < 2; s++ {
+		if err := n.MSRDevice().Write(n.Space().FirstCPUOf(s), msr.PkgPowerLimit, capVal); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stepFor(n, 4*time.Second)
+	if f := n.UncoreFreqGHz(0); f > 1.9 {
+		t.Fatalf("uncore = %v GHz under PL1 pressure, want backed off", f)
+	}
+	after := n.PkgPowerW(0)
+	if after >= before-10 {
+		t.Fatalf("package power %v -> %v W, cap had no effect", before, after)
+	}
+	// A disabled cap is ignored.
+	n2 := New(IntelA100())
+	n2.SetDemand(workload.Demand{CPUBusyCores: 40, MemGBs: 300, MemBoundFrac: 0.6})
+	off := msr.EncodePowerLimit(100, 0.125, false)
+	for s := 0; s < 2; s++ {
+		n2.MSRDevice().Write(n2.Space().FirstCPUOf(s), msr.PkgPowerLimit, off)
+	}
+	stepFor(n2, 2*time.Second)
+	if f := n2.UncoreFreqGHz(0); f < 2.19 {
+		t.Fatalf("disabled cap engaged the clamp: %v GHz", f)
+	}
+}
+
+// Property: cumulative energy equals the step-held integral of the
+// power the node reported, and attained throughput never exceeds the
+// bandwidth available at the observed uncore frequency.
+func TestEnergyAndServiceProperties(t *testing.T) {
+	prop := func(seq []uint16) bool {
+		n := New(IntelA100())
+		cfg := n.Config()
+		var wantPkg, wantDrm, wantGpu float64
+		dt := time.Millisecond
+		for i, raw := range seq {
+			d := workload.Demand{
+				MemGBs:       float64(raw%500) * 1.1,
+				CPUBusyCores: float64((raw >> 3) % 80),
+				MemBoundFrac: float64(raw%11) / 10,
+				GPUSMUtil:    float64(raw%7) / 6,
+				GPUMemUtil:   float64(raw%5) / 4,
+			}
+			n.SetDemand(d)
+			n.Step(time.Duration(i)*dt, dt)
+			// Service bound: attained ≤ total bandwidth at the current
+			// uncore frequencies (+tiny slack for float error).
+			var bw float64
+			for s := 0; s < cfg.Sockets; s++ {
+				bw += cfg.BWAt(n.UncoreFreqGHz(s))
+			}
+			if n.AttainedGBs() > bw+1e-9 || n.AttainedGBs() > d.MemGBs+1e-9 {
+				return false
+			}
+			for s := 0; s < cfg.Sockets; s++ {
+				wantPkg += n.PkgPowerW(s) * dt.Seconds()
+				wantDrm += n.DramPowerW(s) * dt.Seconds()
+			}
+			for g := 0; g < n.GPUCount(); g++ {
+				wantGpu += n.GPUPowerW(g) * dt.Seconds()
+			}
+		}
+		pkg, drm, gpu := n.EnergyJ()
+		close := func(a, b float64) bool {
+			d := a - b
+			if d < 0 {
+				d = -d
+			}
+			return d <= 1e-6*(1+b)
+		}
+		return close(pkg, wantPkg) && close(drm, wantDrm) && close(gpu, wantGpu)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+// Package nvml models the slice of the NVIDIA Management Library (and
+// its oneAPI equivalent for Intel GPUs) that the evaluation uses: board
+// power draw, SM clock, utilisation and cumulative energy (§5 measures
+// GPU board energy as part of the energy-saving metric). The API shape
+// mirrors NVML: enumerate devices, then query per-device readouts.
+package nvml
+
+import "fmt"
+
+// Board is the read-side a device exposes; the node simulator
+// implements it.
+type Board interface {
+	GPUCount() int
+	GPUPowerW(i int) float64
+	GPUClockMHz(i int) float64
+	GPUUtil(i int) (sm, mem float64)
+	GPUEnergyJ(i int) float64
+}
+
+// API is the library handle (nvmlInit equivalent).
+type API struct {
+	board Board
+	names []string
+}
+
+// New initialises the API over a board with the given device names.
+// Names may be nil, in which case devices report a generic name.
+func New(board Board, names []string) (*API, error) {
+	if board == nil {
+		return nil, fmt.Errorf("nvml: nil board")
+	}
+	if names != nil && len(names) != board.GPUCount() {
+		return nil, fmt.Errorf("nvml: %d names for %d devices", len(names), board.GPUCount())
+	}
+	return &API{board: board, names: names}, nil
+}
+
+// DeviceCount returns the number of GPUs.
+func (a *API) DeviceCount() int { return a.board.GPUCount() }
+
+// DeviceByIndex returns a device handle.
+func (a *API) DeviceByIndex(i int) (*Device, error) {
+	if i < 0 || i >= a.board.GPUCount() {
+		return nil, fmt.Errorf("nvml: device index %d out of range [0,%d)", i, a.board.GPUCount())
+	}
+	return &Device{api: a, idx: i}, nil
+}
+
+// Device is one GPU handle.
+type Device struct {
+	api *API
+	idx int
+}
+
+// Name returns the device's marketing name.
+func (d *Device) Name() string {
+	if d.api.names != nil {
+		return d.api.names[d.idx]
+	}
+	return fmt.Sprintf("GPU-%d", d.idx)
+}
+
+// Index returns the device index.
+func (d *Device) Index() int { return d.idx }
+
+// PowerUsage returns current board power in milliwatts (NVML's unit).
+func (d *Device) PowerUsage() uint {
+	return uint(d.api.board.GPUPowerW(d.idx) * 1000)
+}
+
+// PowerUsageWatts returns current board power in watts.
+func (d *Device) PowerUsageWatts() float64 { return d.api.board.GPUPowerW(d.idx) }
+
+// SMClock returns the current SM clock in MHz.
+func (d *Device) SMClock() uint { return uint(d.api.board.GPUClockMHz(d.idx)) }
+
+// Utilization returns GPU and memory utilisation percentages, as
+// nvmlDeviceGetUtilizationRates does.
+func (d *Device) Utilization() (gpu, mem uint) {
+	sm, m := d.api.board.GPUUtil(d.idx)
+	return uint(sm*100 + 0.5), uint(m*100 + 0.5)
+}
+
+// TotalEnergyConsumption returns cumulative board energy in
+// millijoules (NVML's unit).
+func (d *Device) TotalEnergyConsumption() uint64 {
+	return uint64(d.api.board.GPUEnergyJ(d.idx) * 1000)
+}
+
+// TotalBoardPowerW sums current power across all devices.
+func (a *API) TotalBoardPowerW() float64 {
+	var p float64
+	for i := 0; i < a.board.GPUCount(); i++ {
+		p += a.board.GPUPowerW(i)
+	}
+	return p
+}
+
+// TotalBoardEnergyJ sums cumulative energy across all devices.
+func (a *API) TotalBoardEnergyJ() float64 {
+	var e float64
+	for i := 0; i < a.board.GPUCount(); i++ {
+		e += a.board.GPUEnergyJ(i)
+	}
+	return e
+}

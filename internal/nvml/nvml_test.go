@@ -1,0 +1,78 @@
+package nvml
+
+import "testing"
+
+// fakeBoard is a minimal Board with two GPUs.
+type fakeBoard struct{}
+
+func (fakeBoard) GPUCount() int                    { return 2 }
+func (fakeBoard) GPUPowerW(i int) float64          { return 100 + float64(i)*50 }
+func (fakeBoard) GPUClockMHz(i int) float64        { return 1410 }
+func (fakeBoard) GPUUtil(i int) (float64, float64) { return 0.95, 0.6 }
+func (fakeBoard) GPUEnergyJ(i int) float64         { return 1234.5 }
+
+func TestDeviceEnumeration(t *testing.T) {
+	a, err := New(fakeBoard{}, []string{"A100-40GB", "A100-40GB"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DeviceCount() != 2 {
+		t.Fatalf("DeviceCount = %d", a.DeviceCount())
+	}
+	d, err := a.DeviceByIndex(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "A100-40GB" || d.Index() != 1 {
+		t.Fatalf("device = %q idx %d", d.Name(), d.Index())
+	}
+	if _, err := a.DeviceByIndex(2); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if _, err := a.DeviceByIndex(-1); err == nil {
+		t.Fatal("negative index accepted")
+	}
+}
+
+func TestReadouts(t *testing.T) {
+	a, _ := New(fakeBoard{}, nil)
+	d, _ := a.DeviceByIndex(0)
+	if d.Name() != "GPU-0" {
+		t.Fatalf("generic name = %q", d.Name())
+	}
+	if d.PowerUsage() != 100000 {
+		t.Fatalf("PowerUsage = %d mW", d.PowerUsage())
+	}
+	if d.PowerUsageWatts() != 100 {
+		t.Fatalf("PowerUsageWatts = %v", d.PowerUsageWatts())
+	}
+	if d.SMClock() != 1410 {
+		t.Fatalf("SMClock = %d", d.SMClock())
+	}
+	gpu, mem := d.Utilization()
+	if gpu != 95 || mem != 60 {
+		t.Fatalf("Utilization = %d/%d", gpu, mem)
+	}
+	if d.TotalEnergyConsumption() != 1234500 {
+		t.Fatalf("energy = %d mJ", d.TotalEnergyConsumption())
+	}
+}
+
+func TestTotals(t *testing.T) {
+	a, _ := New(fakeBoard{}, nil)
+	if got := a.TotalBoardPowerW(); got != 250 {
+		t.Fatalf("TotalBoardPowerW = %v", got)
+	}
+	if got := a.TotalBoardEnergyJ(); got != 2469 {
+		t.Fatalf("TotalBoardEnergyJ = %v", got)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Fatal("nil board accepted")
+	}
+	if _, err := New(fakeBoard{}, []string{"one"}); err == nil {
+		t.Fatal("name-count mismatch accepted")
+	}
+}

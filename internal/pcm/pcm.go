@@ -1,0 +1,76 @@
+// Package pcm models the slice of Intel's Performance Counter Monitor
+// API that MAGUS consumes: system memory throughput derived from
+// integrated-memory-controller traffic counters. This is the *single*
+// hardware signal MAGUS reads (§3), chosen because one system-level
+// counter read is dramatically cheaper than per-core MSR sweeps.
+//
+// The monitor computes throughput as the traffic-counter delta over the
+// elapsed interval, exactly as PCM's uncore counter facility does. An
+// optional noise hook lets tests inject measurement jitter.
+package pcm
+
+import (
+	"fmt"
+	"time"
+)
+
+// TrafficCounter supplies cumulative served memory traffic in GB — on
+// hardware, the sum of IMC read+write CAS counters scaled to bytes; in
+// this repo, the node simulator's ServedGB.
+type TrafficCounter func() float64
+
+// Monitor converts a traffic counter into interval throughput readings.
+type Monitor struct {
+	counter TrafficCounter
+	noise   func(gbs float64) float64
+
+	lastGB  float64
+	lastAt  time.Duration
+	started bool
+
+	invocations uint64
+}
+
+// New builds a monitor over the given counter.
+func New(counter TrafficCounter) *Monitor {
+	if counter == nil {
+		panic("pcm: nil traffic counter")
+	}
+	return &Monitor{counter: counter}
+}
+
+// SetNoise installs a measurement-noise transform applied to every
+// reading (nil clears). Used for failure-injection tests.
+func (m *Monitor) SetNoise(fn func(gbs float64) float64) { m.noise = fn }
+
+// Invocations returns how many throughput readings were taken —
+// overhead accounting for Table 2.
+func (m *Monitor) Invocations() uint64 { return m.invocations }
+
+// SystemMemoryThroughput returns the average memory throughput in GB/s
+// since the previous call. The first call establishes a baseline and
+// returns zero. A zero-length interval also returns zero rather than
+// dividing by zero.
+func (m *Monitor) SystemMemoryThroughput(now time.Duration) (float64, error) {
+	cur := m.counter()
+	if cur+1e-9 < m.lastGB {
+		return 0, fmt.Errorf("pcm: traffic counter went backwards (%v -> %v)", m.lastGB, cur)
+	}
+	defer func() {
+		m.lastGB = cur
+		m.lastAt = now
+		m.started = true
+		m.invocations++
+	}()
+	if !m.started || now <= m.lastAt {
+		return 0, nil
+	}
+	gbs := (cur - m.lastGB) / (now - m.lastAt).Seconds()
+	if m.noise != nil {
+		gbs = m.noise(gbs)
+		if gbs < 0 {
+			gbs = 0
+		}
+	}
+	return gbs, nil
+}

@@ -1,0 +1,85 @@
+package pcm
+
+import (
+	"testing"
+	"time"
+)
+
+func TestThroughputFromDeltas(t *testing.T) {
+	var served float64
+	m := New(func() float64 { return served })
+
+	if gbs, err := m.SystemMemoryThroughput(0); err != nil || gbs != 0 {
+		t.Fatalf("baseline read = %v, %v", gbs, err)
+	}
+	served = 20 // 20 GB over 0.2 s -> 100 GB/s
+	gbs, err := m.SystemMemoryThroughput(200 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gbs < 99.9 || gbs > 100.1 {
+		t.Fatalf("throughput = %v, want 100", gbs)
+	}
+	served = 25 // 5 GB over 0.3 s
+	gbs, err = m.SystemMemoryThroughput(500 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gbs < 16.5 || gbs > 16.8 {
+		t.Fatalf("throughput = %v, want ≈16.67", gbs)
+	}
+	if m.Invocations() != 3 {
+		t.Fatalf("invocations = %d, want 3", m.Invocations())
+	}
+}
+
+func TestZeroIntervalSafe(t *testing.T) {
+	var served float64
+	m := New(func() float64 { return served })
+	m.SystemMemoryThroughput(time.Second)
+	served = 10
+	gbs, err := m.SystemMemoryThroughput(time.Second)
+	if err != nil || gbs != 0 {
+		t.Fatalf("zero-interval read = %v, %v", gbs, err)
+	}
+}
+
+func TestBackwardsCounterErrors(t *testing.T) {
+	served := 100.0
+	m := New(func() float64 { return served })
+	m.SystemMemoryThroughput(0)
+	served = 50
+	if _, err := m.SystemMemoryThroughput(time.Second); err == nil {
+		t.Fatal("backwards counter accepted")
+	}
+}
+
+func TestNoiseInjection(t *testing.T) {
+	var served float64
+	m := New(func() float64 { return served })
+	m.SetNoise(func(gbs float64) float64 { return gbs - 1000 })
+	m.SystemMemoryThroughput(0)
+	served = 10
+	gbs, err := m.SystemMemoryThroughput(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gbs != 0 {
+		t.Fatalf("noisy reading = %v, want clamped to 0", gbs)
+	}
+	m.SetNoise(func(gbs float64) float64 { return gbs * 2 })
+	served = 20
+	gbs, _ = m.SystemMemoryThroughput(2 * time.Second)
+	if gbs != 20 {
+		t.Fatalf("scaled reading = %v, want 20", gbs)
+	}
+}
+
+func TestNilCounterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(nil) did not panic")
+		}
+	}()
+	New(nil)
+}

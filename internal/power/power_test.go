@@ -1,0 +1,135 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCorePower(t *testing.T) {
+	p := CoreParams{IdleWatts: 35, MaxPerCoreWatts: 2.5, FreqExp: 2.4}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Power(0, 1); got != 35 {
+		t.Fatalf("idle power = %v, want 35", got)
+	}
+	if got := p.Power(40, 1); got != 35+100 {
+		t.Fatalf("full power = %v, want 135", got)
+	}
+	// Frequency scaling reduces active power superlinearly.
+	half := p.Power(40, 0.5)
+	if half <= 35 || half >= 35+50 {
+		t.Fatalf("half-freq power = %v, want in (35, 85)", half)
+	}
+	// Clamping.
+	if p.Power(-3, 1) != 35 {
+		t.Fatal("negative busyCores not clamped")
+	}
+	if p.Power(40, 2) != 135 {
+		t.Fatal("relFreq > 1 not clamped")
+	}
+}
+
+func TestUncorePower(t *testing.T) {
+	p := UncoreParams{BaseWatts: 6, DynMaxWatts: 47, TrafficWattsPerGBs: 0.02}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	max := p.Power(1, 0)
+	min := p.Power(0.8/2.2, 0)
+	if max != 53 {
+		t.Fatalf("max uncore power = %v, want 53", max)
+	}
+	// The quadratic form gives the ~40 W/socket swing the paper's
+	// Figure 2 implies (≈82 W over two sockets).
+	if d := max - min; d < 38 || d > 45 {
+		t.Fatalf("uncore swing = %v W, want ≈41 W", d)
+	}
+	if got := p.Power(1, 100) - max; math.Abs(got-2) > 1e-12 {
+		t.Fatalf("traffic power = %v, want 2", got)
+	}
+}
+
+func TestDramPower(t *testing.T) {
+	p := DramParams{IdleWatts: 10, WattsPerGBs: 0.15}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Power(0); got != 10 {
+		t.Fatalf("idle = %v", got)
+	}
+	if got := p.Power(200); got != 40 {
+		t.Fatalf("full bw = %v, want 40", got)
+	}
+	if got := p.Power(-5); got != 10 {
+		t.Fatalf("negative traffic = %v, want 10", got)
+	}
+}
+
+func TestGPUPower(t *testing.T) {
+	p := GPUParams{IdleWatts: 30, MaxWatts: 250, ComputeShare: 0.7}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Power(0, 1, 0); got != 30 {
+		t.Fatalf("idle = %v, want 30", got)
+	}
+	if got := p.Power(1, 1, 1); got != 250 {
+		t.Fatalf("max = %v, want 250", got)
+	}
+	// Memory-only activity draws the memory share.
+	if got := p.Power(0, 1, 1); math.Abs(got-(30+220*0.3)) > 1e-9 {
+		t.Fatalf("mem-only = %v, want 96", got)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bads := []interface{ Validate() error }{
+		CoreParams{IdleWatts: -1, MaxPerCoreWatts: 1, FreqExp: 2},
+		CoreParams{IdleWatts: 1, MaxPerCoreWatts: 0, FreqExp: 2},
+		CoreParams{IdleWatts: 1, MaxPerCoreWatts: 1, FreqExp: 9},
+		UncoreParams{BaseWatts: -1, DynMaxWatts: 1},
+		UncoreParams{BaseWatts: 1, DynMaxWatts: 0},
+		DramParams{IdleWatts: -1},
+		GPUParams{IdleWatts: 100, MaxWatts: 50, ComputeShare: 0.5},
+		GPUParams{IdleWatts: 10, MaxWatts: 50, ComputeShare: 1.5},
+	}
+	for i, b := range bads {
+		if b.Validate() == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, b)
+		}
+	}
+}
+
+// Properties: power is non-negative and monotone in each driver.
+func TestPowerMonotonicity(t *testing.T) {
+	core := CoreParams{IdleWatts: 30, MaxPerCoreWatts: 2.5, FreqExp: 2.4}
+	unc := UncoreParams{BaseWatts: 6, DynMaxWatts: 47, TrafficWattsPerGBs: 0.02}
+	gpu := GPUParams{IdleWatts: 30, MaxWatts: 250, ComputeShare: 0.7}
+
+	prop := func(a, b uint16) bool {
+		x := float64(a) / 65535
+		y := float64(b) / 65535
+		lo, hi := x, y
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if core.Power(lo*40, 1) > core.Power(hi*40, 1)+1e-9 {
+			return false
+		}
+		if core.Power(20, lo) > core.Power(20, hi)+1e-9 {
+			return false
+		}
+		if unc.Power(lo, 50) > unc.Power(hi, 50)+1e-9 {
+			return false
+		}
+		if gpu.Power(lo, 1, 0.5) > gpu.Power(hi, 1, 0.5)+1e-9 {
+			return false
+		}
+		return core.Power(lo*40, hi) >= 0 && unc.Power(lo, hi*300) >= 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

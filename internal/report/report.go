@@ -1,0 +1,165 @@
+// Package report renders experiment results for terminals and files:
+// aligned ASCII tables (the magus-bench output), CSV series (for
+// re-plotting the paper's figures with any plotting tool), and compact
+// unicode sparklines for eyeballing traces inline.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/spear-repro/magus/internal/telemetry"
+)
+
+// Table accumulates rows and writes an aligned ASCII table.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// AddRow appends a row; cells are stringified with %v, floats with
+// two decimals.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = strconv.FormatFloat(v, 'f', 2, 64)
+		case float32:
+			row[i] = strconv.FormatFloat(float64(v), 'f', 2, 64)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Write renders the table to w.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			parts[i] = pad(c, w)
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.headers)); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if _, err := fmt.Fprintln(w, line(sep)); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Write(&b) // strings.Builder never errors
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// WriteCSV writes named series as columns against a shared time axis
+// taken from the first series; series are sampled positionally (all
+// recorder series share timestamps). Header: time_s,name1,name2,...
+func WriteCSV(w io.Writer, names []string, series map[string]*telemetry.Series) error {
+	if len(names) == 0 {
+		return fmt.Errorf("report: no series to write")
+	}
+	first := series[names[0]]
+	if first == nil {
+		return fmt.Errorf("report: unknown series %q", names[0])
+	}
+	if _, err := fmt.Fprintf(w, "time_s,%s\n", strings.Join(names, ",")); err != nil {
+		return err
+	}
+	for i := 0; i < first.Len(); i++ {
+		cells := make([]string, 0, len(names)+1)
+		cells = append(cells, strconv.FormatFloat(first.Times[i], 'f', 3, 64))
+		for _, n := range names {
+			s := series[n]
+			if s == nil || i >= s.Len() {
+				return fmt.Errorf("report: series %q shorter than time axis", n)
+			}
+			cells = append(cells, strconv.FormatFloat(s.Values[i], 'f', 4, 64))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sparkLevels are the eight block characters used by Sparkline.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders a series as width unicode block characters scaled
+// between the series min and max.
+func Sparkline(s *telemetry.Series, width int) string {
+	if s == nil || s.Len() < 2 || width < 1 {
+		return ""
+	}
+	bins := s.Resample(width)
+	lo, hi := bins[0], bins[0]
+	for _, v := range bins {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	out := make([]rune, len(bins))
+	for i, v := range bins {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkLevels)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkLevels) {
+			idx = len(sparkLevels) - 1
+		}
+		out[i] = sparkLevels[idx]
+	}
+	return string(out)
+}

@@ -1,0 +1,128 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/spear-repro/magus/internal/telemetry"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tab := NewTable("App", "Loss%", "Saving%")
+	tab.AddRow("bfs", 0.4, 25.8)
+	tab.AddRow("particlefilter_naive", 2.234, 4.5)
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "App") {
+		t.Fatalf("header line: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("separator line: %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "2.23") {
+		t.Fatalf("float formatting: %q", lines[3])
+	}
+	// Columns align: "Loss%" starts at the same offset in each row.
+	col := strings.Index(lines[0], "Loss%")
+	if lines[2][col:col+1] == " " && lines[3][col:col+1] == " " {
+		t.Fatalf("column misaligned:\n%s", out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	a := &telemetry.Series{}
+	b := &telemetry.Series{}
+	for i := 0; i < 3; i++ {
+		a.Append(float64(i)*0.5, float64(i))
+		b.Append(float64(i)*0.5, float64(i)*10)
+	}
+	var sb strings.Builder
+	err := WriteCSV(&sb, []string{"a", "b"}, map[string]*telemetry.Series{"a": a, "b": b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "time_s,a,b" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 4 {
+		t.Fatalf("csv rows = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[2], "0.500,1.0000,10.0000") {
+		t.Fatalf("row 2 = %q", lines[2])
+	}
+}
+
+func TestWriteCSVErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteCSV(&sb, nil, nil); err == nil {
+		t.Fatal("empty names accepted")
+	}
+	if err := WriteCSV(&sb, []string{"x"}, map[string]*telemetry.Series{}); err == nil {
+		t.Fatal("missing series accepted")
+	}
+	a := &telemetry.Series{}
+	a.Append(0, 1)
+	a.Append(1, 2)
+	short := &telemetry.Series{}
+	short.Append(0, 1)
+	err := WriteCSV(&sb, []string{"a", "short"}, map[string]*telemetry.Series{"a": a, "short": short})
+	if err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := &telemetry.Series{}
+	for i := 0; i < 100; i++ {
+		s.Append(float64(i), float64(i%10))
+	}
+	line := Sparkline(s, 20)
+	if len([]rune(line)) != 20 {
+		t.Fatalf("sparkline width = %d", len([]rune(line)))
+	}
+	if Sparkline(nil, 10) != "" || Sparkline(&telemetry.Series{}, 10) != "" {
+		t.Fatal("degenerate sparkline not empty")
+	}
+	// Flat series renders the lowest level everywhere.
+	flat := &telemetry.Series{}
+	flat.Append(0, 5)
+	flat.Append(1, 5)
+	for _, r := range Sparkline(flat, 5) {
+		if r != '▁' {
+			t.Fatalf("flat sparkline = %q", Sparkline(flat, 5))
+		}
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tab := NewTable("A", "B")
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("empty table lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tab := NewTable("A", "B", "C")
+	tab.AddRow("only-one")
+	out := tab.String()
+	if !strings.Contains(out, "only-one") {
+		t.Fatalf("ragged row lost:\n%s", out)
+	}
+}
+
+func TestSparklineNegativeValues(t *testing.T) {
+	s := &telemetry.Series{}
+	for i := 0; i < 30; i++ {
+		s.Append(float64(i), float64(i%7)-3)
+	}
+	line := Sparkline(s, 10)
+	if len([]rune(line)) != 10 {
+		t.Fatalf("negative-value sparkline width = %d", len([]rune(line)))
+	}
+}

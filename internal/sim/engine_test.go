@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("zero clock Now = %v, want 0", c.Now())
+	}
+	c.Advance(250 * time.Millisecond)
+	c.Advance(750 * time.Millisecond)
+	if got := c.Now(); got != time.Second {
+		t.Fatalf("Now = %v, want 1s", got)
+	}
+	if got := c.Seconds(); got != 1.0 {
+		t.Fatalf("Seconds = %v, want 1.0", got)
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatalf("Reset: Now = %v, want 0", c.Now())
+	}
+}
+
+func TestClockNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Advance did not panic")
+		}
+	}()
+	var c Clock
+	c.Advance(-time.Millisecond)
+}
+
+func TestEngineRunFor(t *testing.T) {
+	e := NewEngine(time.Millisecond)
+	var steps int
+	var total time.Duration
+	e.AddComponent(ComponentFunc(func(now, dt time.Duration) {
+		steps++
+		total += dt
+	}))
+	e.RunFor(100 * time.Millisecond)
+	if steps != 100 {
+		t.Fatalf("steps = %d, want 100", steps)
+	}
+	if total != 100*time.Millisecond {
+		t.Fatalf("integrated time = %v, want 100ms", total)
+	}
+	if e.Clock().Now() != 100*time.Millisecond {
+		t.Fatalf("clock = %v, want 100ms", e.Clock().Now())
+	}
+}
+
+func TestEngineDefaultStep(t *testing.T) {
+	e := NewEngine(0)
+	if e.Step() != DefaultStep {
+		t.Fatalf("Step = %v, want %v", e.Step(), DefaultStep)
+	}
+}
+
+func TestTaskFixedInterval(t *testing.T) {
+	e := NewEngine(time.Millisecond)
+	var fires []time.Duration
+	e.AddTask(&Task{
+		Name:     "gov",
+		Interval: 10 * time.Millisecond,
+		Fn: func(now time.Duration) time.Duration {
+			fires = append(fires, now)
+			return 0 // use configured interval
+		},
+	}, 0)
+	e.RunFor(35 * time.Millisecond)
+	want := []time.Duration{0, 10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond}
+	if len(fires) != len(want) {
+		t.Fatalf("fires = %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fire %d at %v, want %v", i, fires[i], want[i])
+		}
+	}
+}
+
+func TestTaskSelfScheduling(t *testing.T) {
+	// A task that takes 100ms to run and sleeps 200ms schedules itself
+	// every 300ms — the MAGUS decision-period model from §6.5.
+	e := NewEngine(time.Millisecond)
+	var fires []time.Duration
+	e.AddTask(&Task{
+		Name:     "magus",
+		Interval: 200 * time.Millisecond,
+		Fn: func(now time.Duration) time.Duration {
+			fires = append(fires, now)
+			return 300 * time.Millisecond
+		},
+	}, 0)
+	e.RunFor(time.Second)
+	want := []time.Duration{0, 300 * time.Millisecond, 600 * time.Millisecond, 900 * time.Millisecond}
+	if len(fires) != len(want) {
+		t.Fatalf("got %d fires %v, want %v", len(fires), fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fire %d at %v, want %v", i, fires[i], want[i])
+		}
+	}
+}
+
+func TestTaskDelayedStart(t *testing.T) {
+	e := NewEngine(time.Millisecond)
+	var first time.Duration = -1
+	e.AddTask(&Task{
+		Name:     "late",
+		Interval: 50 * time.Millisecond,
+		Fn: func(now time.Duration) time.Duration {
+			if first < 0 {
+				first = now
+			}
+			return 0
+		},
+	}, 2*time.Second)
+	e.RunFor(2100 * time.Millisecond)
+	if first != 2*time.Second {
+		t.Fatalf("first fire at %v, want 2s", first)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine(time.Millisecond)
+	var acc time.Duration
+	e.AddComponent(ComponentFunc(func(now, dt time.Duration) { acc += dt }))
+	at, err := e.RunUntil(func() bool { return acc >= 42*time.Millisecond }, time.Second)
+	if err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if at != 42*time.Millisecond {
+		t.Fatalf("stopped at %v, want 42ms", at)
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	e := NewEngine(time.Millisecond)
+	_, err := e.RunUntil(func() bool { return false }, 50*time.Millisecond)
+	if err != ErrHorizon {
+		t.Fatalf("err = %v, want ErrHorizon", err)
+	}
+}
+
+func TestComponentOrder(t *testing.T) {
+	e := NewEngine(time.Millisecond)
+	var order []int
+	e.AddComponent(ComponentFunc(func(now, dt time.Duration) { order = append(order, 1) }))
+	e.AddComponent(ComponentFunc(func(now, dt time.Duration) { order = append(order, 2) }))
+	e.RunFor(time.Millisecond)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v, want [1 2]", order)
+	}
+}
+
+func TestAddTaskValidation(t *testing.T) {
+	e := NewEngine(0)
+	for name, task := range map[string]*Task{
+		"nil fn":        {Name: "x", Interval: time.Second},
+		"zero interval": {Name: "x", Interval: 0, Fn: func(time.Duration) time.Duration { return 0 }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: AddTask did not panic", name)
+				}
+			}()
+			e.AddTask(task, 0)
+		}()
+	}
+}

@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// JSON serialisation of workload programs, so users can model their
+// own applications without recompiling (magusd -workload-file). The
+// wire format mirrors the Phase fields, with durations as Go duration
+// strings ("1.5s", "300ms") and shapes by name.
+//
+// Example:
+//
+//	{
+//	  "name": "my-training-job",
+//	  "repeat": 8,
+//	  "prologue": [
+//	    {"name": "startup", "duration": "2s", "mem": 0.05, "beta": 0.1}
+//	  ],
+//	  "phases": [
+//	    {"name": "load", "duration": "1.2s", "mem": 0.8, "beta": 0.85,
+//	     "cpu_busy_cores": 8, "gpu_sm": 0.3, "gpu_mem": 0.5},
+//	    {"name": "train", "duration": "3s", "mem": 0.1, "beta": 0.2,
+//	     "gpu_sm": 0.95, "gpu_mem": 0.7}
+//	  ]
+//	}
+
+type phaseJSON struct {
+	Name         string  `json:"name"`
+	Duration     string  `json:"duration"`
+	Mem          float64 `json:"mem"`
+	MemLow       float64 `json:"mem_low,omitempty"`
+	Shape        string  `json:"shape,omitempty"`
+	Period       string  `json:"period,omitempty"`
+	Duty         float64 `json:"duty,omitempty"`
+	BurstLen     string  `json:"burst_len,omitempty"`
+	Beta         float64 `json:"beta,omitempty"`
+	CPUBusyCores float64 `json:"cpu_busy_cores,omitempty"`
+	GPUSM        float64 `json:"gpu_sm,omitempty"`
+	GPUSMLow     float64 `json:"gpu_sm_low,omitempty"`
+	GPUAntiPhase bool    `json:"gpu_anti_phase,omitempty"`
+	GPUMem       float64 `json:"gpu_mem,omitempty"`
+	Jitter       float64 `json:"jitter,omitempty"`
+	NUMASkew     float64 `json:"numa_skew,omitempty"`
+	CPUIntensity float64 `json:"cpu_intensity,omitempty"`
+}
+
+type programJSON struct {
+	Name     string      `json:"name"`
+	Repeat   int         `json:"repeat,omitempty"`
+	Prologue []phaseJSON `json:"prologue,omitempty"`
+	Phases   []phaseJSON `json:"phases"`
+}
+
+// shapeNames maps wire names to Shape values; the empty string selects
+// Constant.
+var shapeNames = map[string]Shape{
+	"":          Constant,
+	"constant":  Constant,
+	"square":    Square,
+	"bursts":    Bursts,
+	"ramp-up":   RampUp,
+	"ramp-down": RampDown,
+}
+
+func phaseFromJSON(pj phaseJSON, where string) (Phase, error) {
+	var ph Phase
+	shape, ok := shapeNames[pj.Shape]
+	if !ok {
+		return ph, fmt.Errorf("workload: %s: unknown shape %q", where, pj.Shape)
+	}
+	parse := func(field, v string) (time.Duration, error) {
+		if v == "" {
+			return 0, nil
+		}
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return 0, fmt.Errorf("workload: %s: bad %s %q: %w", where, field, v, err)
+		}
+		return d, nil
+	}
+	dur, err := parse("duration", pj.Duration)
+	if err != nil {
+		return ph, err
+	}
+	period, err := parse("period", pj.Period)
+	if err != nil {
+		return ph, err
+	}
+	burst, err := parse("burst_len", pj.BurstLen)
+	if err != nil {
+		return ph, err
+	}
+	return Phase{
+		Name: pj.Name, Duration: dur,
+		Mem: pj.Mem, MemLow: pj.MemLow, Shape: shape,
+		Period: period, Duty: pj.Duty, BurstLen: burst,
+		Beta: pj.Beta, CPUBusyCores: pj.CPUBusyCores,
+		GPUSM: pj.GPUSM, GPUSMLow: pj.GPUSMLow,
+		GPUAntiPhase: pj.GPUAntiPhase, GPUMem: pj.GPUMem,
+		Jitter: pj.Jitter, NUMASkew: pj.NUMASkew, CPUIntensity: pj.CPUIntensity,
+	}, nil
+}
+
+func phaseToJSON(ph Phase) phaseJSON {
+	pj := phaseJSON{
+		Name: ph.Name, Duration: ph.Duration.String(),
+		Mem: ph.Mem, MemLow: ph.MemLow, Shape: ph.Shape.String(),
+		Duty: ph.Duty, Beta: ph.Beta, CPUBusyCores: ph.CPUBusyCores,
+		GPUSM: ph.GPUSM, GPUSMLow: ph.GPUSMLow,
+		GPUAntiPhase: ph.GPUAntiPhase, GPUMem: ph.GPUMem,
+		Jitter: ph.Jitter, NUMASkew: ph.NUMASkew, CPUIntensity: ph.CPUIntensity,
+	}
+	if ph.Period > 0 {
+		pj.Period = ph.Period.String()
+	}
+	if ph.BurstLen > 0 {
+		pj.BurstLen = ph.BurstLen.String()
+	}
+	return pj
+}
+
+// FromJSON decodes a workload program and validates it.
+func FromJSON(r io.Reader) (*Program, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var pj programJSON
+	if err := dec.Decode(&pj); err != nil {
+		return nil, fmt.Errorf("workload: decode: %w", err)
+	}
+	p := &Program{Name: pj.Name, Repeat: pj.Repeat}
+	for i, phj := range pj.Prologue {
+		ph, err := phaseFromJSON(phj, fmt.Sprintf("%s prologue[%d]", pj.Name, i))
+		if err != nil {
+			return nil, err
+		}
+		p.Prologue = append(p.Prologue, ph)
+	}
+	for i, phj := range pj.Phases {
+		ph, err := phaseFromJSON(phj, fmt.Sprintf("%s phases[%d]", pj.Name, i))
+		if err != nil {
+			return nil, err
+		}
+		p.Phases = append(p.Phases, ph)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// WriteJSON encodes the program (indented, stable field order).
+func (p *Program) WriteJSON(w io.Writer) error {
+	pj := programJSON{Name: p.Name, Repeat: p.Repeat}
+	for _, ph := range p.Prologue {
+		pj.Prologue = append(pj.Prologue, phaseToJSON(ph))
+	}
+	for _, ph := range p.Phases {
+		pj.Phases = append(pj.Phases, phaseToJSON(ph))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(pj)
+}

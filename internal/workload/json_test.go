@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleJSON = `{
+  "name": "my-training-job",
+  "repeat": 3,
+  "prologue": [
+    {"name": "startup", "duration": "2s", "mem": 0.05, "beta": 0.1}
+  ],
+  "phases": [
+    {"name": "load", "duration": "1.2s", "mem": 0.8, "beta": 0.85,
+     "cpu_busy_cores": 8, "gpu_sm": 0.3, "gpu_mem": 0.5},
+    {"name": "train", "duration": "3s", "mem": 0.1, "beta": 0.2,
+     "gpu_sm": 0.95, "gpu_mem": 0.7},
+    {"name": "exchange", "duration": "500ms", "mem": 0.6, "mem_low": 0.1,
+     "shape": "square", "period": "250ms", "duty": 0.5, "beta": 0.7}
+  ]
+}`
+
+func TestFromJSON(t *testing.T) {
+	p, err := FromJSON(strings.NewReader(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "my-training-job" || p.Repeat != 3 {
+		t.Fatalf("header: %q repeat %d", p.Name, p.Repeat)
+	}
+	if len(p.Prologue) != 1 || len(p.Phases) != 3 {
+		t.Fatalf("phases: %d/%d", len(p.Prologue), len(p.Phases))
+	}
+	if p.Phases[0].Duration != 1200*time.Millisecond || p.Phases[0].CPUBusyCores != 8 {
+		t.Fatalf("load phase: %+v", p.Phases[0])
+	}
+	if p.Phases[2].Shape != Square || p.Phases[2].Period != 250*time.Millisecond {
+		t.Fatalf("exchange phase: %+v", p.Phases[2])
+	}
+	want := 2*time.Second + 3*(1200*time.Millisecond+3*time.Second+500*time.Millisecond)
+	if p.NominalDuration() != want {
+		t.Fatalf("nominal = %v, want %v", p.NominalDuration(), want)
+	}
+	// And it runs.
+	r := NewRunner(p, 400, 1)
+	r.SetAttained(func() float64 { return 1e9 })
+	var now time.Duration
+	for !r.Done() && now < time.Minute {
+		r.Step(now, time.Millisecond)
+		now += time.Millisecond
+	}
+	if !r.Done() {
+		t.Fatal("decoded program did not run to completion")
+	}
+}
+
+func TestJSONRoundtrip(t *testing.T) {
+	orig, _ := ByName("srad")
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != orig.Name || len(back.Phases) != len(orig.Phases) {
+		t.Fatalf("roundtrip shape: %q %d phases", back.Name, len(back.Phases))
+	}
+	for i := range orig.Phases {
+		a, b := orig.Phases[i], back.Phases[i]
+		if a != b {
+			t.Fatalf("phase %d mismatch:\n%+v\n%+v", i, a, b)
+		}
+	}
+}
+
+func TestJSONRoundtripAllCatalog(t *testing.T) {
+	for _, name := range Names() {
+		p, _ := ByName(name)
+		var buf bytes.Buffer
+		if err := p.WriteJSON(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		back, err := FromJSON(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if back.NominalDuration() != p.NominalDuration() {
+			t.Fatalf("%s: duration drift %v vs %v", name, back.NominalDuration(), p.NominalDuration())
+		}
+	}
+}
+
+func TestFromJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":         `{`,
+		"unknown field":    `{"name":"x","phases":[],"bogus":1}`,
+		"unknown shape":    `{"name":"x","phases":[{"name":"a","duration":"1s","mem":0.5,"shape":"sine"}]}`,
+		"bad duration":     `{"name":"x","phases":[{"name":"a","duration":"fast","mem":0.5}]}`,
+		"no phases":        `{"name":"x","phases":[]}`,
+		"invalid phase":    `{"name":"x","phases":[{"name":"a","duration":"1s","mem":1.5}]}`,
+		"square no period": `{"name":"x","phases":[{"name":"a","duration":"1s","mem":0.5,"shape":"square"}]}`,
+	}
+	for label, js := range cases {
+		if _, err := FromJSON(strings.NewReader(js)); err == nil {
+			t.Errorf("%s: accepted", label)
+		}
+	}
+}

@@ -1,0 +1,319 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func simpleProgram() *Program {
+	return &Program{
+		Name: "test",
+		Phases: []Phase{
+			{Name: "a", Duration: time.Second, Mem: 0.5, Shape: Constant, Beta: 0.8, CPUBusyCores: 2, GPUSM: 0.5},
+			{Name: "b", Duration: 2 * time.Second, Mem: 0.1, Shape: Constant, Beta: 0.2, GPUSM: 0.9},
+		},
+	}
+}
+
+func TestNominalDuration(t *testing.T) {
+	p := simpleProgram()
+	if got := p.NominalDuration(); got != 3*time.Second {
+		t.Fatalf("NominalDuration = %v, want 3s", got)
+	}
+	p.Repeat = 3
+	if got := p.NominalDuration(); got != 9*time.Second {
+		t.Fatalf("repeated NominalDuration = %v, want 9s", got)
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	bad := []*Program{
+		{Name: ""},
+		{Name: "x"},
+		{Name: "x", Phases: []Phase{{Duration: 0}}},
+		{Name: "x", Phases: []Phase{{Duration: time.Second, Mem: 1.5}}},
+		{Name: "x", Phases: []Phase{{Duration: time.Second, Mem: 0.3, MemLow: 0.5}}},
+		{Name: "x", Phases: []Phase{{Duration: time.Second, Mem: 0.3, Beta: 2}}},
+		{Name: "x", Phases: []Phase{{Duration: time.Second, Mem: 0.3, Shape: Square}}},
+		{Name: "x", Phases: []Phase{{Duration: time.Second, Mem: 0.3, Duty: 1.2}}},
+		{Name: "x", Phases: []Phase{{Duration: time.Second, Mem: 0.3, Jitter: 0.9}}},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, p)
+		}
+	}
+}
+
+func TestRunnerFullServiceFinishesOnTime(t *testing.T) {
+	r := NewRunner(simpleProgram(), 400, 1)
+	// Full service: attained always equals previous demand.
+	var lastDemand float64
+	r.SetAttained(func() float64 { return lastDemand })
+	dt := time.Millisecond
+	var now time.Duration
+	for !r.Done() {
+		r.Step(now, dt)
+		lastDemand = r.Demand().MemGBs
+		now += dt
+		if now > 10*time.Second {
+			t.Fatal("runner did not finish")
+		}
+	}
+	nominal := simpleProgram().NominalDuration()
+	if got := r.Elapsed(); got < nominal || got > nominal+5*time.Millisecond {
+		t.Fatalf("elapsed = %v, want ≈%v", got, nominal)
+	}
+}
+
+func TestRunnerStarvationStretchesRuntime(t *testing.T) {
+	prog := &Program{
+		Name: "membound",
+		Phases: []Phase{
+			{Name: "m", Duration: 2 * time.Second, Mem: 0.5, Shape: Constant, Beta: 1.0},
+		},
+	}
+	r := NewRunner(prog, 400, 1) // demand = 200 GB/s
+	r.SetAttained(func() float64 { return 100 })
+	dt := time.Millisecond
+	var now time.Duration
+	for !r.Done() {
+		r.Step(now, dt)
+		now += dt
+		if now > 30*time.Second {
+			t.Fatal("runner did not finish")
+		}
+	}
+	// Served at half demand with β=1 → 2× nominal runtime.
+	if got := r.Elapsed(); got < 3900*time.Millisecond || got > 4100*time.Millisecond {
+		t.Fatalf("starved elapsed = %v, want ≈4s", got)
+	}
+}
+
+func TestRunnerComputeBoundIgnoresStarvation(t *testing.T) {
+	prog := &Program{
+		Name:   "compute",
+		Phases: []Phase{{Name: "c", Duration: time.Second, Mem: 0.5, Shape: Constant, Beta: 0}},
+	}
+	r := NewRunner(prog, 400, 1)
+	r.SetAttained(func() float64 { return 0 })
+	var now time.Duration
+	for !r.Done() {
+		r.Step(now, time.Millisecond)
+		now += time.Millisecond
+	}
+	if got := r.Elapsed(); got > 1010*time.Millisecond {
+		t.Fatalf("compute-bound elapsed = %v, want ≈1s", got)
+	}
+}
+
+func TestSquareShape(t *testing.T) {
+	prog := &Program{
+		Name: "sq",
+		Phases: []Phase{{
+			Name: "s", Duration: 10 * time.Second, Mem: 0.8, MemLow: 0.2,
+			Shape: Square, Period: 100 * time.Millisecond, Duty: 0.5,
+		}},
+	}
+	r := NewRunner(prog, 100, 1)
+	r.SetAttained(func() float64 { return 1000 })
+	var highs, lows int
+	var now time.Duration
+	for i := 0; i < 1000; i++ {
+		r.Step(now, time.Millisecond)
+		now += time.Millisecond
+		switch d := r.Demand().MemGBs; {
+		case d > 70:
+			highs++
+		case d < 30:
+			lows++
+		default:
+			t.Fatalf("square demand %v outside both levels", d)
+		}
+	}
+	if highs < 400 || lows < 400 {
+		t.Fatalf("square duty: %d high / %d low, want ≈500/500", highs, lows)
+	}
+}
+
+func TestRampShapes(t *testing.T) {
+	prog := &Program{
+		Name: "ramp",
+		Phases: []Phase{{
+			Name: "up", Duration: time.Second, Mem: 1.0, MemLow: 0.0, Shape: RampUp,
+		}},
+	}
+	r := NewRunner(prog, 100, 1)
+	r.SetAttained(func() float64 { return 1000 })
+	var now time.Duration
+	var early, late float64
+	for i := 0; i < 999; i++ {
+		r.Step(now, time.Millisecond)
+		now += time.Millisecond
+		if i == 100 {
+			early = r.Demand().MemGBs
+		}
+		if i == 900 {
+			late = r.Demand().MemGBs
+		}
+	}
+	if !(early < late) || early > 20 || late < 80 {
+		t.Fatalf("ramp: early=%v late=%v", early, late)
+	}
+}
+
+func TestBurstsDeterministic(t *testing.T) {
+	prog := &Program{
+		Name: "bursty",
+		Phases: []Phase{{
+			Name: "b", Duration: 20 * time.Second, Mem: 0.9, MemLow: 0.1,
+			Shape: Bursts, Period: time.Second, Duty: 0.5, BurstLen: 200 * time.Millisecond,
+		}},
+	}
+	run := func(seed int64) []float64 {
+		r := NewRunner(prog, 100, seed)
+		r.SetAttained(func() float64 { return 1000 })
+		var out []float64
+		var now time.Duration
+		for i := 0; i < 5000; i++ {
+			r.Step(now, time.Millisecond)
+			now += time.Millisecond
+			out = append(out, r.Demand().MemGBs)
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at step %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical burst schedules")
+	}
+}
+
+func TestGPUAntiPhase(t *testing.T) {
+	prog := &Program{
+		Name: "anti",
+		Phases: []Phase{{
+			Name: "s", Duration: 10 * time.Second, Mem: 0.8, MemLow: 0.1,
+			Shape: Square, Period: 100 * time.Millisecond, Duty: 0.5,
+			GPUSM: 0.9, GPUSMLow: 0.3, GPUAntiPhase: true,
+		}},
+	}
+	r := NewRunner(prog, 100, 1)
+	r.SetAttained(func() float64 { return 1000 })
+	var now time.Duration
+	seenHighMemLowSM, seenLowMemHighSM := false, false
+	for i := 0; i < 500; i++ {
+		r.Step(now, time.Millisecond)
+		now += time.Millisecond
+		d := r.Demand()
+		if d.MemGBs > 70 && d.GPUSMUtil == 0.3 {
+			seenHighMemLowSM = true
+		}
+		if d.MemGBs < 30 && d.GPUSMUtil == 0.9 {
+			seenLowMemHighSM = true
+		}
+	}
+	if !seenHighMemLowSM || !seenLowMemHighSM {
+		t.Fatalf("anti-phase not observed: %v %v", seenHighMemLowSM, seenLowMemHighSM)
+	}
+}
+
+func TestDoneDemandIsZero(t *testing.T) {
+	r := NewRunner(simpleProgram(), 400, 1)
+	r.SetAttained(func() float64 { return 1e9 })
+	var now time.Duration
+	for !r.Done() {
+		r.Step(now, time.Millisecond)
+		now += time.Millisecond
+	}
+	r.Step(now, time.Millisecond)
+	d := r.Demand()
+	if d.MemGBs != 0 || d.CPUBusyCores != 0 || d.GPUSMUtil != 0 {
+		t.Fatalf("post-completion demand = %+v, want zero", d)
+	}
+}
+
+func TestIdleProgram(t *testing.T) {
+	p := Idle(10 * time.Minute)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.NominalDuration() != 10*time.Minute {
+		t.Fatalf("idle duration = %v", p.NominalDuration())
+	}
+	r := NewRunner(p, 400, 1)
+	r.Step(0, time.Millisecond)
+	if d := r.Demand(); d.MemGBs != 0 || d.GPUSMUtil != 0 {
+		t.Fatalf("idle demand = %+v", d)
+	}
+}
+
+func TestCatalogIntegrity(t *testing.T) {
+	names := Names()
+	if len(names) < 24 {
+		t.Fatalf("catalog has %d programs, want >= 24", len(names))
+	}
+	for _, n := range names {
+		p, ok := ByName(n)
+		if !ok {
+			t.Fatalf("ByName(%q) missing", n)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+		if d := p.NominalDuration(); d < 5*time.Second || d > 2*time.Minute {
+			t.Errorf("%s: nominal duration %v outside [5s, 2m]", n, d)
+		}
+	}
+	for _, set := range [][]string{SingleGPU(), AltisSYCL(), MultiGPU(), Table1Apps()} {
+		for _, n := range set {
+			if _, ok := ByName(n); !ok {
+				t.Errorf("workload set references unknown program %q", n)
+			}
+		}
+	}
+	if len(AltisSYCL()) != 11 {
+		t.Errorf("AltisSYCL has %d apps, paper uses 11", len(AltisSYCL()))
+	}
+	if len(Table1Apps()) != 21 {
+		t.Errorf("Table1Apps has %d apps, paper lists 21", len(Table1Apps()))
+	}
+}
+
+func TestCatalogRunnersComplete(t *testing.T) {
+	// Every catalog program must terminate under full service in
+	// roughly its nominal duration.
+	for _, n := range Names() {
+		p, _ := ByName(n)
+		r := NewRunner(p, 400, 42)
+		var lastDemand float64
+		r.SetAttained(func() float64 { return lastDemand })
+		var now time.Duration
+		dt := time.Millisecond
+		horizon := p.NominalDuration() * 2
+		for !r.Done() && now < horizon {
+			r.Step(now, dt)
+			lastDemand = r.Demand().MemGBs
+			now += dt
+		}
+		if !r.Done() {
+			t.Errorf("%s did not complete within 2× nominal", n)
+			continue
+		}
+		if r.Elapsed() > p.NominalDuration()+50*time.Millisecond {
+			t.Errorf("%s fully served elapsed %v > nominal %v", n, r.Elapsed(), p.NominalDuration())
+		}
+	}
+}

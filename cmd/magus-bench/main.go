@@ -14,6 +14,7 @@
 //	magus-bench -ext cluster         # cluster budgets, NUMA per-socket
 //	magus-bench -ext numa            # scaling, measurement noise
 //	magus-bench -ext noise -app unet
+//	magus-bench -ext faults -app srad  # fault-injection robustness sweep
 //
 // Output is aligned ASCII tables with sparkline trace previews.
 package main
@@ -33,7 +34,7 @@ func main() {
 		all  = flag.Bool("all", false, "run every experiment")
 		fig  = flag.String("fig", "", "figure to regenerate: 1, 2, 4a, 4b, 4c, 5, 6, 7")
 		tab  = flag.String("tab", "", "table to regenerate: 1, 2")
-		ext  = flag.String("ext", "", "extension study: ablation, cluster, numa, noise")
+		ext  = flag.String("ext", "", "extension study: ablation, cluster, numa, noise, faults")
 		reps = flag.Int("reps", 5, "repeats per experiment cell")
 		seed = flag.Int64("seed", 1, "base seed")
 		app  = flag.String("app", "srad", "application for the Figure 7 sweep")
@@ -98,6 +99,10 @@ func main() {
 		ran = true
 		noiseStudy(*app, opt)
 	}
+	if *all || *ext == "faults" {
+		ran = true
+		faultStudy(*app, opt)
+	}
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
@@ -123,6 +128,20 @@ func numaStudy(opt magus.ExperimentOptions) {
 	t := report.NewTable("Policy", "Loss%", "Power%", "Energy%")
 	t.AddRow("magus (single domain)", res.Global.PerfLossPct, res.Global.PowerSavingPct, res.Global.EnergySavingPct)
 	t.AddRow("magus-persocket", res.PerSocket.PerfLossPct, res.PerSocket.PowerSavingPct, res.PerSocket.EnergySavingPct)
+	fmt.Print(t)
+	fmt.Println()
+}
+
+func faultStudy(app string, opt magus.ExperimentOptions) {
+	res, err := magus.RunFaultSweep(app, nil, opt)
+	fatalIf(err)
+	fmt.Printf("== Extension: MAGUS under injected telemetry faults (%s) ==\n", res.App)
+	fmt.Printf("clean MAGUS runtime %.2f s, vendor default %.2f s\n", res.CleanRuntimeS, res.DefaultRuntimeS)
+	t := report.NewTable("Plan", "Runtime s", "Loss% vs clean", "Energy% vs clean", "Fired", "Missed", "Lost cyc", "Recov")
+	for _, p := range res.Points {
+		t.AddRow(p.Plan, p.RuntimeS, p.PerfLossPct, p.EnergySavingPct,
+			p.Injected.Total(), p.Resilience.MissedSamples, p.Resilience.LostCycles, p.Resilience.Recoveries)
+	}
 	fmt.Print(t)
 	fmt.Println()
 }

@@ -10,6 +10,7 @@
 //	magusd -system 4a100 -workload gromacs -governor ups -compare
 //	magusd -workload srad -governor magus -trace srad.csv -record srad.json
 //	magusd -workload-file myjob.json -power-cap 180 -compare
+//	magusd -workload srad -faults pcm-outage -compare
 //	magusd -dump-workload unet > unet.json
 //
 // Governors: magus (default), ups, duf, default (vendor), max, min; any of
@@ -21,7 +22,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 	"time"
 
 	magus "github.com/spear-repro/magus"
@@ -40,6 +43,8 @@ func main() {
 		compare  = flag.Bool("compare", false, "also run the vendor-default baseline and compare")
 		trace    = flag.String("trace", "", "write telemetry CSV to this path")
 		record   = flag.String("record", "", "archive the run as a JSON record at this path")
+		faultArg = flag.String("faults", "", "arm a fault plan: preset name or plan JSON path\n(presets: "+
+			strings.Join(magus.FaultPresets(), ", ")+")")
 		list     = flag.Bool("list", false, "list catalog applications and exit")
 		dump     = flag.String("dump-workload", "", "print a catalog workload as JSON and exit")
 	)
@@ -99,6 +104,12 @@ func main() {
 	if *trace != "" || *record != "" {
 		opt.TraceInterval = 100 * time.Millisecond
 	}
+	if *faultArg != "" {
+		plan, err := magus.LoadFaultPlan(*faultArg)
+		fatalIf(err)
+		opt.Faults = plan
+		fmt.Printf("magusd: %s armed\n", plan)
+	}
 
 	fmt.Printf("magusd: %s on %s under %s\n", prog.Name, cfg.Name, gov.Name())
 	res, err := magus.Run(cfg, prog, gov, opt)
@@ -112,6 +123,17 @@ func main() {
 		s := rt.Stats()
 		fmt.Printf("runtime stats: %d invocations, %d tune events, %d high-freq overrides, %d MSR writes\n",
 			s.Invocations, s.TuneEvents, s.Overrides, s.MSRWrites)
+		if s.MissedSamples+s.SensorRetries+s.SensorTimeouts+s.WildSamples+s.StaleSamples+s.WatchdogOverruns > 0 {
+			fmt.Printf("resilience:    %d missed samples (%d retries, %d timeouts, %d wild, %d stale), "+
+				"%d degraded / %d lost cycles, %d recoveries, %d watchdog overruns\n",
+				s.MissedSamples, s.SensorRetries, s.SensorTimeouts, s.WildSamples, s.StaleSamples,
+				s.DegradedCycles, s.LostCycles, s.Recoveries, s.WatchdogOverruns)
+		}
+	}
+	if opt.Faults != nil {
+		in := res.FaultsInjected
+		fmt.Printf("faults fired:  %d (%d errors, %d stalls, %d stale, %d wild, %d loss)\n",
+			in.Total(), in.Errors, in.Stalls, in.Stales, in.Wilds, in.Losses)
 	}
 
 	if *compare {
@@ -125,24 +147,42 @@ func main() {
 	}
 
 	if *trace != "" {
-		f, err := os.Create(*trace)
-		fatalIf(err)
-		defer f.Close()
 		names := res.Traces.Names()
 		series := make(map[string]*magus.Series, len(names))
 		for _, n := range names {
 			series[n] = res.Traces.Series(n)
 		}
-		fatalIf(report.WriteCSV(f, names, series))
+		fatalIf(writeOutput(*trace, func(w io.Writer) error {
+			return report.WriteCSV(w, names, series)
+		}))
 		fmt.Printf("\ntrace written to %s (%d columns)\n", *trace, len(names))
 	}
 	if *record != "" {
-		f, err := os.Create(*record)
-		fatalIf(err)
-		defer f.Close()
-		fatalIf(magus.NewRecord(res, *seed).Write(f))
+		fatalIf(writeOutput(*record, func(w io.Writer) error {
+			return magus.NewRecord(res, *seed).Write(w)
+		}))
 		fmt.Printf("run record written to %s\n", *record)
 	}
+}
+
+// writeOutput creates path, runs write into it, and never leaves a
+// partial file behind: a failed write (or close) removes the file and
+// reports the path in the error.
+func writeOutput(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(path)
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return nil
 }
 
 // buildGovernor maps a name to a governor; the second return value is

@@ -54,7 +54,10 @@ func run(withMagus bool) (runtimeS, energyJ float64) {
 	pkg, drm, gpu := n.EnergyJ()
 
 	if withMagus {
-		resp, _ := mb.Call(0, magus.HSMPGetFclkMclk, nil)
+		resp, err := mb.Call(0, magus.HSMPGetFclkMclk, nil)
+		if err != nil {
+			log.Fatalf("HSMP GetFclkMclk: %v", err)
+		}
 		fmt.Printf("final fabric clock: %d MHz (mclk %d MHz); P-states available: %v GHz\n",
 			resp[0], resp[1], mb.Levels())
 	}

@@ -1,13 +1,16 @@
 package magus
 
 import (
+	"io"
 	"time"
 
 	"github.com/spear-repro/magus/internal/cluster"
 	"github.com/spear-repro/magus/internal/core"
 	"github.com/spear-repro/magus/internal/experiments"
+	"github.com/spear-repro/magus/internal/faults"
 	"github.com/spear-repro/magus/internal/governor"
 	"github.com/spear-repro/magus/internal/hsmp"
+	"github.com/spear-repro/magus/internal/resilient"
 )
 
 // This file exposes the extensions beyond the paper's evaluation:
@@ -159,3 +162,62 @@ func NewHSMPMailbox(n *Node) *HSMPMailbox { return hsmp.NewMailbox(n) }
 // goes through the HSMP adapter (four discrete DF P-states) — the
 // unmodified MAGUS runtime attaches to it directly.
 func BuildHSMPEnv(n *Node, mb *HSMPMailbox) *Env { return hsmp.BuildEnv(n, mb) }
+
+// ---- Fault injection & graceful degradation ----
+
+// FaultPlan is a deterministic, seeded fault schedule armed against
+// the node's telemetry devices via Options.Faults.
+type FaultPlan = faults.Plan
+
+// Fault is one entry of a plan: a fault class (error, stall, stale,
+// wild, loss) against one telemetry target (pcm, msr, rapl, nvml)
+// over an onset/duration window at a given rate.
+type Fault = faults.Fault
+
+// FaultTally counts the injections that actually fired during a run.
+type FaultTally = faults.Tally
+
+// ErrFaultInjected is the sentinel wrapped by every injected device
+// error.
+var ErrFaultInjected = faults.ErrInjected
+
+// SensorHealth is the per-sensor degradation state the runtime tracks:
+// healthy → degraded (missed samples) → lost (sustained outage).
+type SensorHealth = resilient.Health
+
+// Sensor health states.
+const (
+	SensorHealthy  = resilient.Healthy
+	SensorDegraded = resilient.Degraded
+	SensorLost     = resilient.Lost
+)
+
+// ResilienceConfig tunes the runtime's sensor-read hardening (retry
+// budget, backoff, read timeout, staleness and plausibility guards).
+// The zero value selects the defaults; it is embedded in Config.
+type ResilienceConfig = resilient.Config
+
+// LoadFaultPlan resolves a preset name or a plan JSON file path.
+func LoadFaultPlan(spec string) (*FaultPlan, error) { return faults.Load(spec) }
+
+// ParseFaultPlan decodes and validates a plan from JSON.
+func ParseFaultPlan(r io.Reader) (*FaultPlan, error) { return faults.Parse(r) }
+
+// FaultPresets lists the built-in fault plans (sorted).
+func FaultPresets() []string { return faults.PresetNames() }
+
+// FaultPreset returns a copy of the named built-in plan.
+func FaultPreset(name string) (*FaultPlan, bool) { return faults.Preset(name) }
+
+// FaultSweepResult is the per-plan robustness sweep.
+type FaultSweepResult = experiments.FaultSweepResult
+
+// FaultPoint is one of its rows.
+type FaultPoint = experiments.FaultPoint
+
+// RunFaultSweep runs MAGUS on app under each named fault plan
+// (empty = every preset) and compares against the clean run and the
+// vendor-default baseline.
+func RunFaultSweep(app string, plans []string, opt ExperimentOptions) (FaultSweepResult, error) {
+	return experiments.FaultSweep(app, plans, opt)
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/spear-repro/magus/internal/governor"
+	"github.com/spear-repro/magus/internal/msr"
+	"github.com/spear-repro/magus/internal/rapl"
+	"github.com/spear-repro/magus/internal/resilient"
+)
+
+// scriptedPCM is a throughput source whose readings and failures are
+// driven directly by the test.
+type scriptedPCM struct {
+	gbs  float64
+	down bool
+}
+
+func (s *scriptedPCM) SystemMemoryThroughput(time.Duration) (float64, error) {
+	if s.down {
+		return 0, errors.New("scripted: sensor down")
+	}
+	return s.gbs, nil
+}
+
+// degradationDriver adapts one governor to the shared contract check:
+// sense the limit, flip the sensing path up/down, advance one cycle.
+type degradationDriver struct {
+	limit  func() float64
+	health func() resilient.Health
+	setBad func(bad bool)
+	step   func()
+	max    float64
+}
+
+// checkDegradation asserts the shared contract: a governor that has
+// scaled below max holds its last decision on a single missed sample,
+// pins to max on sustained loss, and reports healthy again once the
+// sensing path returns.
+func checkDegradation(t *testing.T, d degradationDriver) {
+	t.Helper()
+	held := d.limit()
+	if held >= d.max {
+		t.Fatalf("setup: governor never scaled below max (%v)", held)
+	}
+	d.setBad(true)
+	d.step()
+	if got := d.limit(); got != held {
+		t.Fatalf("limit after one missed sample = %v, want held %v", got, held)
+	}
+	if got := d.health(); got != resilient.Degraded {
+		t.Fatalf("health after one miss = %v, want degraded", got)
+	}
+	d.step()
+	d.step()
+	if got := d.limit(); got != d.max {
+		t.Fatalf("limit after sustained loss = %v, want pinned max %v", got, d.max)
+	}
+	if got := d.health(); got != resilient.Lost {
+		t.Fatalf("health after sustained loss = %v, want lost", got)
+	}
+	d.setBad(false)
+	d.step()
+	if got := d.health(); got != resilient.Healthy {
+		t.Fatalf("health after recovery = %v, want healthy", got)
+	}
+	if got := d.limit(); got != d.max {
+		t.Fatalf("limit right after recovery = %v, want still max", got)
+	}
+}
+
+func TestGovernorDegradationContract(t *testing.T) {
+	t.Run("magus", func(t *testing.T) {
+		space := msr.NewSpace(2, 4)
+		src := &scriptedPCM{}
+		env := &governor.Env{
+			Dev: space, PCM: src, Sockets: 2, CPUs: 8,
+			FirstCPU:     space.FirstCPUOf,
+			UncoreMinGHz: 0.8, UncoreMaxGHz: 2.2,
+		}
+		cfg := DefaultConfig()
+		cfg.WarmupCycles = 2
+		m := New(cfg)
+		if err := m.Attach(env); err != nil {
+			t.Fatal(err)
+		}
+		var now time.Duration
+		step := func() {
+			now += 300 * time.Millisecond
+			m.Invoke(now)
+		}
+		// Warm-up on a high plateau, then a sharp fall: MAGUS scales to
+		// the minimum — the held decision the contract protects.
+		src.gbs = 100
+		step()
+		step()
+		src.gbs = 20
+		step()
+		checkDegradation(t, degradationDriver{
+			limit: func() float64 {
+				maxHz, _ := msr.DecodeUncoreLimit(space.Peek(0, msr.UncoreRatioLimit))
+				return maxHz / 1e9
+			},
+			health: m.SensorHealth,
+			setBad: func(bad bool) { src.down = bad },
+			step:   step,
+			max:    2.2,
+		})
+		// Recovery from a full outage re-enters warm-up: the stale trend
+		// window must not drive decisions.
+		if s := m.Stats(); s.Recoveries != 1 || s.MissedSamples != 3 || s.LostCycles == 0 {
+			t.Fatalf("stats after outage = %+v", s)
+		}
+	})
+
+	t.Run("ups", func(t *testing.T) {
+		space := msr.NewSpace(2, 4)
+		r, err := rapl.New(space, 2, space.FirstCPUOf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env := &governor.Env{
+			Dev: space, RAPL: r, Sockets: 2, CPUs: 8,
+			FirstCPU:     space.FirstCPUOf,
+			UncoreMinGHz: 0.8, UncoreMaxGHz: 2.2,
+		}
+		ups := governor.NewUPS(governor.UPSConfig{})
+		if err := ups.Attach(env); err != nil {
+			t.Fatal(err)
+		}
+		var now time.Duration
+		step := func() {
+			now += 500 * time.Millisecond
+			// Steady phase: 15 W DRAM per socket, IPC 2.0 on socket 0.
+			units := uint64(15 * 0.5 * 16384)
+			space.Bump(0, msr.DramEnergyStatus, units)
+			space.Bump(4, msr.DramEnergyStatus, units)
+			for cpu := 0; cpu < 4; cpu++ {
+				space.Bump(cpu, msr.FixedCtrCPUCycles, 1_000_000)
+				space.Bump(cpu, msr.FixedCtrInstRetired, 2_000_000)
+			}
+			ups.Invoke(now)
+		}
+		for i := 0; i < 8; i++ {
+			step() // baselines, then scavenging below max
+		}
+		checkDegradation(t, degradationDriver{
+			limit: func() float64 {
+				maxHz, _ := msr.DecodeUncoreLimit(space.Peek(0, msr.UncoreRatioLimit))
+				return maxHz / 1e9
+			},
+			health: ups.SensorHealth,
+			setBad: func(bad bool) {
+				if bad {
+					space.FailReads(msr.ErrInjected)
+				} else {
+					space.FailReads(nil)
+				}
+			},
+			step: step,
+			max:  2.2,
+		})
+	})
+
+	t.Run("duf", func(t *testing.T) {
+		space := msr.NewSpace(2, 4)
+		env := &governor.Env{
+			Dev: space, Sockets: 2, CPUs: 8,
+			FirstCPU:     space.FirstCPUOf,
+			UncoreMinGHz: 0.8, UncoreMaxGHz: 2.2,
+		}
+		duf := governor.NewDUF(governor.DUFConfig{})
+		if err := duf.Attach(env); err != nil {
+			t.Fatal(err)
+		}
+		var now time.Duration
+		step := func() {
+			now += 500 * time.Millisecond
+			for cpu := 0; cpu < 8; cpu++ {
+				space.Bump(cpu, msr.FixedCtrInstRetired, 1_000_000)
+			}
+			duf.Invoke(now)
+		}
+		for i := 0; i < 4; i++ {
+			step() // baseline, then harvesting below max
+		}
+		checkDegradation(t, degradationDriver{
+			limit: func() float64 {
+				maxHz, _ := msr.DecodeUncoreLimit(space.Peek(0, msr.UncoreRatioLimit))
+				return maxHz / 1e9
+			},
+			health: duf.SensorHealth,
+			setBad: func(bad bool) {
+				if bad {
+					space.FailReads(msr.ErrInjected)
+				} else {
+					space.FailReads(nil)
+				}
+			},
+			step: step,
+			max:  2.2,
+		})
+	})
+}
+
+// TestMAGUSRecoveryReentersWarmup pins down the recovery semantics: the
+// first good sample after a full outage restarts warm-up with clean
+// history, and the uncore stays at max until warm-up completes.
+func TestMAGUSRecoveryReentersWarmup(t *testing.T) {
+	space := msr.NewSpace(2, 4)
+	src := &scriptedPCM{gbs: 100}
+	env := &governor.Env{
+		Dev: space, PCM: src, Sockets: 2, CPUs: 8,
+		FirstCPU:     space.FirstCPUOf,
+		UncoreMinGHz: 0.8, UncoreMaxGHz: 2.2,
+	}
+	cfg := DefaultConfig()
+	cfg.WarmupCycles = 2
+	m := New(cfg)
+	if err := m.Attach(env); err != nil {
+		t.Fatal(err)
+	}
+	var now time.Duration
+	step := func() {
+		now += 300 * time.Millisecond
+		m.Invoke(now)
+	}
+	step()
+	step() // warm-up done, limit at max
+	src.down = true
+	for i := 0; i < 4; i++ {
+		step() // outage → lost → pinned max
+	}
+	if m.SensorHealth() != resilient.Lost {
+		t.Fatalf("health = %v, want lost", m.SensorHealth())
+	}
+	src.down = false
+	src.gbs = 20
+	step()
+	if m.SensorHealth() != resilient.Healthy {
+		t.Fatalf("health after recovery = %v", m.SensorHealth())
+	}
+	s := m.Stats()
+	// 2 initial + 1 post-recovery warm-up cycle so far.
+	if s.WarmupCycles != 3 {
+		t.Fatalf("warm-up cycles after recovery = %d, want 3 (re-entered)", s.WarmupCycles)
+	}
+	// A sharp fall inside the re-entered warm-up must not trigger
+	// scaling — the trend window was reset.
+	maxHz, _ := msr.DecodeUncoreLimit(space.Peek(0, msr.UncoreRatioLimit))
+	if got := maxHz / 1e9; got != 2.2 {
+		t.Fatalf("limit during re-entered warm-up = %v, want max", got)
+	}
+}

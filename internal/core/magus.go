@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"github.com/spear-repro/magus/internal/governor"
+	"github.com/spear-repro/magus/internal/resilient"
 	"github.com/spear-repro/magus/internal/ring"
 )
 
@@ -89,6 +90,12 @@ type Config struct {
 	// events are still logged). Ablation-study switch only; the
 	// default runtime always runs with the detector on.
 	DisableHighFreq bool
+
+	// Resilience tunes the sensor fault-handling layer (retry budget,
+	// read timeout, loss threshold). The zero value selects
+	// resilient.DefaultConfig, which is a pure pass-through on a
+	// healthy sensor.
+	Resilience resilient.Config
 }
 
 // DefaultConfig returns the recommended defaults (§3.3, rescaled).
@@ -118,10 +125,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("magus: window %d too small", c.Window)
 	case c.DerivLen < 1 || c.DerivLen >= c.Window:
 		return fmt.Errorf("magus: derivative length %d outside [1,window)", c.DerivLen)
-	case c.Interval <= 0 || c.InvocationTime < 0:
-		return fmt.Errorf("magus: bad timing %v/%v", c.Interval, c.InvocationTime)
-	case c.WarmupCycles < 0:
-		return fmt.Errorf("magus: negative warmup")
+	case c.Interval <= 0 || c.InvocationTime <= 0:
+		return fmt.Errorf("magus: non-positive timing %v/%v", c.Interval, c.InvocationTime)
+	case c.WarmupCycles <= 0:
+		return fmt.Errorf("magus: non-positive warmup %d", c.WarmupCycles)
 	case c.BusyCores < 0 || c.ExtraWatts < 0:
 		return fmt.Errorf("magus: negative overhead model")
 	}
@@ -208,15 +215,39 @@ type Decision struct {
 	TargetGHz float64
 	// Acted reports whether an MSR write happened this cycle.
 	Acted bool
+	// Missed marks a cycle that produced no usable throughput sample:
+	// the runtime held its last decision (or pinned to max) instead of
+	// feeding garbage into the trend window.
+	Missed bool
+	// SensorHealth is the throughput sensor's state after the cycle.
+	SensorHealth resilient.Health
 }
 
-// Stats aggregates runtime counters for Table 2 / §6.3.
+// Stats aggregates runtime counters for Table 2 / §6.3, plus the
+// fault-handling counters of the resilient sensor layer.
 type Stats struct {
 	Invocations  uint64
 	TuneEvents   uint64 // prediction-phase decisions logged (1s pushed)
 	Overrides    uint64 // decisions suppressed by high-frequency status
 	MSRWrites    uint64
 	WarmupCycles uint64
+
+	// MissedSamples counts decision cycles with no usable throughput
+	// sample; SensorRetries/SensorTimeouts/WildSamples/StaleSamples
+	// break down why reads were re-attempted or rejected.
+	MissedSamples  uint64
+	SensorRetries  uint64
+	SensorTimeouts uint64
+	WildSamples    uint64
+	StaleSamples   uint64
+	// DegradedCycles and LostCycles count missed cycles spent in each
+	// health state; Recoveries counts returns to a healthy sensor.
+	DegradedCycles uint64
+	LostCycles     uint64
+	Recoveries     uint64
+	// WatchdogOverruns counts cycles whose sensor access latency
+	// exceeded the nominal sleep interval — the loop ran late.
+	WatchdogOverruns uint64
 }
 
 // MAGUS is the runtime. Create with New, bind with Attach, then let the
@@ -224,6 +255,10 @@ type Stats struct {
 type MAGUS struct {
 	cfg Config
 	env *governor.Env
+
+	// sensor is the resilient read path over env.PCM: bounded retry,
+	// virtual-clock timeouts, wild/stale rejection and health tracking.
+	sensor *resilient.MemSensor
 
 	memHist *ring.Buffer[float64]
 	tuneLog *ring.Buffer[int]
@@ -258,8 +293,31 @@ func (m *MAGUS) Interval() time.Duration { return m.cfg.Interval + m.cfg.Invocat
 // Config returns the active configuration.
 func (m *MAGUS) Config() Config { return m.cfg }
 
-// Stats returns runtime counters.
-func (m *MAGUS) Stats() Stats { return m.stats }
+// Stats returns runtime counters, merged with the resilient sensor
+// layer's fault-handling counters.
+func (m *MAGUS) Stats() Stats {
+	s := m.stats
+	if m.sensor != nil {
+		c := m.sensor.Counters()
+		s.MissedSamples = c.Misses
+		s.SensorRetries = c.Retries
+		s.SensorTimeouts = c.Timeouts
+		s.WildSamples = c.WildDrops
+		s.StaleSamples = c.StaleDrops
+		s.DegradedCycles = c.DegradedCycles
+		s.LostCycles = c.LostCycles
+		s.Recoveries = c.Recoveries
+	}
+	return s
+}
+
+// SensorHealth reports the throughput sensor's current state.
+func (m *MAGUS) SensorHealth() resilient.Health {
+	if m.sensor == nil {
+		return resilient.Healthy
+	}
+	return m.sensor.Health()
+}
 
 // OnDecision installs a per-cycle trace hook (nil clears).
 func (m *MAGUS) OnDecision(fn func(Decision)) { m.onDecision = fn }
@@ -278,6 +336,7 @@ func (m *MAGUS) Attach(env *governor.Env) error {
 		return fmt.Errorf("magus: env without PCM monitor")
 	}
 	m.env = env
+	m.sensor = resilient.NewMemSensor(env.PCM, m.cfg.Resilience)
 	m.memHist = ring.New[float64](m.cfg.Window)
 	// uncore_tune_ls initialised to Window zeros (§3.3).
 	m.tuneLog = ring.Filled(m.cfg.Window, 0)
@@ -297,21 +356,31 @@ func (m *MAGUS) Attach(env *governor.Env) error {
 	return nil
 }
 
-// Invoke implements governor.Governor: one MDFS cycle (Algorithm 3).
+// Invoke implements governor.Governor: one MDFS cycle (Algorithm 3),
+// fronted by the resilient sensor layer's fail-safe policy.
 func (m *MAGUS) Invoke(now time.Duration) time.Duration {
 	m.stats.Invocations++
 	if m.env.Charge != nil {
 		m.env.Charge(m.cfg.InvocationTime, m.cfg.BusyCores, m.cfg.ExtraWatts)
 	}
 
-	thr, err := m.env.PCM.SystemMemoryThroughput(now)
-	if err != nil {
-		// Monitoring failure: fail safe to maximum bandwidth and keep
-		// the loop alive; history restarts from the next good sample.
-		m.setUncore(m.env.UncoreMaxGHz)
-		m.emit(Decision{At: now, Trend: TrendFlat, TargetGHz: m.targetGHz, Acted: true})
-		return 0
+	r := m.sensor.Read(now)
+	if r.Latency > m.cfg.Interval {
+		// Watchdog: retries/stalls ate more than the whole sleep
+		// budget, so this cycle finishes after its successor was due.
+		m.stats.WatchdogOverruns++
 	}
+	if !r.OK {
+		return m.missedSample(now, r)
+	}
+	if r.RecoveredFromLost {
+		// The sensor returned after a full outage: the trend window and
+		// tune log hold pre-outage state that no longer describes the
+		// workload. Re-enter warm-up (uncore stays pinned at max until
+		// it completes, so recovery never costs performance).
+		m.restartWarmup()
+	}
+	thr := r.GBs
 	m.memHist.Push(thr)
 
 	if m.warmupLeft > 0 {
@@ -328,7 +397,7 @@ func (m *MAGUS) Invoke(now time.Duration) time.Duration {
 		// Warm-up cycles are pure monitoring at the paper's 0.2 s
 		// frequency (10 cycles = 2.0 s); full decision cycles with the
 		// 0.1 s invocation window start afterwards (§3.3, §6.5).
-		return m.cfg.Interval
+		return m.cfg.Interval + r.Latency
 	}
 
 	// Phase 2 first (Algorithm 3 lines 9–15): the high-frequency state
@@ -370,7 +439,49 @@ func (m *MAGUS) Invoke(now time.Duration) time.Duration {
 		At: now, ThroughputGBs: thr, Trend: trend, HighFreq: hi,
 		TargetGHz: m.targetGHz, Acted: acted,
 	})
-	return 0
+	return m.delay(r.Latency)
+}
+
+// missedSample is the fail-safe arm of Algorithm 3: the cycle produced
+// no usable throughput sample. While merely degraded, hold the last
+// uncore decision and skip the derivative update — one dropped sample
+// must not feed garbage into the trend window. Once the sensor is lost
+// (or the runtime is still blind in warm-up, with no decision to hold),
+// degrade to vendor-default behaviour: pin the uncore at max so
+// performance is never sacrificed to a blind policy.
+func (m *MAGUS) missedSample(now time.Duration, r resilient.Reading) time.Duration {
+	inWarmup := m.warmupLeft > 0
+	acted := false
+	if inWarmup || r.Health == resilient.Lost {
+		acted = m.setUncore(m.env.UncoreMaxGHz)
+	}
+	m.emit(Decision{
+		At: now, Warmup: inWarmup, TargetGHz: m.targetGHz, Acted: acted,
+		Missed: true, SensorHealth: r.Health,
+	})
+	if inWarmup {
+		return m.cfg.Interval + r.Latency
+	}
+	return m.delay(r.Latency)
+}
+
+// restartWarmup re-enters the warm-up monitoring phase with clean
+// history, as on Attach.
+func (m *MAGUS) restartWarmup() {
+	m.warmupLeft = m.cfg.WarmupCycles
+	m.memHist.Reset()
+	m.tuneLog = ring.Filled(m.cfg.Window, 0)
+	m.lastTrend = TrendFlat
+	m.highFreq = false
+}
+
+// delay converts a cycle's extra sensor latency into the absolute delay
+// until the next invocation (0 = the nominal Interval()).
+func (m *MAGUS) delay(extra time.Duration) time.Duration {
+	if extra <= 0 {
+		return 0
+	}
+	return m.Interval() + extra
 }
 
 // setUncore writes the limit if it differs from the current target and

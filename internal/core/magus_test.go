@@ -132,8 +132,13 @@ func TestConfigValidate(t *testing.T) {
 		func(c *Config) { c.DerivLen = 0 },
 		func(c *Config) { c.DerivLen = 10 },
 		func(c *Config) { c.Interval = 0 },
+		func(c *Config) { c.Interval = -time.Second },
+		func(c *Config) { c.InvocationTime = 0 },
+		func(c *Config) { c.InvocationTime = -time.Millisecond },
+		func(c *Config) { c.WarmupCycles = 0 },
 		func(c *Config) { c.WarmupCycles = -1 },
 		func(c *Config) { c.BusyCores = -1 },
+		func(c *Config) { c.ExtraWatts = -1 },
 	}
 	for i, mut := range bads {
 		c := DefaultConfig()

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/spear-repro/magus/internal/governor"
+	"github.com/spear-repro/magus/internal/resilient"
 )
 
 // PerSocket runs one independent MAGUS instance per CPU socket, each
@@ -107,6 +108,26 @@ func (p *PerSocket) Stats() Stats {
 		total.Overrides += s.Overrides
 		total.MSRWrites += s.MSRWrites
 		total.WarmupCycles += s.WarmupCycles
+		total.MissedSamples += s.MissedSamples
+		total.SensorRetries += s.SensorRetries
+		total.SensorTimeouts += s.SensorTimeouts
+		total.WildSamples += s.WildSamples
+		total.StaleSamples += s.StaleSamples
+		total.DegradedCycles += s.DegradedCycles
+		total.LostCycles += s.LostCycles
+		total.Recoveries += s.Recoveries
+		total.WatchdogOverruns += s.WatchdogOverruns
 	}
 	return total
+}
+
+// SensorHealth reports the worst per-socket sensor state.
+func (p *PerSocket) SensorHealth() resilient.Health {
+	worst := resilient.Healthy
+	for _, m := range p.instances {
+		if h := m.SensorHealth(); h > worst {
+			worst = h
+		}
+	}
+	return worst
 }

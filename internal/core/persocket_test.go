@@ -31,7 +31,7 @@ func newPerSockEnv(t *testing.T) *perSockEnv {
 		Sockets:      2,
 		CPUs:         8,
 		FirstCPU:     te.space.FirstCPUOf,
-		SocketPCM:    []*pcm.Monitor{mk(0), mk(1)},
+		SocketPCM:    []pcm.Reader{mk(0), mk(1)},
 		UncoreMinGHz: 0.8,
 		UncoreMaxGHz: 2.2,
 	}

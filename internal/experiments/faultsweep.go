@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"github.com/spear-repro/magus/internal/core"
+	"github.com/spear-repro/magus/internal/faults"
+	"github.com/spear-repro/magus/internal/harness"
+)
+
+// FaultPoint is one fault plan's outcome on the sweep application.
+type FaultPoint struct {
+	// Plan is the preset name (or plan name for file-loaded plans).
+	Plan string
+	// RuntimeS is the measured runtime under the plan, seconds.
+	RuntimeS float64
+	// Comparison is measured against the clean MAGUS run: under faults
+	// the fail-safe direction costs energy savings, not runtime.
+	harness.Comparison
+	// Injected tallies the device faults actually fired.
+	Injected faults.Tally
+	// Resilience carries the runtime's sensor-health counters
+	// (retries, missed samples, degraded/lost cycles, recoveries).
+	Resilience core.Stats
+}
+
+// FaultSweepResult sweeps MAGUS on one application across fault plans.
+// The clean and vendor-default runtimes anchor the degradation
+// contract: with the memory-throughput signal permanently lost, the
+// runtime pins the uncore at maximum and must match the vendor default
+// to within measurement noise.
+type FaultSweepResult struct {
+	App string
+	// CleanRuntimeS / CleanEnergyJ are the unfaulted MAGUS reference.
+	CleanRuntimeS float64
+	CleanEnergyJ  float64
+	// DefaultRuntimeS is the vendor-default governor's runtime.
+	DefaultRuntimeS float64
+	Points          []FaultPoint
+}
+
+// FaultSweep runs MAGUS on app (Intel+A100) under each named fault
+// plan. An empty plans slice sweeps every built-in preset. Plans are
+// resolved via faults.Load, so file paths work alongside preset names.
+func FaultSweep(app string, plans []string, opt Options) (FaultSweepResult, error) {
+	opt = opt.withDefaults()
+	cfg, err := SystemByName("Intel+A100")
+	if err != nil {
+		return FaultSweepResult{}, err
+	}
+	prog := mustProgram(app)
+	runOpt := harness.Options{Seed: opt.Seed}
+	base, err := harness.Run(cfg, prog, defaultFactory(), runOpt)
+	if err != nil {
+		return FaultSweepResult{}, err
+	}
+	clean, err := harness.Run(cfg, prog, core.New(magusConfigFor(cfg.Name)), runOpt)
+	if err != nil {
+		return FaultSweepResult{}, err
+	}
+	out := FaultSweepResult{
+		App:             app,
+		CleanRuntimeS:   clean.RuntimeS,
+		CleanEnergyJ:    clean.TotalEnergyJ(),
+		DefaultRuntimeS: base.RuntimeS,
+	}
+	if len(plans) == 0 {
+		plans = faults.PresetNames()
+	}
+	for _, name := range plans {
+		plan, err := faults.Load(name)
+		if err != nil {
+			return FaultSweepResult{}, err
+		}
+		m := core.New(magusConfigFor(cfg.Name))
+		res, err := harness.Run(cfg, prog, m, harness.Options{Seed: opt.Seed, Faults: plan})
+		if err != nil {
+			return FaultSweepResult{}, err
+		}
+		out.Points = append(out.Points, FaultPoint{
+			Plan:       name,
+			RuntimeS:   res.RuntimeS,
+			Comparison: harness.Compare(clean, res),
+			Injected:   res.FaultsInjected,
+			Resilience: m.Stats(),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFaultSweep(t *testing.T) {
+	res, err := FaultSweep("srad", []string{"pcm-loss", "pcm-flaky", "pcm-outage"}, Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	byPlan := map[string]FaultPoint{}
+	for _, p := range res.Points {
+		byPlan[p.Plan] = p
+		if p.Injected.Total() == 0 {
+			t.Errorf("%s: no faults fired", p.Plan)
+		}
+		// Fail-safe direction: faults cost savings, never performance.
+		if p.PerfLossPct > 2 {
+			t.Errorf("%s: perf loss vs clean MAGUS = %.2f %%", p.Plan, p.PerfLossPct)
+		}
+	}
+
+	// Permanent PCM loss degrades to vendor-default behaviour: uncore
+	// pinned at max, runtime within 1 % of the default governor.
+	loss := byPlan["pcm-loss"]
+	if loss.Resilience.LostCycles == 0 || loss.Resilience.MissedSamples == 0 {
+		t.Fatalf("pcm-loss: no lost cycles: %+v", loss.Resilience)
+	}
+	if res.DefaultRuntimeS <= 0 {
+		t.Fatalf("default runtime = %v", res.DefaultRuntimeS)
+	}
+	if dev := math.Abs(loss.RuntimeS-res.DefaultRuntimeS) / res.DefaultRuntimeS * 100; dev > 1 {
+		t.Errorf("pcm-loss runtime %.2f s deviates %.2f %% from vendor default %.2f s, want ≤ 1 %%",
+			loss.RuntimeS, dev, res.DefaultRuntimeS)
+	}
+
+	// A bounded outage recovers: warm-up re-entry shows up as a
+	// recovery, and the run still saves energy versus the default.
+	outage := byPlan["pcm-outage"]
+	if outage.Resilience.Recoveries == 0 {
+		t.Errorf("pcm-outage: no recovery recorded: %+v", outage.Resilience)
+	}
+
+	// Transient flakiness is absorbed by retries without losing the
+	// sensor.
+	flaky := byPlan["pcm-flaky"]
+	if flaky.Resilience.SensorRetries == 0 {
+		t.Errorf("pcm-flaky: no retries recorded: %+v", flaky.Resilience)
+	}
+}

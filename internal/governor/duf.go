@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"github.com/spear-repro/magus/internal/msr"
+	"github.com/spear-repro/magus/internal/resilient"
 )
 
 // DUFConfig parameterises the DUF baseline (André, Dulong, Guermouche,
@@ -54,6 +55,10 @@ type DUF struct {
 	lastInst []uint64
 	lastAt   time.Duration
 	haveCtrs bool
+
+	// health tracks the counter-sweep sensing path through the shared
+	// healthy → degraded → lost state machine.
+	health *resilient.Tracker
 
 	invocations uint64
 }
@@ -106,16 +111,28 @@ func (d *DUF) Attach(env *Env) error {
 	d.cur = env.UncoreMaxGHz
 	d.refIPS = 0
 	d.haveCtrs = false
+	d.health = resilient.NewTracker(0)
 	d.lastInst = make([]uint64, env.CPUs)
 	return env.SetUncoreMax(d.cur)
 }
+
+// SensorHealth reports the sensing path's health state.
+func (d *DUF) SensorHealth() resilient.Health { return d.health.Health() }
+
+// Resilience returns the sensing path's miss/recovery counters.
+func (d *DUF) Resilience() resilient.Counters { return d.health.Counters() }
 
 // Invoke implements Governor: one DUF cycle.
 func (d *DUF) Invoke(now time.Duration) time.Duration {
 	d.invocations++
 	d.env.charge(d.cfg.InvocationTime, d.cfg.BusyCores, d.cfg.ExtraWatts)
 
-	ips, ok := d.readIPS(now)
+	ips, ok, lost := d.readIPS(now)
+	if lost {
+		d.miss()
+		return 0
+	}
+	d.health.Good()
 	if !ok {
 		return 0
 	}
@@ -157,26 +174,44 @@ func (d *DUF) set(ghz float64) {
 	d.cur = ghz
 }
 
+// miss records a cycle whose counter sweep sensed nothing: hold the
+// current limit while degraded, degrade to vendor default (pin max) on
+// full loss, and drop the counter baseline so the first post-outage
+// sweep re-baselines instead of computing deltas across the outage.
+func (d *DUF) miss() {
+	d.haveCtrs = false
+	if d.health.Miss() == resilient.Lost {
+		d.set(d.env.UncoreMaxGHz)
+	}
+}
+
 // readIPS sweeps per-core instruction counters and returns aggregate
-// instructions per second since the previous sweep.
-func (d *DUF) readIPS(now time.Duration) (float64, bool) {
+// instructions per second since the previous sweep. lost reports that
+// every core's read failed — previously such a sweep fell through and
+// returned an all-zero delta as a genuine (catastrophic) slowdown.
+func (d *DUF) readIPS(now time.Duration) (ips float64, ok, lost bool) {
 	var dInst uint64
+	readAny := false
 	for cpu := 0; cpu < d.env.CPUs; cpu++ {
 		inst, err := d.env.Dev.Read(cpu, msr.FixedCtrInstRetired)
 		if err != nil {
 			continue
 		}
+		readAny = true
 		if d.haveCtrs {
 			dInst += inst - d.lastInst[cpu]
 		}
 		d.lastInst[cpu] = inst
+	}
+	if !readAny {
+		return 0, false, true
 	}
 	elapsed := now - d.lastAt
 	first := !d.haveCtrs
 	d.haveCtrs = true
 	d.lastAt = now
 	if first || elapsed <= 0 {
-		return 0, false
+		return 0, false, false
 	}
-	return float64(dInst) / elapsed.Seconds(), true
+	return float64(dInst) / elapsed.Seconds(), true, false
 }

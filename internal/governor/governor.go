@@ -22,7 +22,7 @@ import (
 // invocation work (busy host time, MSR-access power) back to the node.
 type Env struct {
 	Dev      msr.Device
-	PCM      *pcm.Monitor
+	PCM      pcm.Reader
 	RAPL     *rapl.Reader
 	Sockets  int
 	CPUs     int
@@ -32,7 +32,7 @@ type Env struct {
 	// (index = socket). Present on platforms whose memory-controller
 	// counters are socket-scoped; the per-socket scaling extension
 	// requires it.
-	SocketPCM []*pcm.Monitor
+	SocketPCM []pcm.Reader
 
 	UncoreMinGHz float64
 	UncoreMaxGHz float64

@@ -7,6 +7,7 @@ import (
 	"github.com/spear-repro/magus/internal/msr"
 	"github.com/spear-repro/magus/internal/pcm"
 	"github.com/spear-repro/magus/internal/rapl"
+	"github.com/spear-repro/magus/internal/resilient"
 )
 
 var (
@@ -260,17 +261,36 @@ func TestUPSRequiresRAPL(t *testing.T) {
 }
 
 func TestUPSFailsSafeOnRAPLError(t *testing.T) {
+	// The degradation contract: a single missed sensing cycle holds the
+	// last decision; sustained loss degrades to vendor default (max).
 	h := newUPSHarness(t)
 	h.cycle(30, 2.0)
 	h.cycle(30, 2.0)
 	for i := 0; i < 6; i++ {
 		h.cycle(30, 2.0)
 	}
+	held := limitGHz(h.s, 0)
+	if held >= 2.2 {
+		t.Fatalf("setup: UPS never scavenged below max (%v)", held)
+	}
 	h.s.FailReads(msr.ErrInjected)
 	h.now += 500 * time.Millisecond
 	h.ups.Invoke(h.now)
+	if got := limitGHz(h.s, 0); got != held {
+		t.Fatalf("limit after one missed sample = %v, want held %v", got, held)
+	}
+	if got := h.ups.SensorHealth(); got != resilient.Degraded {
+		t.Fatalf("health after one miss = %v, want degraded", got)
+	}
+	for i := 0; i < 2; i++ {
+		h.now += 500 * time.Millisecond
+		h.ups.Invoke(h.now)
+	}
 	h.s.FailReads(nil)
 	if got := limitGHz(h.s, 0); got != 2.2 {
-		t.Fatalf("limit after monitor failure = %v, want fail-safe max", got)
+		t.Fatalf("limit after sustained loss = %v, want fail-safe max", got)
+	}
+	if got := h.ups.SensorHealth(); got != resilient.Lost {
+		t.Fatalf("health after sustained loss = %v, want lost", got)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/spear-repro/magus/internal/msr"
+	"github.com/spear-repro/magus/internal/resilient"
 )
 
 // UPSConfig parameterises the Uncore Power Scavenger reimplementation.
@@ -80,6 +81,10 @@ type UPS struct {
 	lastCyc    []uint64
 	haveCtrs   bool
 
+	// health tracks the sensing path (RAPL + per-core counter sweeps)
+	// through the shared healthy → degraded → lost state machine.
+	health *resilient.Tracker
+
 	// Stats for Table 2 / §6.5.
 	invocations uint64
 	msrReads    uint64
@@ -140,6 +145,7 @@ func (u *UPS) Attach(env *Env) error {
 	u.floor = env.UncoreMinGHz
 	u.havePhase = false
 	u.haveCtrs = false
+	u.health = resilient.NewTracker(0)
 	u.lastInst = make([]uint64, env.CPUs)
 	u.lastCyc = make([]uint64, env.CPUs)
 	if err := env.SetUncoreMax(u.cur); err != nil {
@@ -154,6 +160,12 @@ func (u *UPS) Stats() (invocations, msrReads, msrWrites, phaseResets uint64) {
 	return u.invocations, u.msrReads, u.msrWrites, u.phaseResets
 }
 
+// SensorHealth reports the sensing path's health state.
+func (u *UPS) SensorHealth() resilient.Health { return u.health.Health() }
+
+// Resilience returns the sensing path's miss/recovery counters.
+func (u *UPS) Resilience() resilient.Counters { return u.health.Counters() }
+
 // CurrentMaxGHz returns the uncore limit UPS last requested.
 func (u *UPS) CurrentMaxGHz() float64 { return u.cur }
 
@@ -166,8 +178,7 @@ func (u *UPS) Invoke(now time.Duration) time.Duration {
 
 	sample, err := u.env.RAPL.Sample(now)
 	if err != nil {
-		// Monitoring failed: fail safe to maximum bandwidth.
-		u.setUncore(u.env.UncoreMaxGHz)
+		u.miss()
 		return 0
 	}
 	// Only feed real measurements into the filter — the first RAPL
@@ -183,9 +194,16 @@ func (u *UPS) Invoke(now time.Duration) time.Duration {
 	}
 	dramW := u.smoothDram
 
-	ipc, ok := u.readIPC()
+	ipc, ok, lost := u.readIPC()
+	if lost {
+		// Every core's counter read failed: this cycle sensed nothing.
+		u.miss()
+		return 0
+	}
+	u.health.Good()
 	if !ok {
-		// First cycle (or counter failure): establish baselines only.
+		// First cycle (or partial counter failure): establish baselines
+		// only.
 		u.refDramW = dramW
 		return 0
 	}
@@ -257,11 +275,28 @@ func (u *UPS) setUncore(ghz float64) {
 	u.cur = ghz
 }
 
+// miss records a cycle whose sensing path produced nothing usable. The
+// current limit is held while merely degraded; on full loss UPS
+// degrades to vendor-default behaviour and pins the uncore at max. The
+// learned references are dropped either way — when telemetry returns,
+// counter deltas would span the outage and the phase baseline may
+// describe a workload that no longer exists.
+func (u *UPS) miss() {
+	u.haveCtrs = false
+	u.haveSmooth = false
+	u.havePhase = false
+	if u.health.Miss() == resilient.Lost {
+		u.setUncore(u.env.UncoreMaxGHz)
+	}
+}
+
 // readIPC sweeps every core's fixed counters and returns the aggregate
-// IPC of cores that ran since the last sweep.
-func (u *UPS) readIPC() (float64, bool) {
+// IPC of cores that ran since the last sweep. lost reports that every
+// core's read failed — the sweep sensed nothing at all.
+func (u *UPS) readIPC() (ipc float64, ok, lost bool) {
 	var dInst, dCyc uint64
 	okAny := false
+	readAny := false
 	for cpu := 0; cpu < u.env.CPUs; cpu++ {
 		inst, err1 := u.env.Dev.Read(cpu, msr.FixedCtrInstRetired)
 		cyc, err2 := u.env.Dev.Read(cpu, msr.FixedCtrCPUCycles)
@@ -269,6 +304,7 @@ func (u *UPS) readIPC() (float64, bool) {
 		if err1 != nil || err2 != nil {
 			continue
 		}
+		readAny = true
 		if u.haveCtrs {
 			di := inst - u.lastInst[cpu]
 			dc := cyc - u.lastCyc[cpu]
@@ -281,12 +317,15 @@ func (u *UPS) readIPC() (float64, bool) {
 		u.lastInst[cpu] = inst
 		u.lastCyc[cpu] = cyc
 	}
+	if !readAny {
+		return 0, false, true
+	}
 	first := !u.haveCtrs
 	u.haveCtrs = true
 	if first || !okAny || dCyc == 0 {
-		return 0, false
+		return 0, false, false
 	}
-	return float64(dInst) / float64(dCyc), true
+	return float64(dInst) / float64(dCyc), true, false
 }
 
 func abs(x float64) float64 {

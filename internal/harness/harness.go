@@ -16,10 +16,12 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/spear-repro/magus/internal/faults"
 	"github.com/spear-repro/magus/internal/governor"
 	"github.com/spear-repro/magus/internal/node"
 	"github.com/spear-repro/magus/internal/pcm"
 	"github.com/spear-repro/magus/internal/rapl"
+	"github.com/spear-repro/magus/internal/resilient"
 	"github.com/spear-repro/magus/internal/sim"
 	"github.com/spear-repro/magus/internal/stats"
 	"github.com/spear-repro/magus/internal/telemetry"
@@ -41,6 +43,10 @@ type Options struct {
 	// transform on every PCM monitor the governor sees — robustness
 	// studies and failure injection.
 	PCMNoise func(gbs float64) float64
+	// Faults arms a deterministic fault schedule against the node's
+	// telemetry devices (nil/empty = no injection, bit-identical to the
+	// unfaulted path).
+	Faults *faults.Plan
 }
 
 // Result is one run's outcome.
@@ -60,6 +66,10 @@ type Result struct {
 
 	// Traces holds the recorder when Options.TraceInterval was set.
 	Traces *telemetry.Recorder
+
+	// FaultsInjected tallies device-fault injections when a plan was
+	// armed (zero otherwise).
+	FaultsInjected faults.Tally
 }
 
 // TotalEnergyJ is the paper's energy metric: CPU package + DRAM + GPU
@@ -75,15 +85,16 @@ func Run(cfg node.Config, prog *workload.Program, gov governor.Governor, opt Opt
 	runner := workload.NewRunner(prog, cfg.SystemBWGBs(), opt.Seed)
 	runner.SetAttained(n.AttainedGBs)
 
-	env, err := BuildEnv(n)
+	var fset *faults.Set
+	if opt.Faults.Armed() {
+		if err := opt.Faults.Validate(); err != nil {
+			return Result{}, fmt.Errorf("harness: %w", err)
+		}
+		fset = faults.NewSet(opt.Faults, eng.Clock().Now)
+	}
+	env, err := buildEnv(n, fset, opt.PCMNoise)
 	if err != nil {
 		return Result{}, err
-	}
-	if opt.PCMNoise != nil {
-		env.PCM.SetNoise(opt.PCMNoise)
-		for _, m := range env.SocketPCM {
-			m.SetNoise(opt.PCMNoise)
-		}
 	}
 	if err := gov.Attach(env); err != nil {
 		return Result{}, fmt.Errorf("harness: attach %s: %w", gov.Name(), err)
@@ -100,6 +111,12 @@ func Run(cfg node.Config, prog *workload.Program, gov governor.Governor, opt Opt
 	var rec *telemetry.Recorder
 	if opt.TraceInterval > 0 {
 		rec = NewNodeRecorder(n, opt.TraceInterval)
+		if fset != nil {
+			rec.Track("faults_injected", func() float64 { return float64(fset.Tally().Total()) })
+		}
+		if hr, ok := gov.(healthReporter); ok {
+			rec.Track("sensor_health", func() float64 { return float64(hr.SensorHealth()) })
+		}
 		eng.AddComponent(rec)
 	}
 
@@ -132,27 +149,58 @@ func Run(cfg node.Config, prog *workload.Program, gov governor.Governor, opt Opt
 	if runtime > 0 {
 		res.AvgCPUPowerW = (pkgJ + drmJ) / runtime
 	}
+	if fset != nil {
+		res.FaultsInjected = fset.Tally()
+	}
 	return res, nil
+}
+
+// healthReporter is the optional sensor-health surface governors expose
+// (MAGUS, UPS and DUF all implement it).
+type healthReporter interface {
+	SensorHealth() resilient.Health
 }
 
 // BuildEnv wires a governor environment onto a node: the node's MSR
 // device, a PCM monitor over its IMC traffic counter, a RAPL reader,
 // and the overhead-charging hook.
 func BuildEnv(n *node.Node) (*governor.Env, error) {
+	return buildEnv(n, nil, nil)
+}
+
+// buildEnv is BuildEnv plus an optional fault-wrapper set and PCM
+// measurement noise. The MSR device is wrapped *before* the RAPL reader
+// is constructed over it, so rapl-target faults reach the energy
+// counters; noise applies to the concrete monitors before fault
+// wrapping, so an injected stale/wild value is never re-noised.
+func buildEnv(n *node.Node, fset *faults.Set, noise func(gbs float64) float64) (*governor.Env, error) {
 	cfg := n.Config()
-	dev := n.MSRDevice()
+	dev := fset.WrapDevice(n.MSRDevice())
 	raplReader, err := rapl.New(dev, cfg.Sockets, n.Space().FirstCPUOf)
 	if err != nil {
-		return nil, fmt.Errorf("harness: rapl: %w", err)
+		if !fset.Armed() {
+			return nil, fmt.Errorf("harness: rapl: %w", err)
+		}
+		// An injected fault hit the one-time unit-register read; run
+		// without RAPL, as a daemon losing the energy interface would.
+		raplReader = nil
 	}
-	sockPCM := make([]*pcm.Monitor, cfg.Sockets)
+	mon := pcm.New(n.ServedGB)
+	if noise != nil {
+		mon.SetNoise(noise)
+	}
+	sockPCM := make([]pcm.Reader, cfg.Sockets)
 	for s := 0; s < cfg.Sockets; s++ {
 		sock := s
-		sockPCM[s] = pcm.New(func() float64 { return n.ServedGBSocket(sock) })
+		m := pcm.New(func() float64 { return n.ServedGBSocket(sock) })
+		if noise != nil {
+			m.SetNoise(noise)
+		}
+		sockPCM[s] = fset.WrapPCM(m)
 	}
 	return &governor.Env{
 		Dev:          dev,
-		PCM:          pcm.New(n.ServedGB),
+		PCM:          fset.WrapPCM(mon),
 		RAPL:         raplReader,
 		Sockets:      cfg.Sockets,
 		CPUs:         cfg.Sockets * cfg.CoresPerSocket,

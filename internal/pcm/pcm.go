@@ -14,6 +14,13 @@ import (
 	"time"
 )
 
+// Reader is the throughput read surface governors consume. *Monitor
+// implements it; the fault-injection layer wraps one Reader in another,
+// so consumers never know whether a fault plan is armed.
+type Reader interface {
+	SystemMemoryThroughput(now time.Duration) (float64, error)
+}
+
 // TrafficCounter supplies cumulative served memory traffic in GB — on
 // hardware, the sum of IMC read+write CAS counters scaled to bytes; in
 // this repo, the node simulator's ServedGB.

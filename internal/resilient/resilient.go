@@ -1,0 +1,312 @@
+// Package resilient is the graceful-degradation layer between the
+// governors and the node's telemetry devices. Real deployments of a
+// user-transparent daemon see transient counter-read failures,
+// permission loss, stalled reads, frozen values and corrupted samples;
+// the paper's runtimes assume every read succeeds instantly. This
+// package supplies the two pieces every governor in this repo uses to
+// survive a hostile sensor layer deterministically:
+//
+//   - Tracker: a per-sensor health state machine
+//     (healthy → degraded → lost) driven by per-cycle hit/miss
+//     outcomes, with recovery detection so a governor can re-enter its
+//     warm-up after an outage.
+//   - MemSensor: a resilient reader over a memory-throughput monitor —
+//     bounded retry with deterministic backoff on transient errors,
+//     virtual-clock read timeouts for stalled devices, and stale /
+//     NaN / wild-value detection so garbage never reaches a trend
+//     window.
+//
+// Everything is deterministic: retries are bounded counts, backoff is
+// fixed virtual latency, and no wall-clock time is consulted, so a
+// seeded run produces identical results whether or not the layer is in
+// the path. With a healthy sensor the layer is a pass-through and adds
+// nothing to a cycle.
+package resilient
+
+import (
+	"math"
+	"time"
+)
+
+// Health is the state of one sensor in the degradation state machine.
+type Health int
+
+const (
+	// Healthy: the last cycle's read succeeded.
+	Healthy Health = iota
+	// Degraded: at least one recent cycle missed its sample; the
+	// governor holds its last decision and waits.
+	Degraded
+	// Lost: LostAfter consecutive cycles missed; the governor degrades
+	// to vendor-default behaviour (uncore pinned at max) so performance
+	// is never sacrificed to a blind policy.
+	Lost
+)
+
+// String implements fmt.Stringer.
+func (h Health) String() string {
+	switch h {
+	case Degraded:
+		return "degraded"
+	case Lost:
+		return "lost"
+	default:
+		return "healthy"
+	}
+}
+
+// Config tunes the sensor fault handling. The zero value selects the
+// defaults below, so embedding it in a governor config costs nothing.
+type Config struct {
+	// MaxRetries is how many extra read attempts a cycle makes after a
+	// transient error (default 2).
+	MaxRetries int
+	// RetryBackoff is the deterministic virtual latency charged per
+	// retry (default 10 ms).
+	RetryBackoff time.Duration
+	// ReadTimeout bounds the latency of one cycle's sensor access; a
+	// read whose reported latency exceeds it counts as a missed sample
+	// (default 150 ms). Latency is virtual, reported by devices that
+	// implement LatencyReporter.
+	ReadTimeout time.Duration
+	// LostAfter is the number of consecutive missed samples after which
+	// the sensor is declared lost (default 3).
+	LostAfter int
+	// StaleAfter declares a sample missed when the same nonzero reading
+	// repeats this many consecutive cycles — a frozen counter, not a
+	// quiet one (0 = disabled, the default: legitimate steady phases
+	// may hold a constant level).
+	StaleAfter int
+	// MaxPlausibleGBs rejects throughput readings above this bound as
+	// corrupted (default 10000 GB/s — far beyond any memory system;
+	// negative disables).
+	MaxPlausibleGBs float64
+}
+
+// DefaultConfig returns the default fault-handling parameters.
+func DefaultConfig() Config {
+	return Config{
+		MaxRetries:      2,
+		RetryBackoff:    10 * time.Millisecond,
+		ReadTimeout:     150 * time.Millisecond,
+		LostAfter:       3,
+		StaleAfter:      0,
+		MaxPlausibleGBs: 10000,
+	}
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = d.MaxRetries
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = d.RetryBackoff
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = d.ReadTimeout
+	}
+	if c.LostAfter <= 0 {
+		c.LostAfter = d.LostAfter
+	}
+	if c.StaleAfter < 0 {
+		c.StaleAfter = 0
+	}
+	if c.MaxPlausibleGBs == 0 {
+		c.MaxPlausibleGBs = d.MaxPlausibleGBs
+	}
+	return c
+}
+
+// Counters aggregates a sensor's fault-handling activity for
+// Runtime.Stats() and the telemetry traces.
+type Counters struct {
+	// Reads is the number of read cycles attempted.
+	Reads uint64
+	// Retries counts extra attempts after transient errors.
+	Retries uint64
+	// Timeouts counts cycles abandoned because the access latency
+	// exceeded ReadTimeout.
+	Timeouts uint64
+	// WildDrops counts readings rejected as corrupted (NaN, negative,
+	// implausibly large).
+	WildDrops uint64
+	// StaleDrops counts readings rejected as frozen.
+	StaleDrops uint64
+	// Misses is the number of cycles that produced no usable sample.
+	Misses uint64
+	// DegradedCycles and LostCycles count missed cycles spent in each
+	// state.
+	DegradedCycles uint64
+	LostCycles     uint64
+	// Recoveries counts healthy transitions out of degraded/lost.
+	Recoveries uint64
+}
+
+// Tracker is the per-sensor health state machine. Governors whose
+// sensing is spread over many raw reads (UPS's per-core sweeps, DUF's
+// instruction counters) drive it directly with per-cycle hit/miss
+// outcomes; MemSensor embeds one.
+type Tracker struct {
+	lostAfter int
+	health    Health
+	consec    int
+	c         Counters
+}
+
+// NewTracker returns a tracker that declares the sensor lost after
+// lostAfter consecutive misses (<= 0 selects the default 3).
+func NewTracker(lostAfter int) *Tracker {
+	if lostAfter <= 0 {
+		lostAfter = DefaultConfig().LostAfter
+	}
+	return &Tracker{lostAfter: lostAfter}
+}
+
+// Health returns the current state.
+func (t *Tracker) Health() Health { return t.health }
+
+// Counters returns the accumulated miss/recovery counters.
+func (t *Tracker) Counters() Counters { return t.c }
+
+// Miss records a cycle without a usable sample and returns the health
+// after the transition.
+func (t *Tracker) Miss() Health {
+	t.consec++
+	t.c.Misses++
+	if t.consec >= t.lostAfter {
+		t.health = Lost
+	} else {
+		t.health = Degraded
+	}
+	if t.health == Lost {
+		t.c.LostCycles++
+	} else {
+		t.c.DegradedCycles++
+	}
+	return t.health
+}
+
+// Good records a successful cycle; recoveredFromLost reports whether
+// this sample ended a full outage (the caller should re-enter warm-up
+// and re-baseline its references).
+func (t *Tracker) Good() (recoveredFromLost bool) {
+	recoveredFromLost = t.health == Lost
+	if t.health != Healthy {
+		t.c.Recoveries++
+	}
+	t.health = Healthy
+	t.consec = 0
+	return recoveredFromLost
+}
+
+// MemReader is the read surface of a memory-throughput monitor
+// (*pcm.Monitor and the fault-injection wrapper both satisfy it).
+type MemReader interface {
+	SystemMemoryThroughput(now time.Duration) (float64, error)
+}
+
+// LatencyReporter is optionally implemented by devices that model
+// access latency (the fault-injection layer's stall faults). The
+// reported latency is virtual time consumed by the last read.
+type LatencyReporter interface {
+	LastReadLatency() time.Duration
+}
+
+// Reading is the outcome of one resilient read cycle.
+type Reading struct {
+	// GBs is the validated throughput sample; meaningless when !OK.
+	GBs float64
+	// Latency is the virtual time the cycle's sensor access consumed
+	// (stalls plus retry backoff); 0 on an instant clean read.
+	Latency time.Duration
+	// OK reports whether the cycle produced a usable sample.
+	OK bool
+	// Health is the sensor state after this cycle.
+	Health Health
+	// RecoveredFromLost marks the first good sample after a full
+	// outage: the consumer should re-enter warm-up.
+	RecoveredFromLost bool
+}
+
+// MemSensor wraps a throughput monitor with retry, timeout, validation
+// and health tracking.
+type MemSensor struct {
+	inner   MemReader
+	cfg     Config
+	tracker *Tracker
+
+	lastGood float64
+	staleRun int
+
+	retries, timeouts, wild, stale, reads uint64
+}
+
+// NewMemSensor builds a sensor over inner (zero-value cfg = defaults).
+func NewMemSensor(inner MemReader, cfg Config) *MemSensor {
+	if inner == nil {
+		panic("resilient: nil memory reader")
+	}
+	cfg = cfg.withDefaults()
+	return &MemSensor{inner: inner, cfg: cfg, tracker: NewTracker(cfg.LostAfter)}
+}
+
+// Health returns the sensor's current state.
+func (s *MemSensor) Health() Health { return s.tracker.Health() }
+
+// Counters merges the read-level and tracker-level counters.
+func (s *MemSensor) Counters() Counters {
+	c := s.tracker.Counters()
+	c.Reads = s.reads
+	c.Retries = s.retries
+	c.Timeouts = s.timeouts
+	c.WildDrops = s.wild
+	c.StaleDrops = s.stale
+	return c
+}
+
+// Read performs one resilient read cycle at virtual time now.
+func (s *MemSensor) Read(now time.Duration) Reading {
+	s.reads++
+	var lat time.Duration
+	for attempt := 0; attempt <= s.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			lat += s.cfg.RetryBackoff
+			s.retries++
+		}
+		v, err := s.inner.SystemMemoryThroughput(now)
+		if lr, ok := s.inner.(LatencyReporter); ok {
+			lat += lr.LastReadLatency()
+		}
+		if lat > s.cfg.ReadTimeout {
+			// The access budget is burnt whether or not a value came
+			// back: a decision loop cannot wait on a stalled device.
+			s.timeouts++
+			break
+		}
+		if err != nil {
+			continue
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 ||
+			(s.cfg.MaxPlausibleGBs > 0 && v > s.cfg.MaxPlausibleGBs) {
+			s.wild++
+			continue
+		}
+		if s.cfg.StaleAfter > 0 && v != 0 && v == s.lastGood {
+			s.staleRun++
+			if s.staleRun >= s.cfg.StaleAfter {
+				// A bit-identical nonzero reading repeated this long is
+				// a frozen sensor, and retrying won't thaw it.
+				s.stale++
+				break
+			}
+		} else {
+			s.staleRun = 0
+		}
+		s.lastGood = v
+		recovered := s.tracker.Good()
+		return Reading{GBs: v, Latency: lat, OK: true, Health: Healthy, RecoveredFromLost: recovered}
+	}
+	return Reading{Latency: lat, Health: s.tracker.Miss()}
+}

@@ -1,0 +1,200 @@
+package resilient
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+// script is a MemReader whose per-call outcomes are preloaded.
+type script struct {
+	vals []float64
+	errs []error
+	lats []time.Duration
+	i    int
+}
+
+func (s *script) SystemMemoryThroughput(time.Duration) (float64, error) {
+	i := s.i
+	if i >= len(s.vals) {
+		i = len(s.vals) - 1
+	}
+	s.i++
+	var err error
+	if s.errs != nil && i < len(s.errs) {
+		err = s.errs[i]
+	}
+	return s.vals[i], err
+}
+
+func (s *script) LastReadLatency() time.Duration {
+	i := s.i - 1
+	if s.lats == nil || i < 0 || i >= len(s.lats) {
+		return 0
+	}
+	return s.lats[i]
+}
+
+var errDown = errors.New("down")
+
+func TestTrackerStateMachine(t *testing.T) {
+	tr := NewTracker(3)
+	if tr.Health() != Healthy {
+		t.Fatalf("initial health = %v", tr.Health())
+	}
+	if got := tr.Miss(); got != Degraded {
+		t.Fatalf("after 1 miss: %v, want degraded", got)
+	}
+	if got := tr.Miss(); got != Degraded {
+		t.Fatalf("after 2 misses: %v, want degraded", got)
+	}
+	if got := tr.Miss(); got != Lost {
+		t.Fatalf("after 3 misses: %v, want lost", got)
+	}
+	if !tr.Good() {
+		t.Fatal("recovery from lost not reported")
+	}
+	if tr.Health() != Healthy {
+		t.Fatalf("health after recovery = %v", tr.Health())
+	}
+	// A degraded-only dip is not a recovery *from lost*.
+	tr.Miss()
+	if tr.Good() {
+		t.Fatal("recovery from degraded misreported as from-lost")
+	}
+	c := tr.Counters()
+	if c.Misses != 4 || c.LostCycles != 1 || c.DegradedCycles != 3 || c.Recoveries != 2 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestMemSensorPassThrough(t *testing.T) {
+	s := NewMemSensor(&script{vals: []float64{42.5}}, Config{})
+	r := s.Read(time.Second)
+	if !r.OK || r.GBs != 42.5 || r.Latency != 0 || r.Health != Healthy {
+		t.Fatalf("clean read = %+v", r)
+	}
+	c := s.Counters()
+	if c.Reads != 1 || c.Retries != 0 || c.Misses != 0 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestMemSensorRetriesTransientError(t *testing.T) {
+	s := NewMemSensor(&script{
+		vals: []float64{0, 0, 30},
+		errs: []error{errDown, errDown, nil},
+	}, Config{})
+	r := s.Read(time.Second)
+	if !r.OK || r.GBs != 30 {
+		t.Fatalf("read = %+v, want recovered 30", r)
+	}
+	if want := 2 * DefaultConfig().RetryBackoff; r.Latency != want {
+		t.Fatalf("latency = %v, want 2 backoffs = %v", r.Latency, want)
+	}
+	if c := s.Counters(); c.Retries != 2 || c.Misses != 0 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestMemSensorMissAfterRetryBudget(t *testing.T) {
+	s := NewMemSensor(&script{
+		vals: []float64{0, 0, 0},
+		errs: []error{errDown, errDown, errDown},
+	}, Config{})
+	r := s.Read(time.Second)
+	if r.OK || r.Health != Degraded {
+		t.Fatalf("read = %+v, want degraded miss", r)
+	}
+	if c := s.Counters(); c.Retries != 2 || c.Misses != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestMemSensorTimeoutOnStall(t *testing.T) {
+	s := NewMemSensor(&script{
+		vals: []float64{30},
+		lats: []time.Duration{400 * time.Millisecond},
+	}, Config{})
+	r := s.Read(time.Second)
+	if r.OK {
+		t.Fatalf("stalled read accepted: %+v", r)
+	}
+	if r.Latency != 400*time.Millisecond {
+		t.Fatalf("latency = %v", r.Latency)
+	}
+	if c := s.Counters(); c.Timeouts != 1 || c.Misses != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestMemSensorRejectsWildValues(t *testing.T) {
+	for _, wild := range []float64{math.NaN(), math.Inf(1), -3, 99999} {
+		s := NewMemSensor(&script{vals: []float64{wild, wild, wild}}, Config{})
+		if r := s.Read(0); r.OK {
+			t.Fatalf("wild value %v accepted: %+v", wild, r)
+		}
+		if c := s.Counters(); c.WildDrops != 3 || c.Misses != 1 {
+			t.Fatalf("wild %v: counters = %+v", wild, c)
+		}
+	}
+}
+
+func TestMemSensorWildThenGoodWithinBudget(t *testing.T) {
+	s := NewMemSensor(&script{vals: []float64{math.NaN(), 25}}, Config{})
+	r := s.Read(0)
+	if !r.OK || r.GBs != 25 {
+		t.Fatalf("read = %+v, want retried 25", r)
+	}
+}
+
+func TestMemSensorStaleDetection(t *testing.T) {
+	s := NewMemSensor(&script{vals: []float64{30, 30, 30, 30}}, Config{StaleAfter: 2})
+	if r := s.Read(0); !r.OK {
+		t.Fatalf("first read = %+v", r)
+	}
+	if r := s.Read(time.Second); !r.OK {
+		t.Fatalf("first repeat (run 1 < 2) = %+v", r)
+	}
+	if r := s.Read(2 * time.Second); r.OK {
+		t.Fatalf("frozen value accepted: %+v", r)
+	}
+	if c := s.Counters(); c.StaleDrops != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestMemSensorStaleDisabledByDefault(t *testing.T) {
+	vals := make([]float64, 20)
+	for i := range vals {
+		vals[i] = 30
+	}
+	s := NewMemSensor(&script{vals: vals}, Config{})
+	for i := 0; i < 20; i++ {
+		if r := s.Read(time.Duration(i) * time.Second); !r.OK {
+			t.Fatalf("read %d rejected with StaleAfter disabled: %+v", i, r)
+		}
+	}
+}
+
+func TestMemSensorLostAndRecovery(t *testing.T) {
+	sc := &script{vals: []float64{0}, errs: []error{errDown}}
+	s := NewMemSensor(sc, Config{})
+	for i := 0; i < 3; i++ {
+		s.Read(time.Duration(i) * time.Second)
+	}
+	if s.Health() != Lost {
+		t.Fatalf("health after 3 missed cycles = %v", s.Health())
+	}
+	sc.vals = []float64{40}
+	sc.errs = nil
+	sc.i = 0
+	r := s.Read(5 * time.Second)
+	if !r.OK || !r.RecoveredFromLost {
+		t.Fatalf("recovery read = %+v", r)
+	}
+	if r2 := s.Read(6 * time.Second); r2.RecoveredFromLost {
+		t.Fatalf("second good read still flagged as recovery: %+v", r2)
+	}
+}

@@ -37,12 +37,16 @@ func main() {
 		ext  = flag.String("ext", "", "extension study: ablation, cluster, numa, noise, faults")
 		reps = flag.Int("reps", 5, "repeats per experiment cell")
 		seed = flag.Int64("seed", 1, "base seed")
-		app  = flag.String("app", "srad", "application for the Figure 7 sweep")
-		idle = flag.Duration("idle", 10*time.Minute, "idle window for Table 2")
+		app     = flag.String("app", "srad", "application for the Figure 7 sweep")
+		idle    = flag.Duration("idle", 10*time.Minute, "idle window for Table 2")
+		metrics = flag.String("metrics", "", "dump accumulated run metrics (Prometheus text format)\nto this path when the suite finishes")
 	)
 	flag.Parse()
 
 	opt := magus.ExperimentOptions{Repeats: *reps, Seed: *seed}
+	if *metrics != "" {
+		opt.Obs = magus.NewObserver(nil, nil)
+	}
 	ran := false
 	want := func(f string) bool { return *all || *fig == f }
 	wantTab := func(t string) bool { return *all || *tab == t }
@@ -106,6 +110,16 @@ func main() {
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *metrics != "" {
+		f, err := os.Create(*metrics)
+		fatalIf(err)
+		err = opt.Obs.Registry().WriteText(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		fatalIf(err)
+		fmt.Printf("metrics written to %s (%d families)\n", *metrics, len(opt.Obs.Registry().Families()))
 	}
 }
 

@@ -23,8 +23,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	magus "github.com/spear-repro/magus"
@@ -45,6 +49,8 @@ func main() {
 		record   = flag.String("record", "", "archive the run as a JSON record at this path")
 		faultArg = flag.String("faults", "", "arm a fault plan: preset name or plan JSON path\n(presets: "+
 			strings.Join(magus.FaultPresets(), ", ")+")")
+		listen   = flag.String("listen", "", "serve /metrics, /healthz and /debug/pprof on this address\n(e.g. :9890); keeps serving after the run until interrupted")
+		events   = flag.String("events", "", "write the structured JSONL decision/event log to this path")
 		list     = flag.Bool("list", false, "list catalog applications and exit")
 		dump     = flag.String("dump-workload", "", "print a catalog workload as JSON and exit")
 	)
@@ -111,6 +117,28 @@ func main() {
 		fmt.Printf("magusd: %s armed\n", plan)
 	}
 
+	var obsrv *magus.Observer
+	if *listen != "" || *events != "" {
+		var evw io.Writer
+		if *events != "" {
+			f, err := os.Create(*events)
+			fatalIf(err)
+			defer f.Close()
+			evw = f
+		}
+		obsrv = magus.NewObserver(nil, evw)
+		opt.Obs = obsrv
+	}
+	var srvErr chan error
+	if *listen != "" {
+		ln, err := net.Listen("tcp", *listen)
+		fatalIf(err)
+		srv := &http.Server{Handler: magus.NewObsHandler(obsrv)}
+		srvErr = make(chan error, 1)
+		go func() { srvErr <- srv.Serve(ln) }()
+		fmt.Printf("magusd: serving /metrics, /healthz, /debug/pprof on http://%s\n", ln.Addr())
+	}
+
 	fmt.Printf("magusd: %s on %s under %s\n", prog.Name, cfg.Name, gov.Name())
 	res, err := magus.Run(cfg, prog, gov, opt)
 	fatalIf(err)
@@ -162,6 +190,24 @@ func main() {
 			return magus.NewRecord(res, *seed).Write(w)
 		}))
 		fmt.Printf("run record written to %s\n", *record)
+	}
+	if obsrv != nil && *events != "" {
+		ev := obsrv.Events()
+		fatalIf(ev.Err())
+		fmt.Printf("event log written to %s (%d events)\n", *events, ev.Count())
+	}
+	if srvErr != nil {
+		// The simulated run finishes in milliseconds; keep exporting its
+		// final metric and health state until interrupted so scrapers
+		// (or a curl) can read them.
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		fmt.Printf("magusd: run complete, still serving %s (interrupt to exit)\n", *listen)
+		select {
+		case <-sig:
+		case err := <-srvErr:
+			fatalIf(err)
+		}
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 
 	"github.com/spear-repro/magus/internal/harness"
 	"github.com/spear-repro/magus/internal/node"
+	"github.com/spear-repro/magus/internal/obs"
 	"github.com/spear-repro/magus/internal/sim"
 	"github.com/spear-repro/magus/internal/telemetry"
 	"github.com/spear-repro/magus/internal/workload"
@@ -71,6 +72,14 @@ type member struct {
 // application starts at t=0 (a batch launched together). sampleEvery
 // sets the power-trace resolution (0 = 100 ms).
 func Run(specs []NodeSpec, sampleEvery time.Duration) (Result, error) {
+	return RunObserved(specs, sampleEvery, nil)
+}
+
+// RunObserved is Run with a metrics observer attached: per-node and
+// aggregate power gauges, cumulative cluster energy, and completion
+// counters are published on the sampling interval. A nil observer is
+// exactly Run — observation is passive and never perturbs the batch.
+func RunObserved(specs []NodeSpec, sampleEvery time.Duration, o *obs.Observer) (Result, error) {
 	if len(specs) == 0 {
 		return Result{}, fmt.Errorf("cluster: empty spec list")
 	}
@@ -129,6 +138,42 @@ func Run(specs []NodeSpec, sampleEvery time.Duration) (Result, error) {
 		return p
 	})
 	eng.AddComponent(rec)
+
+	if o != nil {
+		reg := o.Registry()
+		nodeW := reg.GaugeVec("magus_cluster_node_power_watts",
+			"Total power per cluster member (CPU + GPU) in watts.", "node")
+		aggW := reg.Gauge("magus_cluster_power_watts", "Aggregate cluster power in watts.")
+		energyG := reg.Gauge("magus_cluster_energy_joules", "Cumulative cluster energy to completion.")
+		doneG := reg.Gauge("magus_cluster_nodes_done", "Cluster members whose application finished.")
+		reg.Gauge("magus_cluster_nodes", "Cluster member count.").Set(float64(len(members)))
+		gauges := make([]*obs.Gauge, len(members))
+		for i, m := range members {
+			gauges[i] = nodeW.With(m.spec.Name)
+		}
+		var next time.Duration
+		eng.AddComponent(sim.ComponentFunc(func(now, dt time.Duration) {
+			if now < next {
+				return
+			}
+			next = now + sampleEvery
+			var agg, energy float64
+			finished := 0
+			for i, m := range members {
+				p := m.node.TotalPowerW()
+				gauges[i].Set(p)
+				agg += p
+				pkg, drm, gpu := m.node.EnergyJ()
+				energy += pkg + drm + gpu
+				if m.runner.Done() {
+					finished++
+				}
+			}
+			aggW.Set(agg)
+			energyG.Set(energy)
+			doneG.Set(float64(finished))
+		}))
+	}
 
 	done := func() bool {
 		for _, m := range members {

@@ -272,7 +272,7 @@ type MAGUS struct {
 	lastTrend Trend
 
 	stats      Stats
-	onDecision func(Decision)
+	onDecision []func(Decision)
 }
 
 // New returns a MAGUS runtime with cfg.
@@ -319,8 +319,16 @@ func (m *MAGUS) SensorHealth() resilient.Health {
 	return m.sensor.Health()
 }
 
-// OnDecision installs a per-cycle trace hook (nil clears).
-func (m *MAGUS) OnDecision(fn func(Decision)) { m.onDecision = fn }
+// OnDecision adds a per-cycle trace hook; hooks run in installation
+// order (a verbose CLI stream and a metrics observer can coexist).
+// Passing nil clears every installed hook.
+func (m *MAGUS) OnDecision(fn func(Decision)) {
+	if fn == nil {
+		m.onDecision = nil
+		return
+	}
+	m.onDecision = append(m.onDecision, fn)
+}
 
 // TargetGHz returns the uncore limit MAGUS currently requests.
 func (m *MAGUS) TargetGHz() float64 { return m.targetGHz }
@@ -499,8 +507,8 @@ func (m *MAGUS) setUncore(ghz float64) bool {
 }
 
 func (m *MAGUS) emit(d Decision) {
-	if m.onDecision != nil {
-		m.onDecision(d)
+	for _, fn := range m.onDecision {
+		fn(d)
 	}
 }
 

@@ -110,7 +110,7 @@ func Ablation(opt Options) (AblationResult, error) {
 
 	for _, app := range apps {
 		prog := mustProgram(app)
-		runOpt := harness.Options{Seed: opt.Seed}
+		runOpt := harness.Options{Seed: opt.Seed, Obs: opt.Obs}
 		base, err := harness.RunRepeated(cfg, prog, defaultFactory, opt.Repeats, runOpt)
 		if err != nil {
 			return AblationResult{}, err

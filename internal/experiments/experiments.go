@@ -17,6 +17,7 @@ import (
 	"github.com/spear-repro/magus/internal/harness"
 	"github.com/spear-repro/magus/internal/hsmp"
 	"github.com/spear-repro/magus/internal/node"
+	"github.com/spear-repro/magus/internal/obs"
 	"github.com/spear-repro/magus/internal/workload"
 )
 
@@ -27,6 +28,9 @@ type Options struct {
 	Repeats int
 	// Seed is the base seed; repeats derive their own.
 	Seed int64
+	// Obs, when set, collects metrics across every run the experiment
+	// performs (observation is passive; results are unchanged).
+	Obs *obs.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -164,7 +168,7 @@ func Figure4(system string, opt Options) (Figure4Result, error) {
 	out := Figure4Result{System: cfg.Name}
 	for _, app := range apps {
 		prog := mustProgram(app)
-		runOpt := harness.Options{Seed: opt.Seed}
+		runOpt := harness.Options{Seed: opt.Seed, Obs: opt.Obs}
 		base, err := harness.RunRepeated(cfg, prog, defaultFactory, opt.Repeats, runOpt)
 		if err != nil {
 			return Figure4Result{}, err
@@ -210,9 +214,10 @@ func (f Figure4Result) MaxPerfLoss() float64 {
 }
 
 // traceRun executes one traced run (100 ms sampling) and returns it.
-func traceRun(cfg node.Config, app string, gov governor.Governor, seed int64) (harness.Result, error) {
+func traceRun(cfg node.Config, app string, gov governor.Governor, opt Options) (harness.Result, error) {
 	return harness.Run(cfg, mustProgram(app), gov, harness.Options{
-		Seed:          seed,
+		Seed:          opt.Seed,
 		TraceInterval: 100 * time.Millisecond,
+		Obs:           opt.Obs,
 	})
 }

@@ -47,7 +47,7 @@ func FaultSweep(app string, plans []string, opt Options) (FaultSweepResult, erro
 		return FaultSweepResult{}, err
 	}
 	prog := mustProgram(app)
-	runOpt := harness.Options{Seed: opt.Seed}
+	runOpt := harness.Options{Seed: opt.Seed, Obs: opt.Obs}
 	base, err := harness.Run(cfg, prog, defaultFactory(), runOpt)
 	if err != nil {
 		return FaultSweepResult{}, err
@@ -71,7 +71,7 @@ func FaultSweep(app string, plans []string, opt Options) (FaultSweepResult, erro
 			return FaultSweepResult{}, err
 		}
 		m := core.New(magusConfigFor(cfg.Name))
-		res, err := harness.Run(cfg, prog, m, harness.Options{Seed: opt.Seed, Faults: plan})
+		res, err := harness.Run(cfg, prog, m, harness.Options{Seed: opt.Seed, Faults: plan, Obs: opt.Obs})
 		if err != nil {
 			return FaultSweepResult{}, err
 		}

@@ -28,7 +28,7 @@ type Figure1Result struct {
 // Figure1 profiles UNet on Intel+A100 under the vendor default.
 func Figure1(opt Options) (Figure1Result, error) {
 	opt = opt.withDefaults()
-	res, err := traceRun(node.IntelA100(), "unet", defaultFactory(), opt.Seed)
+	res, err := traceRun(node.IntelA100(), "unet", defaultFactory(), opt)
 	if err != nil {
 		return Figure1Result{}, err
 	}
@@ -62,11 +62,11 @@ type Figure2Result struct {
 func Figure2(opt Options) (Figure2Result, error) {
 	opt = opt.withDefaults()
 	cfg := node.IntelA100()
-	max, err := traceRun(cfg, "unet", governor.NewStatic(cfg.UncoreMaxGHz), opt.Seed)
+	max, err := traceRun(cfg, "unet", governor.NewStatic(cfg.UncoreMaxGHz), opt)
 	if err != nil {
 		return Figure2Result{}, err
 	}
-	min, err := traceRun(cfg, "unet", governor.NewStatic(cfg.UncoreMinGHz), opt.Seed)
+	min, err := traceRun(cfg, "unet", governor.NewStatic(cfg.UncoreMinGHz), opt)
 	if err != nil {
 		return Figure2Result{}, err
 	}
@@ -102,19 +102,19 @@ type Figure5Result struct {
 func Figure5(opt Options) (Figure5Result, error) {
 	opt = opt.withDefaults()
 	cfg := node.IntelA100()
-	base, err := traceRun(cfg, "srad", defaultFactory(), opt.Seed)
+	base, err := traceRun(cfg, "srad", defaultFactory(), opt)
 	if err != nil {
 		return Figure5Result{}, err
 	}
-	min, err := traceRun(cfg, "srad", governor.NewStatic(cfg.UncoreMinGHz), opt.Seed)
+	min, err := traceRun(cfg, "srad", governor.NewStatic(cfg.UncoreMinGHz), opt)
 	if err != nil {
 		return Figure5Result{}, err
 	}
-	magus, err := traceRun(cfg, "srad", magusFactoryFor(cfg.Name)(), opt.Seed)
+	magus, err := traceRun(cfg, "srad", magusFactoryFor(cfg.Name)(), opt)
 	if err != nil {
 		return Figure5Result{}, err
 	}
-	ups, err := traceRun(cfg, "srad", upsFactoryFor(cfg.Name)(), opt.Seed)
+	ups, err := traceRun(cfg, "srad", upsFactoryFor(cfg.Name)(), opt)
 	if err != nil {
 		return Figure5Result{}, err
 	}
@@ -144,16 +144,16 @@ type Figure6Result struct {
 func Figure6(opt Options) (Figure6Result, error) {
 	opt = opt.withDefaults()
 	cfg := node.IntelA100()
-	base, err := traceRun(cfg, "srad", defaultFactory(), opt.Seed)
+	base, err := traceRun(cfg, "srad", defaultFactory(), opt)
 	if err != nil {
 		return Figure6Result{}, err
 	}
-	ups, err := traceRun(cfg, "srad", upsFactoryFor(cfg.Name)(), opt.Seed)
+	ups, err := traceRun(cfg, "srad", upsFactoryFor(cfg.Name)(), opt)
 	if err != nil {
 		return Figure6Result{}, err
 	}
 	m := core.New(magusConfigFor(cfg.Name))
-	magus, err := traceRun(cfg, "srad", m, opt.Seed)
+	magus, err := traceRun(cfg, "srad", m, opt)
 	if err != nil {
 		return Figure6Result{}, err
 	}
@@ -225,7 +225,7 @@ func Figure7(app string, opt Options) (Figure7Result, error) {
 		mcCopy := mc
 		res, err := harness.RunRepeated(cfg, prog,
 			func() governor.Governor { return core.New(mcCopy) },
-			opt.Repeats, harness.Options{Seed: opt.Seed})
+			opt.Repeats, harness.Options{Seed: opt.Seed, Obs: opt.Obs})
 		if err != nil {
 			return Figure7Result{}, err
 		}

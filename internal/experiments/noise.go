@@ -48,7 +48,7 @@ func NoiseStudy(app string, opt Options) (NoiseStudyResult, error) {
 		return NoiseStudyResult{}, err
 	}
 	prog := mustProgram(app)
-	base, err := harness.RunRepeated(cfg, prog, defaultFactory, opt.Repeats, harness.Options{Seed: opt.Seed})
+	base, err := harness.RunRepeated(cfg, prog, defaultFactory, opt.Repeats, harness.Options{Seed: opt.Seed, Obs: opt.Obs})
 	if err != nil {
 		return NoiseStudyResult{}, err
 	}
@@ -56,7 +56,7 @@ func NoiseStudy(app string, opt Options) (NoiseStudyResult, error) {
 	for _, amp := range NoiseAmplitudes() {
 		a := amp
 		res, err := harness.RunRepeated(cfg, prog, magusFactoryFor(cfg.Name), opt.Repeats,
-			harness.Options{Seed: opt.Seed, PCMNoise: noiseFn(a, opt.Seed*37+int64(a*1000))})
+			harness.Options{Seed: opt.Seed, PCMNoise: noiseFn(a, opt.Seed*37+int64(a*1000)), Obs: opt.Obs})
 		if err != nil {
 			return NoiseStudyResult{}, err
 		}

@@ -25,7 +25,7 @@ func NUMAStudy(opt Options) (NUMAStudyResult, error) {
 		return NUMAStudyResult{}, err
 	}
 	prog := mustProgram("numa_etl")
-	runOpt := harness.Options{Seed: opt.Seed}
+	runOpt := harness.Options{Seed: opt.Seed, Obs: opt.Obs}
 
 	base, err := harness.RunRepeated(cfg, prog, defaultFactory, opt.Repeats, runOpt)
 	if err != nil {

@@ -36,11 +36,11 @@ func Table1(opt Options) (Table1Result, error) {
 	cfg := node.IntelA100()
 	out := Table1Result{Bins: 200, ThresholdFrac: 0.5}
 	for _, app := range workload.Table1Apps() {
-		base, err := traceRun(cfg, app, defaultFactory(), opt.Seed)
+		base, err := traceRun(cfg, app, defaultFactory(), opt)
 		if err != nil {
 			return Table1Result{}, err
 		}
-		magus, err := traceRun(cfg, app, magusFactoryFor(cfg.Name)(), opt.Seed)
+		magus, err := traceRun(cfg, app, magusFactoryFor(cfg.Name)(), opt)
 		if err != nil {
 			return Table1Result{}, err
 		}

@@ -40,6 +40,10 @@ func (p *PowerCapped) Interval() time.Duration { return p.inner.Interval() }
 // CapWatts returns the configured PL1 limit.
 func (p *PowerCapped) CapWatts() float64 { return p.capW }
 
+// Inner returns the wrapped policy, so stats and observability layers
+// can see through the cap to the scaling runtime underneath.
+func (p *PowerCapped) Inner() Governor { return p.inner }
+
 // Attach implements Governor: program the cap, then attach the inner
 // policy.
 func (p *PowerCapped) Attach(env *Env) error {

@@ -19,6 +19,7 @@ import (
 	"github.com/spear-repro/magus/internal/faults"
 	"github.com/spear-repro/magus/internal/governor"
 	"github.com/spear-repro/magus/internal/node"
+	"github.com/spear-repro/magus/internal/obs"
 	"github.com/spear-repro/magus/internal/pcm"
 	"github.com/spear-repro/magus/internal/rapl"
 	"github.com/spear-repro/magus/internal/resilient"
@@ -47,6 +48,14 @@ type Options struct {
 	// telemetry devices (nil/empty = no injection, bit-identical to the
 	// unfaulted path).
 	Faults *faults.Plan
+	// Obs attaches a metrics/event observer to the run. Observation is
+	// passive — it only reads state the simulation already computed —
+	// so an observed run produces bit-identical traces and Stats() to
+	// an unobserved one (nil = no observability, zero overhead).
+	Obs *obs.Observer
+	// ObsInterval is the metrics sampling period when Obs is set
+	// (0 = DefaultObsInterval, 100 ms).
+	ObsInterval time.Duration
 }
 
 // Result is one run's outcome.
@@ -120,6 +129,12 @@ func Run(cfg node.Config, prog *workload.Program, gov governor.Governor, opt Opt
 		eng.AddComponent(rec)
 	}
 
+	var ro *runObserver
+	if opt.Obs != nil {
+		ro = installObservability(opt.Obs, n, fset, gov, opt.ObsInterval, opt, cfg.Name, prog.Name)
+		eng.AddComponent(ro)
+	}
+
 	eng.AddTask(&sim.Task{
 		Name:     gov.Name(),
 		Interval: gov.Interval(),
@@ -151,6 +166,9 @@ func Run(cfg node.Config, prog *workload.Program, gov governor.Governor, opt Opt
 	}
 	if fset != nil {
 		res.FaultsInjected = fset.Tally()
+	}
+	if ro != nil {
+		ro.finish(eng.Clock().Now(), res)
 	}
 	return res, nil
 }

@@ -1,0 +1,473 @@
+package harness
+
+import (
+	"strconv"
+	"time"
+
+	"github.com/spear-repro/magus/internal/core"
+	"github.com/spear-repro/magus/internal/faults"
+	"github.com/spear-repro/magus/internal/governor"
+	"github.com/spear-repro/magus/internal/node"
+	"github.com/spear-repro/magus/internal/obs"
+	"github.com/spear-repro/magus/internal/resilient"
+)
+
+// DefaultObsInterval is the metrics sampling period when Options.Obs
+// is set and Options.ObsInterval is zero.
+const DefaultObsInterval = 100 * time.Millisecond
+
+// govCounters is the architecture-neutral snapshot of a governor's
+// cumulative counters, polled on the sampling interval.
+type govCounters struct {
+	invocations, tuneEvents, overrides    uint64
+	msrReads, msrWrites, phaseResets      uint64
+	warmupCycles, missed                  uint64
+	retries, timeouts, wild, stale        uint64
+	degradedCycles, lostCycles            uint64
+	recoveries, watchdog                  uint64
+	health                                resilient.Health
+}
+
+// pollerFor maps a governor to a counter snapshot function; nil when
+// the governor exposes no counters (static pins, vendor default).
+func pollerFor(gov governor.Governor) func() govCounters {
+	if pc, ok := gov.(*governor.PowerCapped); ok {
+		gov = pc.Inner()
+	}
+	switch g := gov.(type) {
+	case interface{ Stats() core.Stats }: // MAGUS and PerSocket
+		hr, _ := gov.(healthReporter)
+		return func() govCounters {
+			s := g.Stats()
+			c := govCounters{
+				invocations:    s.Invocations,
+				tuneEvents:     s.TuneEvents,
+				overrides:      s.Overrides,
+				msrWrites:      s.MSRWrites,
+				warmupCycles:   s.WarmupCycles,
+				missed:         s.MissedSamples,
+				retries:        s.SensorRetries,
+				timeouts:       s.SensorTimeouts,
+				wild:           s.WildSamples,
+				stale:          s.StaleSamples,
+				degradedCycles: s.DegradedCycles,
+				lostCycles:     s.LostCycles,
+				recoveries:     s.Recoveries,
+				watchdog:       s.WatchdogOverruns,
+			}
+			if hr != nil {
+				c.health = hr.SensorHealth()
+			}
+			return c
+		}
+	case *governor.UPS:
+		return func() govCounters {
+			inv, reads, writes, resets := g.Stats()
+			r := g.Resilience()
+			return govCounters{
+				invocations: inv, msrReads: reads, msrWrites: writes, phaseResets: resets,
+				missed: r.Misses, retries: r.Retries, timeouts: r.Timeouts,
+				wild: r.WildDrops, stale: r.StaleDrops,
+				degradedCycles: r.DegradedCycles, lostCycles: r.LostCycles,
+				recoveries: r.Recoveries, health: g.SensorHealth(),
+			}
+		}
+	case *governor.DUF:
+		return func() govCounters {
+			r := g.Resilience()
+			return govCounters{
+				invocations: g.Invocations(),
+				missed:      r.Misses, retries: r.Retries, timeouts: r.Timeouts,
+				wild: r.WildDrops, stale: r.StaleDrops,
+				degradedCycles: r.DegradedCycles, lostCycles: r.LostCycles,
+				recoveries: r.Recoveries, health: g.SensorHealth(),
+			}
+		}
+	}
+	return nil
+}
+
+// counterDelta feeds the difference between successive snapshots of a
+// cumulative source counter into a registry counter.
+type counterDelta struct {
+	dst  *obs.Counter
+	read func(govCounters) uint64
+	last uint64
+}
+
+func (d *counterDelta) update(c govCounters) {
+	cur := d.read(c)
+	if cur > d.last {
+		d.dst.Add(float64(cur - d.last))
+	}
+	d.last = cur
+}
+
+// runObserver samples node and governor state into the registry on a
+// fixed interval and emits fault/health events. It implements
+// sim.Component; everything it does is read-only with respect to the
+// simulation, so an observed run stays bit-identical to an unobserved
+// one.
+type runObserver struct {
+	o        *obs.Observer
+	n        *node.Node
+	fset     *faults.Set
+	poll     func() govCounters
+	interval time.Duration
+	next     time.Duration
+
+	steps    *obs.Counter
+	simTime  *obs.Gauge
+	memGBs   *obs.Gauge
+	thrHist  *obs.Histogram
+	nodeW    *obs.Gauge
+	cpuW     *obs.Gauge
+	uncore   []*obs.Gauge
+	pkgW     []*obs.Gauge
+	dramW    []*obs.Gauge
+	gpuW     []*obs.Gauge
+	gpuClk   []*obs.Gauge
+	energyPk *obs.Gauge
+	energyDr *obs.Gauge
+	energyGp *obs.Gauge
+
+	healthG    *obs.Gauge
+	lastHealth resilient.Health
+	deltas     []*counterDelta
+
+	faultCtr  map[string]*obs.Counter
+	lastTally faults.Tally
+}
+
+// newRunObserver registers the run's metric families on o's registry
+// and returns the sampling component.
+func newRunObserver(o *obs.Observer, n *node.Node, fset *faults.Set, gov governor.Governor, interval time.Duration) *runObserver {
+	reg := o.Registry()
+	cfg := n.Config()
+	ro := &runObserver{
+		o: o, n: n, fset: fset, poll: pollerFor(gov), interval: interval,
+
+		steps:   reg.Counter("magus_sim_steps_total", "Engine steps observed by the run."),
+		simTime: reg.Gauge("magus_sim_time_seconds", "Virtual time of the run in seconds."),
+		memGBs:  reg.Gauge("magus_mem_throughput_gbs", "System memory throughput in GB/s."),
+		thrHist: reg.Histogram("magus_mem_throughput_distribution_gbs",
+			"Distribution of sampled system memory throughput in GB/s.",
+			[]float64{5, 10, 20, 40, 60, 80, 120, 160, 200, 280, 400}),
+		nodeW: reg.Gauge("magus_node_power_watts", "Total node power (CPU package + DRAM + GPU boards)."),
+		cpuW:  reg.Gauge("magus_cpu_power_watts", "CPU power (package + DRAM, all sockets)."),
+
+		energyPk: reg.GaugeVec("magus_energy_joules",
+			"Cumulative energy to solution by domain.", "domain").With("pkg"),
+		energyDr: reg.GaugeVec("magus_energy_joules",
+			"Cumulative energy to solution by domain.", "domain").With("dram"),
+		energyGp: reg.GaugeVec("magus_energy_joules",
+			"Cumulative energy to solution by domain.", "domain").With("gpu"),
+
+		healthG: reg.Gauge("magus_sensor_health",
+			"Governor sensing-path health (0 healthy, 1 degraded, 2 lost)."),
+	}
+
+	uncoreVec := reg.GaugeVec("magus_uncore_frequency_ghz", "Effective uncore frequency per socket in GHz.", "socket")
+	pkgVec := reg.GaugeVec("magus_package_power_watts", "Package power per socket in watts.", "socket")
+	dramVec := reg.GaugeVec("magus_dram_power_watts", "DRAM power per socket in watts.", "socket")
+	for s := 0; s < cfg.Sockets; s++ {
+		l := strconv.Itoa(s)
+		ro.uncore = append(ro.uncore, uncoreVec.With(l))
+		ro.pkgW = append(ro.pkgW, pkgVec.With(l))
+		ro.dramW = append(ro.dramW, dramVec.With(l))
+	}
+	if n.GPUCount() > 0 {
+		gw := reg.GaugeVec("magus_gpu_power_watts", "GPU board power in watts.", "gpu")
+		gc := reg.GaugeVec("magus_gpu_clock_mhz", "GPU SM clock in MHz.", "gpu")
+		for g := 0; g < n.GPUCount(); g++ {
+			l := strconv.Itoa(g)
+			ro.gpuW = append(ro.gpuW, gw.With(l))
+			ro.gpuClk = append(ro.gpuClk, gc.With(l))
+		}
+	}
+
+	if ro.poll != nil {
+		add := func(name, help string, read func(govCounters) uint64) {
+			ro.deltas = append(ro.deltas, &counterDelta{dst: reg.Counter(name, help), read: read})
+		}
+		add("magus_governor_invocations_total", "Governor decision cycles executed.",
+			func(c govCounters) uint64 { return c.invocations })
+		add("magus_tune_events_total", "Potential uncore tuning events logged (Algorithm 1 trend edges).",
+			func(c govCounters) uint64 { return c.tuneEvents })
+		add("magus_highfreq_overrides_total", "Decisions suppressed by the high-frequency detector (Algorithm 2).",
+			func(c govCounters) uint64 { return c.overrides })
+		add("magus_msr_reads_total", "MSR reads performed by the governor's counter sweeps.",
+			func(c govCounters) uint64 { return c.msrReads })
+		add("magus_msr_writes_total", "Uncore-limit MSR writes performed by the governor.",
+			func(c govCounters) uint64 { return c.msrWrites })
+		add("magus_phase_resets_total", "Phase-transition resets (UPS DRAM-power detector).",
+			func(c govCounters) uint64 { return c.phaseResets })
+		add("magus_warmup_cycles_total", "Warm-up monitoring cycles spent collecting history.",
+			func(c govCounters) uint64 { return c.warmupCycles })
+		add("magus_missed_samples_total", "Decision cycles that produced no usable sensor sample.",
+			func(c govCounters) uint64 { return c.missed })
+		add("magus_sensor_retries_total", "Extra sensor read attempts after transient errors.",
+			func(c govCounters) uint64 { return c.retries })
+		add("magus_sensor_timeouts_total", "Sensor accesses abandoned after exceeding the read timeout.",
+			func(c govCounters) uint64 { return c.timeouts })
+		add("magus_wild_samples_total", "Sensor readings rejected as corrupted (NaN, negative, implausible).",
+			func(c govCounters) uint64 { return c.wild })
+		add("magus_stale_samples_total", "Sensor readings rejected as frozen.",
+			func(c govCounters) uint64 { return c.stale })
+		add("magus_degraded_cycles_total", "Missed cycles spent in the degraded sensor state.",
+			func(c govCounters) uint64 { return c.degradedCycles })
+		add("magus_lost_cycles_total", "Missed cycles spent in the lost sensor state.",
+			func(c govCounters) uint64 { return c.lostCycles })
+		add("magus_sensor_recoveries_total", "Sensor transitions back to healthy after degradation or loss.",
+			func(c govCounters) uint64 { return c.recoveries })
+		add("magus_watchdog_overruns_total", "Decision cycles whose sensor latency overran the sleep interval.",
+			func(c govCounters) uint64 { return c.watchdog })
+	}
+
+	if fset != nil {
+		vec := reg.CounterVec("magus_faults_injected_total",
+			"Telemetry faults fired by the armed plan, by class.", "class")
+		ro.faultCtr = map[string]*obs.Counter{
+			"error": vec.With("error"), "stall": vec.With("stall"),
+			"stale": vec.With("stale"), "wild": vec.With("wild"), "loss": vec.With("loss"),
+		}
+	}
+	return ro
+}
+
+// Step implements sim.Component.
+func (ro *runObserver) Step(now, dt time.Duration) {
+	ro.steps.Inc()
+	if now < ro.next {
+		return
+	}
+	ro.next = now + ro.interval
+	ro.sample(now)
+}
+
+// sample publishes one snapshot of node and governor state.
+func (ro *runObserver) sample(now time.Duration) {
+	n := ro.n
+	ro.simTime.Set(now.Seconds())
+	thr := n.AttainedGBs()
+	ro.memGBs.Set(thr)
+	ro.thrHist.Observe(thr)
+	ro.nodeW.Set(n.TotalPowerW())
+	ro.cpuW.Set(n.CPUPowerW())
+	for s, g := range ro.uncore {
+		g.Set(n.UncoreFreqGHz(s))
+		ro.pkgW[s].Set(n.PkgPowerW(s))
+		ro.dramW[s].Set(n.DramPowerW(s))
+	}
+	for g := range ro.gpuW {
+		ro.gpuW[g].Set(n.GPUPowerW(g))
+		ro.gpuClk[g].Set(n.GPUClockMHz(g))
+	}
+	pkgJ, drmJ, gpuJ := n.EnergyJ()
+	ro.energyPk.Set(pkgJ)
+	ro.energyDr.Set(drmJ)
+	ro.energyGp.Set(gpuJ)
+
+	if ro.poll != nil {
+		c := ro.poll()
+		for _, d := range ro.deltas {
+			d.update(c)
+		}
+		ro.healthG.Set(float64(c.health))
+		ro.o.SetHealth(obs.Health(c.health))
+		if c.health != ro.lastHealth {
+			ro.o.Events().Event(now, "health").
+				S("from", ro.lastHealth.String()).S("to", c.health.String()).End()
+			ro.lastHealth = c.health
+		}
+	}
+
+	if ro.fset != nil {
+		t := ro.fset.Tally()
+		if t != ro.lastTally {
+			ro.faultCtr["error"].Add(float64(t.Errors - ro.lastTally.Errors))
+			ro.faultCtr["stall"].Add(float64(t.Stalls - ro.lastTally.Stalls))
+			ro.faultCtr["stale"].Add(float64(t.Stales - ro.lastTally.Stales))
+			ro.faultCtr["wild"].Add(float64(t.Wilds - ro.lastTally.Wilds))
+			ro.faultCtr["loss"].Add(float64(t.Losses - ro.lastTally.Losses))
+			ro.o.Events().Event(now, "faults").
+				U("errors", t.Errors).U("stalls", t.Stalls).U("stale", t.Stales).
+				U("wild", t.Wilds).U("loss", t.Losses).U("total", t.Total()).End()
+			ro.lastTally = t
+		}
+	}
+}
+
+// finish takes the final sample (the run may end between sampling
+// ticks) and emits the run_end event.
+func (ro *runObserver) finish(now time.Duration, res Result) {
+	ro.sample(now)
+	ro.o.Events().Event(now, "run_end").
+		F("runtime_s", res.RuntimeS).
+		F("pkg_j", res.PkgEnergyJ).F("dram_j", res.DramEnergyJ).F("gpu_j", res.GPUEnergyJ).
+		F("avg_cpu_w", res.AvgCPUPowerW).End()
+}
+
+// Runtime phases, published as magus_runtime_phase and named in phase
+// transition events.
+const (
+	phaseWarmup = iota
+	phaseActive
+	phaseHighFreq
+)
+
+func phaseName(p int) string {
+	switch p {
+	case phaseWarmup:
+		return "warmup"
+	case phaseHighFreq:
+		return "highfreq"
+	default:
+		return "active"
+	}
+}
+
+// decisionObserver translates MAGUS decision callbacks into metrics
+// and events.
+type decisionObserver struct {
+	o *obs.Observer
+
+	outcome map[string]*obs.Counter
+	trends  map[core.Trend]*obs.Counter
+	target  *obs.Gauge
+	phaseG  *obs.Gauge
+	period  *obs.Histogram
+
+	havePrev   bool
+	prevAt     time.Duration
+	prevTrend  core.Trend
+	prevPhase  int
+	prevHealth resilient.Health
+}
+
+// newDecisionObserver registers the decision-level families and
+// returns the hook target.
+func newDecisionObserver(o *obs.Observer) *decisionObserver {
+	reg := o.Registry()
+	outcomeVec := reg.CounterVec("magus_decisions_total",
+		"MDFS decision cycles by outcome.", "outcome")
+	trendVec := reg.CounterVec("magus_trend_predictions_total",
+		"Algorithm 1 trend predictions by direction.", "trend")
+	return &decisionObserver{
+		o: o,
+		outcome: map[string]*obs.Counter{
+			"warmup": outcomeVec.With("warmup"), "missed": outcomeVec.With("missed"),
+			"acted": outcomeVec.With("acted"), "hold": outcomeVec.With("hold"),
+		},
+		trends: map[core.Trend]*obs.Counter{
+			core.TrendUp: trendVec.With("up"), core.TrendDown: trendVec.With("down"),
+			core.TrendFlat: trendVec.With("flat"),
+		},
+		target: reg.Gauge("magus_uncore_target_ghz", "Uncore limit currently requested by the runtime."),
+		phaseG: reg.Gauge("magus_runtime_phase",
+			"Runtime phase (0 warm-up, 1 active, 2 high-frequency pin)."),
+		period: reg.Histogram("magus_decision_period_seconds",
+			"Observed spacing between decision cycles in seconds.",
+			[]float64{0.2, 0.25, 0.3, 0.35, 0.4, 0.5, 0.75, 1, 2}),
+		prevPhase: -1,
+	}
+}
+
+// observe is the OnDecision hook.
+func (do *decisionObserver) observe(d core.Decision) {
+	switch {
+	case d.Missed:
+		do.outcome["missed"].Inc()
+	case d.Warmup:
+		do.outcome["warmup"].Inc()
+	case d.Acted:
+		do.outcome["acted"].Inc()
+	default:
+		do.outcome["hold"].Inc()
+	}
+	do.target.Set(d.TargetGHz)
+
+	if do.havePrev {
+		do.period.Observe((d.At - do.prevAt).Seconds())
+	}
+	do.havePrev = true
+	do.prevAt = d.At
+
+	phase := phaseActive
+	switch {
+	case d.Warmup:
+		phase = phaseWarmup
+	case d.HighFreq:
+		phase = phaseHighFreq
+	}
+	do.phaseG.Set(float64(phase))
+	if phase != do.prevPhase {
+		if do.prevPhase >= 0 {
+			do.o.Events().Event(d.At, "phase").
+				S("from", phaseName(do.prevPhase)).S("to", phaseName(phase)).End()
+		}
+		do.prevPhase = phase
+	}
+
+	if !d.Warmup && !d.Missed {
+		do.trends[d.Trend].Inc()
+		if d.Trend != do.prevTrend {
+			do.o.Events().Event(d.At, "trend").
+				S("from", do.prevTrend.String()).S("to", d.Trend.String()).End()
+			do.prevTrend = d.Trend
+		}
+	}
+
+	do.o.SetHealth(obs.Health(d.SensorHealth))
+	if d.SensorHealth != do.prevHealth {
+		do.o.Events().Event(d.At, "health").
+			S("from", do.prevHealth.String()).S("to", d.SensorHealth.String()).End()
+		do.prevHealth = d.SensorHealth
+	}
+
+	ev := do.o.Events().Event(d.At, "decision").
+		F("mem_gbs", d.ThroughputGBs).
+		S("trend", d.Trend.String()).
+		F("target_ghz", d.TargetGHz).
+		B("acted", d.Acted)
+	if d.Warmup {
+		ev = ev.B("warmup", true)
+	}
+	if d.HighFreq {
+		ev = ev.B("highfreq", true)
+	}
+	if d.Missed {
+		ev = ev.B("missed", true)
+	}
+	ev.S("health", d.SensorHealth.String()).End()
+}
+
+// installObservability wires the observer into a run: the sampling
+// component, the decision hook (when the governor exposes one) and the
+// run_start event. It returns the sampler so Run can finish it.
+func installObservability(o *obs.Observer, n *node.Node, fset *faults.Set, gov governor.Governor, interval time.Duration, opt Options, cfgName, progName string) *runObserver {
+	if interval <= 0 {
+		interval = DefaultObsInterval
+	}
+	reg := o.Registry()
+	reg.Counter("magus_runs_total", "Observed harness runs started.").Inc()
+	reg.GaugeVec("magus_run_info", "Run identity (constant 1, labels carry the identity).",
+		"system", "workload", "governor").
+		With(cfgName, progName, gov.Name()).Set(1)
+
+	ro := newRunObserver(o, n, fset, gov, interval)
+
+	hookTarget := gov
+	if pc, ok := gov.(*governor.PowerCapped); ok {
+		hookTarget = pc.Inner()
+	}
+	if src, ok := hookTarget.(interface{ OnDecision(func(core.Decision)) }); ok {
+		src.OnDecision(newDecisionObserver(o).observe)
+	}
+
+	o.Events().Event(0, "run_start").
+		S("system", cfgName).S("workload", progName).S("governor", gov.Name()).
+		F("seed", float64(opt.Seed)).
+		B("faults", fset != nil).End()
+	return ro
+}

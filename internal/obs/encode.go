@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// ValidMetricName reports whether s is a legal Prometheus metric name:
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func ValidMetricName(s string) bool {
+	if len(s) == 0 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') ||
+			(i > 0 && '0' <= c && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ValidLabelName reports whether s is a legal label name:
+// [a-zA-Z_][a-zA-Z0-9_]*. Names beginning with __ are reserved.
+func ValidLabelName(s string) bool {
+	if len(s) == 0 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') ||
+			(i > 0 && '0' <= c && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return len(s) < 2 || s[:2] != "__"
+}
+
+// AppendEscapedLabelValue appends s to dst with the exposition-format
+// label escapes applied: backslash, double quote and newline become
+// \\, \" and \n. Every other byte passes through verbatim (the format
+// is otherwise 8-bit clean).
+func AppendEscapedLabelValue(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			dst = append(dst, '\\', '\\')
+		case '"':
+			dst = append(dst, '\\', '"')
+		case '\n':
+			dst = append(dst, '\\', 'n')
+		default:
+			dst = append(dst, c)
+		}
+	}
+	return dst
+}
+
+// EscapeLabelValue returns s with exposition-format label escaping.
+func EscapeLabelValue(s string) string {
+	return string(AppendEscapedLabelValue(nil, s))
+}
+
+// appendEscapedHelp escapes a HELP string: backslash and newline only
+// (quotes are legal in help text).
+func appendEscapedHelp(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			dst = append(dst, '\\', '\\')
+		case '\n':
+			dst = append(dst, '\\', 'n')
+		default:
+			dst = append(dst, c)
+		}
+	}
+	return dst
+}
+
+// appendValue formats a sample value the way Prometheus expects:
+// shortest round-trippable decimal, with +Inf/-Inf/NaN spelled out.
+func appendValue(dst []byte, v float64) []byte {
+	switch {
+	case math.IsInf(v, +1):
+		return append(dst, "+Inf"...)
+	case math.IsInf(v, -1):
+		return append(dst, "-Inf"...)
+	case math.IsNaN(v):
+		return append(dst, "NaN"...)
+	}
+	return strconv.AppendFloat(dst, v, 'g', -1, 64)
+}
+
+// appendLabels appends {a="x",b="y"} for parallel name/value slices,
+// plus an optional trailing le label (used by histogram buckets, with
+// leVal the pre-formatted bound). Emits nothing for zero labels.
+func appendLabels(dst []byte, names, values []string, le string) []byte {
+	if len(names) == 0 && le == "" {
+		return dst
+	}
+	dst = append(dst, '{')
+	for i, n := range names {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = append(dst, n...)
+		dst = append(dst, '=', '"')
+		dst = AppendEscapedLabelValue(dst, values[i])
+		dst = append(dst, '"')
+	}
+	if le != "" {
+		if len(names) > 0 {
+			dst = append(dst, ',')
+		}
+		dst = append(dst, `le="`...)
+		dst = append(dst, le...)
+		dst = append(dst, '"')
+	}
+	return append(dst, '}')
+}
+
+// appendFamily renders one family in canonical order (children sorted
+// by label values).
+func (f *family) append(dst []byte) []byte {
+	f.mu.RLock()
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	if f.help != "" {
+		dst = append(dst, "# HELP "...)
+		dst = append(dst, f.name...)
+		dst = append(dst, ' ')
+		dst = appendEscapedHelp(dst, f.help)
+		dst = append(dst, '\n')
+	}
+	dst = append(dst, "# TYPE "...)
+	dst = append(dst, f.name...)
+	dst = append(dst, ' ')
+	dst = append(dst, f.kind.String()...)
+	dst = append(dst, '\n')
+
+	for _, k := range keys {
+		c := f.children[k]
+		switch inst := c.inst.(type) {
+		case *Counter:
+			dst = append(dst, f.name...)
+			dst = appendLabels(dst, f.labels, c.labelValues, "")
+			dst = append(dst, ' ')
+			dst = appendValue(dst, inst.Value())
+			dst = append(dst, '\n')
+		case *Gauge:
+			dst = append(dst, f.name...)
+			dst = appendLabels(dst, f.labels, c.labelValues, "")
+			dst = append(dst, ' ')
+			dst = appendValue(dst, inst.Value())
+			dst = append(dst, '\n')
+		case *Histogram:
+			var cum uint64
+			for i := 0; i <= len(inst.bounds); i++ {
+				cum += inst.counts[i].Load()
+				le := "+Inf"
+				if i < len(inst.bounds) {
+					le = string(appendValue(nil, inst.bounds[i]))
+				}
+				dst = append(dst, f.name...)
+				dst = append(dst, "_bucket"...)
+				dst = appendLabels(dst, f.labels, c.labelValues, le)
+				dst = append(dst, ' ')
+				dst = strconv.AppendUint(dst, cum, 10)
+				dst = append(dst, '\n')
+			}
+			dst = append(dst, f.name...)
+			dst = append(dst, "_sum"...)
+			dst = appendLabels(dst, f.labels, c.labelValues, "")
+			dst = append(dst, ' ')
+			dst = appendValue(dst, inst.Sum())
+			dst = append(dst, '\n')
+			dst = append(dst, f.name...)
+			dst = append(dst, "_count"...)
+			dst = appendLabels(dst, f.labels, c.labelValues, "")
+			dst = append(dst, ' ')
+			dst = strconv.AppendUint(dst, inst.Count(), 10)
+			dst = append(dst, '\n')
+		}
+	}
+	f.mu.RUnlock()
+	return dst
+}
+
+// AppendText appends the registry's full exposition to dst in
+// canonical order: families sorted by name, children by label values.
+func (r *Registry) AppendText(dst []byte) []byte {
+	if r == nil {
+		return dst
+	}
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.RUnlock()
+	for _, f := range fams {
+		dst = f.append(dst)
+	}
+	return dst
+}
+
+// WriteText writes the exposition to w.
+func (r *Registry) WriteText(w io.Writer) error {
+	_, err := w.Write(r.AppendText(nil))
+	return err
+}
+
+// Text returns the exposition as a string.
+func (r *Registry) Text() string { return string(r.AppendText(nil)) }

@@ -1,0 +1,276 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestValidMetricName(t *testing.T) {
+	valid := []string{"a", "A", "_", ":", "magus_runs_total", "a:b_c9", "_9"}
+	invalid := []string{"", "9a", "a-b", "a b", "a\n", "é", "a{"}
+	for _, s := range valid {
+		if !ValidMetricName(s) {
+			t.Errorf("ValidMetricName(%q) = false", s)
+		}
+	}
+	for _, s := range invalid {
+		if ValidMetricName(s) {
+			t.Errorf("ValidMetricName(%q) = true", s)
+		}
+	}
+}
+
+func TestValidLabelName(t *testing.T) {
+	valid := []string{"a", "label", "_x", "x_9", "_"}
+	invalid := []string{"", "9a", "a-b", "a:b", "__reserved", "é"}
+	for _, s := range valid {
+		if !ValidLabelName(s) {
+			t.Errorf("ValidLabelName(%q) = false", s)
+		}
+	}
+	for _, s := range invalid {
+		if ValidLabelName(s) {
+			t.Errorf("ValidLabelName(%q) = true", s)
+		}
+	}
+}
+
+func TestEscapeLabelValue(t *testing.T) {
+	cases := map[string]string{
+		"plain":        "plain",
+		`back\slash`:   `back\\slash`,
+		`qu"ote`:       `qu\"ote`,
+		"new\nline":    `new\nline`,
+		"\\\"\n":       `\\\"\n`,
+		"utf8 héllo ☃": "utf8 héllo ☃",
+		"":             "",
+	}
+	for in, want := range cases {
+		if got := EscapeLabelValue(in); got != want {
+			t.Errorf("EscapeLabelValue(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// unescapeLabelValue inverts the exposition escaping — the test-side
+// reference used to prove escaping is lossless.
+func unescapeLabelValue(s string) (string, error) {
+	var out []byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '"' {
+			return "", fmt.Errorf("raw quote at %d", i)
+		}
+		if c != '\\' {
+			out = append(out, c)
+			continue
+		}
+		i++
+		if i >= len(s) {
+			return "", fmt.Errorf("trailing backslash")
+		}
+		switch s[i] {
+		case '\\':
+			out = append(out, '\\')
+		case '"':
+			out = append(out, '"')
+		case 'n':
+			out = append(out, '\n')
+		default:
+			return "", fmt.Errorf("unknown escape \\%c", s[i])
+		}
+	}
+	return string(out), nil
+}
+
+// checkExposition validates every line of a text exposition: comment
+// lines follow the # HELP / # TYPE grammar, sample lines split into
+// name[{labels}] value, label values carry no raw quotes or newlines,
+// and values parse as floats. It returns the number of sample lines.
+func checkExposition(t *testing.T, text string) int {
+	t.Helper()
+	if text == "" {
+		return 0
+	}
+	if !strings.HasSuffix(text, "\n") {
+		t.Fatalf("exposition does not end in newline: %q", text)
+	}
+	samples := 0
+	for _, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("malformed comment line: %q", line)
+		}
+		rest := line
+		name := rest
+		if i := strings.IndexAny(rest, "{ "); i >= 0 {
+			name = rest[:i]
+			rest = rest[i:]
+		} else {
+			t.Fatalf("no value separator in line: %q", line)
+		}
+		if !ValidMetricName(name) {
+			t.Fatalf("invalid metric name %q in line %q", name, line)
+		}
+		if strings.HasPrefix(rest, "{") {
+			end := strings.LastIndex(rest, "}")
+			if end < 0 {
+				t.Fatalf("unterminated label set: %q", line)
+			}
+			if err := checkLabelSet(rest[1:end]); err != nil {
+				t.Fatalf("bad label set in %q: %v", line, err)
+			}
+			rest = rest[end+1:]
+		}
+		if !strings.HasPrefix(rest, " ") {
+			t.Fatalf("no space before value: %q", line)
+		}
+		val := rest[1:]
+		if val != "+Inf" && val != "-Inf" && val != "NaN" {
+			if _, err := strconv.ParseFloat(val, 64); err != nil {
+				t.Fatalf("unparseable value %q in line %q", val, line)
+			}
+		}
+		samples++
+	}
+	return samples
+}
+
+// checkLabelSet validates the inside of a {...} label set.
+func checkLabelSet(s string) error {
+	for len(s) > 0 {
+		eq := strings.Index(s, "=")
+		if eq < 0 {
+			return fmt.Errorf("no = in %q", s)
+		}
+		if !ValidLabelName(s[:eq]) && s[:eq] != "le" {
+			return fmt.Errorf("bad label name %q", s[:eq])
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return fmt.Errorf("unquoted value")
+		}
+		s = s[1:]
+		// Scan to the closing quote, honouring escapes.
+		i := 0
+		for ; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				break
+			}
+		}
+		if i >= len(s) {
+			return fmt.Errorf("unterminated value")
+		}
+		if _, err := unescapeLabelValue(s[:i]); err != nil {
+			return err
+		}
+		s = s[i+1:]
+		if len(s) > 0 {
+			if s[0] != ',' {
+				return fmt.Errorf("missing comma")
+			}
+			s = s[1:]
+		}
+	}
+	return nil
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("runs_total", "Runs started.").Add(3)
+	r.GaugeVec("power_watts", "Power by socket.", "socket").With("0").Set(142.5)
+	r.GaugeVec("power_watts", "Power by socket.", "socket").With("1").Set(137)
+	r.Histogram("period_seconds", "Decision period.", []float64{0.2, 0.5}).Observe(0.2)
+
+	want := strings.Join([]string{
+		`# HELP period_seconds Decision period.`,
+		`# TYPE period_seconds histogram`,
+		`period_seconds_bucket{le="0.2"} 1`,
+		`period_seconds_bucket{le="0.5"} 1`,
+		`period_seconds_bucket{le="+Inf"} 1`,
+		`period_seconds_sum 0.2`,
+		`period_seconds_count 1`,
+		`# HELP power_watts Power by socket.`,
+		`# TYPE power_watts gauge`,
+		`power_watts{socket="0"} 142.5`,
+		`power_watts{socket="1"} 137`,
+		`# HELP runs_total Runs started.`,
+		`# TYPE runs_total counter`,
+		`runs_total 3`,
+	}, "\n") + "\n"
+	if got := r.Text(); got != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	checkExposition(t, want)
+}
+
+func TestExpositionSpecialValues(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("pos", "").Set(math.Inf(1))
+	r.Gauge("neg", "").Set(math.Inf(-1))
+	r.Gauge("nan", "").Set(math.NaN())
+	text := r.Text()
+	for _, line := range []string{"pos +Inf", "neg -Inf", "nan NaN"} {
+		if !strings.Contains(text, line+"\n") {
+			t.Fatalf("missing %q in:\n%s", line, text)
+		}
+	}
+	checkExposition(t, text)
+}
+
+func TestExpositionEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeVec("m", `help with \ and "quotes"`+"\nand newline", "l").
+		With("va\"l\\ue\nx").Set(1)
+	text := r.Text()
+	wantHelp := `# HELP m help with \\ and "quotes"\nand newline` + "\n"
+	if !strings.Contains(text, wantHelp) {
+		t.Fatalf("help not escaped:\n%s", text)
+	}
+	wantSample := `m{l="va\"l\\ue\nx"} 1` + "\n"
+	if !strings.Contains(text, wantSample) {
+		t.Fatalf("label value not escaped:\n%s", text)
+	}
+	// The format must stay line-oriented even with hostile inputs.
+	checkExposition(t, text)
+}
+
+func TestExpositionCanonicalOrder(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("m", "", "l")
+	v.With("z").Set(1)
+	v.With("a").Set(2)
+	r.Counter("b_first", "").Inc()
+	text := r.Text()
+	if strings.Index(text, "# TYPE b_first") > strings.Index(text, "# TYPE m") {
+		t.Fatalf("families not sorted:\n%s", text)
+	}
+	if strings.Index(text, `l="a"`) > strings.Index(text, `l="z"`) {
+		t.Fatalf("children not sorted:\n%s", text)
+	}
+	// Byte-stable: two encodes of an unchanged registry are identical.
+	if r.Text() != text {
+		t.Fatal("encoding not stable")
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "x").Inc()
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != r.Text() {
+		t.Fatal("WriteText differs from Text")
+	}
+}

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// EventLog writes one JSON object per line (JSONL) describing runtime
+// events: governor decisions, trend flips, phase transitions, sensor
+// health changes, fault injections. Field order is fixed by emission
+// order and float formatting is canonical, so a deterministic run
+// produces a byte-stable stream.
+//
+// A nil log is a no-op, as is every builder it hands out, so emission
+// sites need no guards. The log is safe for concurrent use; each event
+// is written as a single Write call.
+type EventLog struct {
+	mu    sync.Mutex
+	w     io.Writer
+	buf   []byte
+	count uint64
+	err   error
+}
+
+// NewEventLog returns a log writing JSONL to w (nil w returns a nil,
+// no-op log).
+func NewEventLog(w io.Writer) *EventLog {
+	if w == nil {
+		return nil
+	}
+	return &EventLog{w: w, buf: make([]byte, 0, 256)}
+}
+
+// Count returns the number of events emitted so far.
+func (l *EventLog) Count() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.count
+}
+
+// Err returns the first write error, if any. Emission after an error
+// keeps counting but stops writing.
+func (l *EventLog) Err() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Ev accumulates one event's fields; obtain via Event, finish with
+// End. The log's lock is held between the two, so an event is always a
+// contiguous line even with concurrent emitters.
+type Ev struct{ l *EventLog }
+
+// Event starts an event at virtual time t with the given type. Always
+// call End on the result.
+func (l *EventLog) Event(t time.Duration, typ string) Ev {
+	if l == nil {
+		return Ev{}
+	}
+	l.mu.Lock()
+	l.buf = l.buf[:0]
+	l.buf = append(l.buf, `{"t":`...)
+	// Virtual time advances in engine steps (≥ 1 ms); three decimals
+	// render it exactly.
+	l.buf = strconv.AppendFloat(l.buf, t.Seconds(), 'f', 3, 64)
+	l.buf = append(l.buf, `,"type":`...)
+	l.buf = appendJSONString(l.buf, typ)
+	return Ev{l: l}
+}
+
+// F adds a float64 field (NaN/Inf become null — JSON has no spelling
+// for them).
+func (e Ev) F(key string, v float64) Ev {
+	if e.l == nil {
+		return e
+	}
+	e.l.buf = e.key(key)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		e.l.buf = append(e.l.buf, "null"...)
+	} else {
+		e.l.buf = strconv.AppendFloat(e.l.buf, v, 'g', -1, 64)
+	}
+	return e
+}
+
+// U adds an unsigned integer field.
+func (e Ev) U(key string, v uint64) Ev {
+	if e.l == nil {
+		return e
+	}
+	e.l.buf = e.key(key)
+	e.l.buf = strconv.AppendUint(e.l.buf, v, 10)
+	return e
+}
+
+// S adds a string field.
+func (e Ev) S(key, v string) Ev {
+	if e.l == nil {
+		return e
+	}
+	e.l.buf = e.key(key)
+	e.l.buf = appendJSONString(e.l.buf, v)
+	return e
+}
+
+// B adds a boolean field.
+func (e Ev) B(key string, v bool) Ev {
+	if e.l == nil {
+		return e
+	}
+	e.l.buf = e.key(key)
+	if v {
+		e.l.buf = append(e.l.buf, "true"...)
+	} else {
+		e.l.buf = append(e.l.buf, "false"...)
+	}
+	return e
+}
+
+func (e Ev) key(k string) []byte {
+	b := append(e.l.buf, ',')
+	b = appendJSONString(b, k)
+	return append(b, ':')
+}
+
+// End terminates the event line and writes it out.
+func (e Ev) End() {
+	if e.l == nil {
+		return
+	}
+	e.l.buf = append(e.l.buf, '}', '\n')
+	if e.l.err == nil {
+		_, e.l.err = e.l.w.Write(e.l.buf)
+	}
+	e.l.count++
+	e.l.mu.Unlock()
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string literal. Control
+// characters are \u-escaped; multi-byte UTF-8 passes through verbatim.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '"':
+			dst = append(dst, '\\', '"')
+		case c == '\\':
+			dst = append(dst, '\\', '\\')
+		case c == '\n':
+			dst = append(dst, '\\', 'n')
+		case c == '\t':
+			dst = append(dst, '\\', 't')
+		case c == '\r':
+			dst = append(dst, '\\', 'r')
+		case c < 0x20:
+			dst = append(dst, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+		default:
+			dst = append(dst, c)
+		}
+	}
+	return append(dst, '"')
+}

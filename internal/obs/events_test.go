@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEventLogJSONL(t *testing.T) {
+	var sb strings.Builder
+	l := NewEventLog(&sb)
+	l.Event(200*time.Millisecond, "decision").
+		F("mem_gbs", 85.25).S("trend", "up").B("acted", true).U("n", 42).End()
+	l.Event(400*time.Millisecond, "health").S("from", "healthy").S("to", "degraded").End()
+
+	if l.Count() != 2 {
+		t.Fatalf("count = %d", l.Count())
+	}
+	if l.Err() != nil {
+		t.Fatal(l.Err())
+	}
+	lines := strings.Split(strings.TrimSuffix(sb.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d: %q", len(lines), sb.String())
+	}
+	// Every line is valid JSON.
+	for _, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+	}
+	// Field order is emission order and formatting is canonical — the
+	// byte-stability the golden tests depend on.
+	want := `{"t":0.200,"type":"decision","mem_gbs":85.25,"trend":"up","acted":true,"n":42}`
+	if lines[0] != want {
+		t.Fatalf("line = %q, want %q", lines[0], want)
+	}
+}
+
+func TestEventLogNonFiniteFloats(t *testing.T) {
+	var sb strings.Builder
+	l := NewEventLog(&sb)
+	l.Event(0, "x").F("nan", math.NaN()).F("inf", math.Inf(1)).F("ninf", math.Inf(-1)).End()
+	want := `{"t":0.000,"type":"x","nan":null,"inf":null,"ninf":null}` + "\n"
+	if sb.String() != want {
+		t.Fatalf("got %q, want %q", sb.String(), want)
+	}
+}
+
+func TestEventLogStringEscaping(t *testing.T) {
+	var sb strings.Builder
+	l := NewEventLog(&sb)
+	l.Event(0, "x").S("s", "a\"b\\c\nd\te\rf\x01g ☃").End()
+	var m map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSuffix(sb.String(), "\n")), &m); err != nil {
+		t.Fatalf("invalid JSON %q: %v", sb.String(), err)
+	}
+	if m["s"] != "a\"b\\c\nd\te\rf\x01g ☃" {
+		t.Fatalf("round-trip lost data: %q", m["s"])
+	}
+	if strings.Count(sb.String(), "\n") != 1 {
+		t.Fatalf("embedded newline broke JSONL framing: %q", sb.String())
+	}
+}
+
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.n++
+	return 0, errors.New("disk full")
+}
+
+func TestEventLogStickyError(t *testing.T) {
+	w := &failWriter{}
+	l := NewEventLog(w)
+	l.Event(0, "a").End()
+	l.Event(0, "b").End()
+	if l.Err() == nil {
+		t.Fatal("error not surfaced")
+	}
+	// Emission after the first error keeps counting but stops writing.
+	if l.Count() != 2 {
+		t.Fatalf("count = %d", l.Count())
+	}
+	if w.n != 1 {
+		t.Fatalf("writes after error: %d", w.n)
+	}
+}
+
+func TestEventLogByteStable(t *testing.T) {
+	emit := func() string {
+		var sb strings.Builder
+		l := NewEventLog(&sb)
+		for i := 0; i < 10; i++ {
+			l.Event(time.Duration(i)*150*time.Millisecond, "decision").
+				F("v", float64(i)*1.1).U("i", uint64(i)).End()
+		}
+		return sb.String()
+	}
+	if emit() != emit() {
+		t.Fatal("identical emissions produced different bytes")
+	}
+}
+
+// syncBuffer is a goroutine-safe strings.Builder.
+type syncBuffer struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.String()
+}
+
+func TestEventLogConcurrentEmission(t *testing.T) {
+	buf := &syncBuffer{}
+	l := NewEventLog(buf)
+	var wg sync.WaitGroup
+	const emitters, events = 8, 50
+	for g := 0; g < emitters; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < events; i++ {
+				l.Event(time.Duration(i)*time.Millisecond, "e").U("i", uint64(i)).End()
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Count() != emitters*events {
+		t.Fatalf("count = %d", l.Count())
+	}
+	// Each event must land as one contiguous, valid JSON line.
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != emitters*events {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	for _, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("interleaved line %q: %v", line, err)
+		}
+	}
+}

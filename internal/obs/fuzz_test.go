@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// FuzzLabelValueEscaping proves the exposition escaping is lossless and
+// line-safe for arbitrary byte strings: unescape(escape(s)) == s, and
+// the escaped form never carries a raw newline or unescaped quote that
+// would corrupt the line-oriented format.
+func FuzzLabelValueEscaping(f *testing.F) {
+	for _, seed := range []string{
+		"", "plain", `back\slash`, `qu"ote`, "new\nline", `\\\"`, "\x00\x01\xff",
+		"héllo ☃", strings.Repeat(`\`, 7), `trailing\`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		esc := EscapeLabelValue(s)
+		if strings.ContainsRune(esc, '\n') {
+			t.Fatalf("escaped form of %q contains raw newline: %q", s, esc)
+		}
+		got, err := unescapeLabelValue(esc)
+		if err != nil {
+			t.Fatalf("escape produced malformed output for %q: %q: %v", s, esc, err)
+		}
+		if got != s {
+			t.Fatalf("round trip lost data: %q -> %q -> %q", s, esc, got)
+		}
+	})
+}
+
+// FuzzExpositionWithHostileLabels feeds arbitrary label values through a
+// real registry and validates the full rendered exposition: whatever the
+// input, the output must stay parseable, and the value must survive a
+// parse→unescape round trip.
+func FuzzExpositionWithHostileLabels(f *testing.F) {
+	for _, seed := range []string{"a100", `pcm "loss"`, "multi\nline", `C:\dev\msr`, ""} {
+		f.Add(seed, 42.5)
+	}
+	f.Fuzz(func(t *testing.T, labelValue string, v float64) {
+		r := NewRegistry()
+		r.GaugeVec("magus_run_info", "Run identity.", "workload").With(labelValue).Set(v)
+		r.CounterVec("magus_faults_injected_total", "Faults.", "class").With(labelValue).Inc()
+		text := r.Text()
+		if n := checkExposition(t, text); n != 2 {
+			t.Fatalf("expected 2 samples, got %d:\n%s", n, text)
+		}
+		// The hostile value must be recoverable from the output.
+		start := strings.Index(text, `workload="`)
+		if start < 0 {
+			t.Fatalf("label missing:\n%s", text)
+		}
+		rest := text[start+len(`workload="`):]
+		end := -1
+		for i := 0; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			t.Fatalf("unterminated label value:\n%s", text)
+		}
+		got, err := unescapeLabelValue(rest[:end])
+		if err != nil || got != labelValue {
+			t.Fatalf("label value %q rendered unrecoverably as %q (%v)", labelValue, rest[:end], err)
+		}
+	})
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// FuzzNameValidation checks the hand-rolled validators against the
+// Prometheus grammar expressed as regular expressions.
+func FuzzNameValidation(f *testing.F) {
+	for _, seed := range []string{"", "a", "9a", "_ok", "__reserved", "a:b", "a-b", "é", "a\x00b"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		if got, want := ValidMetricName(s), metricNameRe.MatchString(s); got != want {
+			t.Fatalf("ValidMetricName(%q) = %v, regexp says %v", s, got, want)
+		}
+		wantLabel := labelNameRe.MatchString(s) && !strings.HasPrefix(s, "__")
+		if got := ValidLabelName(s); got != wantLabel {
+			t.Fatalf("ValidLabelName(%q) = %v, reference says %v", s, got, wantLabel)
+		}
+	})
+}

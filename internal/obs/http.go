@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// ExpositionContentType is the Prometheus text-format content type
+// served on /metrics.
+const ExpositionContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// NewHandler returns the daemon's introspection surface over o:
+//
+//   - /metrics — the registry in Prometheus text exposition format;
+//   - /healthz — 200 "ok" while the sensing path is healthy, 503 with
+//     the state name ("degraded", "lost") once it is not;
+//   - /debug/pprof/... — the standard Go profiling endpoints.
+//
+// Every endpoint reads only atomically published state, so serving
+// concurrently with a running simulation is race-free.
+func NewHandler(o *Observer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", ExpositionContentType)
+		w.WriteHeader(http.StatusOK)
+		if r.Method == http.MethodHead {
+			return
+		}
+		w.Write(o.Registry().AppendText(nil))
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := o.Health()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Header().Set("X-Magus-Health", h.String())
+		if h == Healthy {
+			w.WriteHeader(http.StatusOK)
+			w.Write([]byte("ok\n"))
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(h.String() + "\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMetricsEndpoint(t *testing.T) {
+	o := New(nil, nil)
+	o.Registry().Gauge("magus_node_power_watts", "Node power.").Set(226)
+	srv := httptest.NewServer(NewHandler(o))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != ExpositionContentType {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(string(body), "magus_node_power_watts 226\n") {
+		t.Fatalf("body missing sample:\n%s", body)
+	}
+	checkExposition(t, string(body))
+
+	// HEAD is allowed, bodyless.
+	resp, err = http.Head(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HEAD status %d", resp.StatusCode)
+	}
+
+	// Anything else is 405.
+	resp, err = http.Post(srv.URL+"/metrics", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status %d", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); allow != "GET, HEAD" {
+		t.Fatalf("Allow %q", allow)
+	}
+}
+
+func TestHealthzTransitions(t *testing.T) {
+	o := New(nil, nil)
+	srv := httptest.NewServer(NewHandler(o))
+	defer srv.Close()
+
+	get := func() (int, string, string) {
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body), resp.Header.Get("X-Magus-Health")
+	}
+
+	if code, body, hdr := get(); code != http.StatusOK || body != "ok\n" || hdr != "healthy" {
+		t.Fatalf("healthy: %d %q %q", code, body, hdr)
+	}
+	o.SetHealth(Degraded)
+	if code, body, hdr := get(); code != http.StatusServiceUnavailable || body != "degraded\n" || hdr != "degraded" {
+		t.Fatalf("degraded: %d %q %q", code, body, hdr)
+	}
+	o.SetHealth(Lost)
+	if code, body, hdr := get(); code != http.StatusServiceUnavailable || body != "lost\n" || hdr != "lost" {
+		t.Fatalf("lost: %d %q %q", code, body, hdr)
+	}
+	// Recovery flips it back.
+	o.SetHealth(Healthy)
+	if code, _, _ := get(); code != http.StatusOK {
+		t.Fatalf("recovered: %d", code)
+	}
+}
+
+func TestPprofEndpoints(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(New(nil, nil)))
+	defer srv.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+}

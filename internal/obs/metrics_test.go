@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCounterSemantics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(2.5)
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+	// Counters only move forward: negative and NaN increments drop.
+	c.Add(-1)
+	c.Add(math.NaN())
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter moved backward: %v", got)
+	}
+}
+
+func TestGaugeSemantics(t *testing.T) {
+	var g Gauge
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %v, want 5", got)
+	}
+	g.Set(-3)
+	if got := g.Value(); got != -3 {
+		t.Fatalf("gauge = %v, want -3", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 5, 10})
+	for _, v := range []float64{0.5, 1, 3, 5.1, 100, math.NaN()} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5 (NaN dropped)", h.Count())
+	}
+	if got := h.Sum(); got != 0.5+1+3+5.1+100 {
+		t.Fatalf("sum = %v", got)
+	}
+	text := r.Text()
+	// Buckets are cumulative: ≤1 holds {0.5, 1}, ≤5 adds {3}, ≤10 adds
+	// {5.1}, +Inf adds {100}.
+	for _, line := range []string{
+		`h_bucket{le="1"} 2`,
+		`h_bucket{le="5"} 3`,
+		`h_bucket{le="10"} 4`,
+		`h_bucket{le="+Inf"} 5`,
+		`h_count 5`,
+	} {
+		if !strings.Contains(text, line+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", line, text)
+		}
+	}
+}
+
+func TestHistogramBucketNormalisation(t *testing.T) {
+	r := NewRegistry()
+	// Unsorted, duplicated, +Inf-carrying bounds normalise to {1, 2, 5}.
+	r.Histogram("h", "", []float64{5, 1, 2, 2, math.Inf(1)}).Observe(1.5)
+	text := r.Text()
+	i1 := strings.Index(text, `le="1"`)
+	i2 := strings.Index(text, `le="2"`)
+	i5 := strings.Index(text, `le="5"`)
+	if i1 < 0 || i2 < 0 || i5 < 0 || !(i1 < i2 && i2 < i5) {
+		t.Fatalf("bounds not sorted/deduplicated:\n%s", text)
+	}
+	if strings.Count(text, `le="2"`) != 1 {
+		t.Fatalf("duplicate bound survived:\n%s", text)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "help").Inc()
+	// Re-registration with the same schema returns the same instrument —
+	// repeated runs sharing a registry accumulate.
+	r.Counter("c", "help").Inc()
+	if got := r.Counter("c", "help").Value(); got != 2 {
+		t.Fatalf("re-registered counter = %v, want 2", got)
+	}
+	v := r.GaugeVec("gv", "", "a")
+	v.With("x").Set(1)
+	if got := r.GaugeVec("gv", "", "a").With("x").Value(); got != 1 {
+		t.Fatalf("re-registered vec lost child: %v", got)
+	}
+}
+
+func TestRegistrySchemaMismatchPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(r *Registry)
+	}{
+		{"kind", func(r *Registry) { r.Counter("m", ""); r.Gauge("m", "") }},
+		{"labels", func(r *Registry) { r.CounterVec("m", "", "a"); r.CounterVec("m", "", "b") }},
+		{"buckets", func(r *Registry) {
+			r.Histogram("m", "", []float64{1})
+			r.Histogram("m", "", []float64{2})
+		}},
+		{"bad-name", func(r *Registry) { r.Counter("1bad", "") }},
+		{"bad-label", func(r *Registry) { r.CounterVec("m", "", "bad-label") }},
+		{"label-arity", func(r *Registry) { r.CounterVec("m", "", "a").With("x", "y") }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			tc.fn(NewRegistry())
+		})
+	}
+}
+
+func TestVecChildIdentity(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("c", "", "l")
+	v.With("x").Inc()
+	v.With("x").Inc()
+	v.With("y").Inc()
+	if got := v.With("x").Value(); got != 2 {
+		t.Fatalf("child x = %v, want 2", got)
+	}
+	if got := v.With("y").Value(); got != 1 {
+		t.Fatalf("child y = %v, want 1", got)
+	}
+}
+
+func TestFamiliesSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz", "")
+	r.Gauge("aa", "")
+	r.Histogram("mm", "", nil)
+	got := r.Families()
+	want := []string{"aa", "mm", "zz"}
+	if len(got) != len(want) {
+		t.Fatalf("families = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("families = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestNilSafety is the contract the instrumentation sites rely on: every
+// method on every type tolerates a nil receiver.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("c", "").Inc()
+	r.Counter("c", "").Add(1)
+	if r.Counter("c", "").Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	r.Gauge("g", "").Set(1)
+	r.Gauge("g", "").Add(1)
+	r.Histogram("h", "", nil).Observe(1)
+	if r.Histogram("h", "", nil).Count() != 0 || r.Histogram("h", "", nil).Sum() != 0 {
+		t.Fatal("nil histogram has state")
+	}
+	r.CounterVec("cv", "", "l").With("x").Inc()
+	r.GaugeVec("gv", "", "l").With("x").Set(1)
+	r.HistogramVec("hv", "", nil, "l").With("x").Observe(1)
+	if r.Families() != nil {
+		t.Fatal("nil registry has families")
+	}
+	if out := r.AppendText([]byte("x")); string(out) != "x" {
+		t.Fatalf("nil AppendText altered dst: %q", out)
+	}
+	if r.Text() != "" {
+		t.Fatal("nil registry has text")
+	}
+
+	var o *Observer
+	o.SetHealth(Lost)
+	if o.Health() != Healthy {
+		t.Fatal("nil observer not healthy")
+	}
+	if o.Registry() != nil || o.Events() != nil {
+		t.Fatal("nil observer has state")
+	}
+
+	var l *EventLog
+	l.Event(0, "x").F("a", 1).U("b", 2).S("c", "d").B("e", true).End()
+	if l.Count() != 0 || l.Err() != nil {
+		t.Fatal("nil event log has state")
+	}
+	if NewEventLog(nil) != nil {
+		t.Fatal("NewEventLog(nil) should be nil")
+	}
+}
+
+func TestObserverHealth(t *testing.T) {
+	o := New(nil, nil)
+	if o.Health() != Healthy {
+		t.Fatalf("initial health %v", o.Health())
+	}
+	o.SetHealth(Degraded)
+	if o.Health() != Degraded {
+		t.Fatalf("health %v, want degraded", o.Health())
+	}
+	o.SetHealth(Lost)
+	if got := o.Health().String(); got != "lost" {
+		t.Fatalf("health string %q", got)
+	}
+	if Healthy.String() != "healthy" || Degraded.String() != "degraded" {
+		t.Fatal("health state names")
+	}
+	if o.Registry() == nil {
+		t.Fatal("New(nil, nil) should allocate a registry")
+	}
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"io"
+	"sync/atomic"
+)
+
+// Health mirrors the resilient layer's sensor state machine
+// (healthy → degraded → lost) without importing it, so the HTTP
+// handler and the registry stay dependency-free. The numeric values
+// match resilient.Health.
+type Health int32
+
+// Health states.
+const (
+	Healthy Health = iota
+	Degraded
+	Lost
+)
+
+// String implements fmt.Stringer.
+func (h Health) String() string {
+	switch h {
+	case Degraded:
+		return "degraded"
+	case Lost:
+		return "lost"
+	default:
+		return "healthy"
+	}
+}
+
+// Observer bundles the three observability surfaces a run feeds: the
+// metrics registry, the structured event log, and an atomically
+// published health state for /healthz. A nil observer (and any part of
+// one) is a no-op, so instrumented code paths run unguarded.
+type Observer struct {
+	reg    *Registry
+	events *EventLog
+	health atomic.Int32
+}
+
+// New returns an observer over reg (nil = a fresh registry) and an
+// optional JSONL event sink (nil = events discarded).
+func New(reg *Registry, events io.Writer) *Observer {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	return &Observer{reg: reg, events: NewEventLog(events)}
+}
+
+// Registry returns the metrics registry (nil for a nil observer).
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Events returns the event log (nil when disabled).
+func (o *Observer) Events() *EventLog {
+	if o == nil {
+		return nil
+	}
+	return o.events
+}
+
+// SetHealth publishes the current sensor health for /healthz readers.
+func (o *Observer) SetHealth(h Health) {
+	if o == nil {
+		return
+	}
+	o.health.Store(int32(h))
+}
+
+// Health returns the last published health state (Healthy when none
+// was ever published).
+func (o *Observer) Health() Health {
+	if o == nil {
+		return Healthy
+	}
+	return Health(o.health.Load())
+}

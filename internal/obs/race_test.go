@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentRegistryUse hammers one registry from many goroutines —
+// concurrent registration (get-or-create of the same families), child
+// creation, instrument updates and text encoding. Run under -race (the
+// CI race job does) this proves the scrape path can serve while the
+// simulation thread keeps writing.
+func TestConcurrentRegistryUse(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const iters = 200
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+
+	// Writers: register and bump the same families concurrently.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			<-start
+			labels := []string{"a", "b", "c", "d"}
+			for i := 0; i < iters; i++ {
+				r.Counter("ops_total", "ops").Inc()
+				r.Gauge("level", "level").Set(float64(i))
+				r.Histogram("lat_seconds", "latency", []float64{0.1, 1}).Observe(float64(i%3) * 0.3)
+				r.CounterVec("ops_by_class_total", "ops by class", "class").
+					With(labels[(id+i)%len(labels)]).Inc()
+				r.GaugeVec("level_by_class", "level by class", "class").
+					With(labels[i%len(labels)]).Add(1)
+				r.HistogramVec("lat_by_class_seconds", "latency by class", []float64{0.5}, "class").
+					With(labels[i%len(labels)]).Observe(0.25)
+			}
+		}(w)
+	}
+	// Readers: encode while the writers run.
+	encoded := make([][]byte, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < iters/4; i++ {
+				encoded[id] = r.AppendText(encoded[id][:0])
+				r.Families()
+			}
+		}(w)
+	}
+	close(start)
+	wg.Wait()
+
+	if got := r.Counter("ops_total", "ops").Value(); got != workers*iters {
+		t.Fatalf("ops_total = %v, want %d (lost updates)", got, workers*iters)
+	}
+	if got := r.Histogram("lat_seconds", "latency", []float64{0.1, 1}).Count(); got != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, workers*iters)
+	}
+	var byClass float64
+	for _, l := range []string{"a", "b", "c", "d"} {
+		byClass += r.CounterVec("ops_by_class_total", "ops by class", "class").With(l).Value()
+	}
+	if byClass != workers*iters {
+		t.Fatalf("labeled counters sum = %v, want %d", byClass, workers*iters)
+	}
+	// The final encode must be valid and complete.
+	checkExposition(t, r.Text())
+}
+
+// TestConcurrentObserverHealth races SetHealth against Health and the
+// HTTP-visible exposition.
+func TestConcurrentObserverHealth(t *testing.T) {
+	o := New(nil, nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				o.SetHealth(Health(i % 3))
+				_ = o.Health()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h := o.Health(); h != Healthy && h != Degraded && h != Lost {
+		t.Fatalf("health %v out of range", h)
+	}
+}

@@ -1,0 +1,70 @@
+package magus
+
+import (
+	"io"
+	"net/http"
+	"time"
+
+	"github.com/spear-repro/magus/internal/cluster"
+	"github.com/spear-repro/magus/internal/harness"
+	"github.com/spear-repro/magus/internal/obs"
+)
+
+// This file exposes the observability layer: a zero-dependency metrics
+// registry with Prometheus text exposition, a structured JSONL event
+// log of governor decisions, and an HTTP handler serving /metrics,
+// /healthz and pprof. Attach an Observer through Options.Obs (single
+// runs), ExperimentOptions.Obs (benchmark suites) or RunClusterObserved
+// (batches); observation is passive — an observed run produces
+// bit-identical results to an unobserved one.
+
+// Observer bundles a metrics registry, an optional event log, and the
+// run's live health state. A nil Observer disables observation.
+type Observer = obs.Observer
+
+// MetricsRegistry is a concurrency-safe metric registry (counters,
+// gauges, histograms, labeled families) with Prometheus text-format
+// (0.0.4) exposition.
+type MetricsRegistry = obs.Registry
+
+// EventLog writes structured JSONL events (one object per line).
+type EventLog = obs.EventLog
+
+// ObsHealth is the coarse run health the observer publishes: the worst
+// sensor state the governor currently sees.
+type ObsHealth = obs.Health
+
+// Observer health states (numerically identical to SensorHealth).
+const (
+	ObsHealthy  = obs.Healthy
+	ObsDegraded = obs.Degraded
+	ObsLost     = obs.Lost
+)
+
+// MetricsContentType is the Content-Type of /metrics responses
+// (Prometheus text exposition format 0.0.4).
+const MetricsContentType = obs.ExpositionContentType
+
+// DefaultObsInterval is the default metrics sampling interval
+// (Options.ObsInterval = 0 selects it).
+const DefaultObsInterval = harness.DefaultObsInterval
+
+// NewMetricsRegistry returns an empty registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewObserver builds an observer over reg (nil = fresh registry) that
+// writes decision events to events (nil = no event log).
+func NewObserver(reg *MetricsRegistry, events io.Writer) *Observer {
+	return obs.New(reg, events)
+}
+
+// NewObsHandler returns the observer's HTTP surface: GET /metrics
+// (Prometheus text format), GET /healthz (200 while healthy, 503 with
+// the state name once degraded or lost), and /debug/pprof/.
+func NewObsHandler(o *Observer) http.Handler { return obs.NewHandler(o) }
+
+// RunClusterObserved is RunCluster with per-node and aggregate power
+// metrics published to o on the sampling interval.
+func RunClusterObserved(specs []ClusterNodeSpec, sampleEvery time.Duration, o *Observer) (ClusterResult, error) {
+	return cluster.RunObserved(specs, sampleEvery, o)
+}

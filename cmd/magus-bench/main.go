@@ -31,19 +31,20 @@ import (
 
 func main() {
 	var (
-		all  = flag.Bool("all", false, "run every experiment")
-		fig  = flag.String("fig", "", "figure to regenerate: 1, 2, 4a, 4b, 4c, 5, 6, 7")
-		tab  = flag.String("tab", "", "table to regenerate: 1, 2")
-		ext  = flag.String("ext", "", "extension study: ablation, cluster, numa, noise, faults")
-		reps = flag.Int("reps", 5, "repeats per experiment cell")
-		seed = flag.Int64("seed", 1, "base seed")
+		all     = flag.Bool("all", false, "run every experiment")
+		fig     = flag.String("fig", "", "figure to regenerate: 1, 2, 4a, 4b, 4c, 5, 6, 7")
+		tab     = flag.String("tab", "", "table to regenerate: 1, 2")
+		ext     = flag.String("ext", "", "extension study: ablation, cluster, numa, noise, faults")
+		reps    = flag.Int("reps", 5, "repeats per experiment cell")
+		seed    = flag.Int64("seed", 1, "base seed")
+		jobs    = flag.Int("jobs", 0, "parallel experiment cells (0 = GOMAXPROCS);\noutput is byte-identical for any value")
 		app     = flag.String("app", "srad", "application for the Figure 7 sweep")
 		idle    = flag.Duration("idle", 10*time.Minute, "idle window for Table 2")
 		metrics = flag.String("metrics", "", "dump accumulated run metrics (Prometheus text format)\nto this path when the suite finishes")
 	)
 	flag.Parse()
 
-	opt := magus.ExperimentOptions{Repeats: *reps, Seed: *seed}
+	opt := magus.ExperimentOptions{Repeats: *reps, Seed: *seed, Jobs: *jobs}
 	if *metrics != "" {
 		opt.Obs = magus.NewObserver(nil, nil)
 	}

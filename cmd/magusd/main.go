@@ -49,10 +49,10 @@ func main() {
 		record   = flag.String("record", "", "archive the run as a JSON record at this path")
 		faultArg = flag.String("faults", "", "arm a fault plan: preset name or plan JSON path\n(presets: "+
 			strings.Join(magus.FaultPresets(), ", ")+")")
-		listen   = flag.String("listen", "", "serve /metrics, /healthz and /debug/pprof on this address\n(e.g. :9890); keeps serving after the run until interrupted")
-		events   = flag.String("events", "", "write the structured JSONL decision/event log to this path")
-		list     = flag.Bool("list", false, "list catalog applications and exit")
-		dump     = flag.String("dump-workload", "", "print a catalog workload as JSON and exit")
+		listen = flag.String("listen", "", "serve /metrics, /healthz and /debug/pprof on this address\n(e.g. :9890); keeps serving after the run until interrupted")
+		events = flag.String("events", "", "write the structured JSONL decision/event log to this path")
+		list   = flag.Bool("list", false, "list catalog applications and exit")
+		dump   = flag.String("dump-workload", "", "print a catalog workload as JSON and exit")
 	)
 	flag.Parse()
 

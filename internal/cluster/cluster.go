@@ -11,7 +11,9 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"github.com/spear-repro/magus/internal/harness"
@@ -21,6 +23,13 @@ import (
 	"github.com/spear-repro/magus/internal/telemetry"
 	"github.com/spear-repro/magus/internal/workload"
 )
+
+// maxHorizonExtensions bounds adaptive horizon growth: a batch may run
+// up to (1 + maxHorizonExtensions) base horizons before unfinished
+// members are reported as an error. The base horizon is already 4× the
+// slowest nominal duration, so 4 windows ≈ 16× nominal — far beyond
+// any slowdown a real governor can cause.
+const maxHorizonExtensions = 3
 
 // NodeSpec describes one cluster member.
 type NodeSpec struct {
@@ -47,18 +56,35 @@ type Result struct {
 }
 
 // TimeOverBudget returns the fraction of the makespan during which the
-// aggregate power exceeded budgetW.
+// aggregate power exceeded budgetW, dt-weighted under sample-and-hold:
+// each sample's power is held until the next sample, and the last
+// sample is held until the makespan. (An earlier version divided the
+// over-budget *sample count* by the sample count, which mis-weights
+// the t=0 sample and silently breaks if the recorder interval ever
+// varies; weighting by actual interval length makes the fraction an
+// integral over time, independent of how the trace was sampled.)
 func (r Result) TimeOverBudget(budgetW float64) float64 {
-	if r.Aggregate == nil || r.Aggregate.Len() < 2 {
+	if r.Aggregate == nil || r.Aggregate.Len() == 0 || r.MakespanS <= 0 {
 		return 0
 	}
-	over := 0
-	for _, v := range r.Aggregate.Values {
-		if v > budgetW {
-			over++
+	times, vals := r.Aggregate.Times, r.Aggregate.Values
+	var over float64
+	for i, v := range vals {
+		if v <= budgetW {
+			continue
+		}
+		end := r.MakespanS
+		if i+1 < len(times) {
+			end = times[i+1]
+		}
+		if dt := end - times[i]; dt > 0 {
+			over += dt
 		}
 	}
-	return float64(over) / float64(r.Aggregate.Len())
+	if frac := over / r.MakespanS; frac < 1 {
+		return frac
+	}
+	return 1
 }
 
 // member is one node's live state during a run.
@@ -183,8 +209,31 @@ func RunObserved(specs []NodeSpec, sampleEvery time.Duration, o *obs.Observer) (
 		}
 		return true
 	}
+	// The base horizon (4× the slowest member's nominal duration +
+	// 10 s) assumes no governor slows a member past 4× nominal. A
+	// throttled member used to hit that wall and the batch aborted with
+	// a bare horizon error — or, with the error ignored, reported a
+	// silently truncated makespan. Extend the horizon adaptively up to
+	// maxHorizonExtensions more base-horizon windows; a member that
+	// still hasn't finished is genuinely stuck (or slowed beyond any
+	// plausible governor effect), so name the stragglers explicitly.
 	end, err := eng.RunUntil(done, horizon)
+	for ext := 0; err != nil && errors.Is(err, sim.ErrHorizon) && ext < maxHorizonExtensions; ext++ {
+		end, err = eng.RunUntil(done, horizon)
+	}
 	if err != nil {
+		if errors.Is(err, sim.ErrHorizon) {
+			var stuck []string
+			for _, m := range members {
+				if !m.runner.Done() {
+					stuck = append(stuck, fmt.Sprintf("%s (%s on %s)",
+						m.spec.Name, m.spec.Workload.Name, m.spec.Config.Name))
+				}
+			}
+			return Result{}, fmt.Errorf(
+				"cluster: members unfinished after %v (%d× the 4×-nominal horizon %v): %s",
+				end, 1+maxHorizonExtensions, horizon, strings.Join(stuck, ", "))
+		}
 		return Result{}, fmt.Errorf("cluster: %w", err)
 	}
 

@@ -1,12 +1,15 @@
 package cluster
 
 import (
+	"math"
+	"strings"
 	"testing"
 	"time"
 
 	"github.com/spear-repro/magus/internal/core"
 	"github.com/spear-repro/magus/internal/governor"
 	"github.com/spear-repro/magus/internal/node"
+	"github.com/spear-repro/magus/internal/telemetry"
 	"github.com/spear-repro/magus/internal/workload"
 )
 
@@ -131,5 +134,116 @@ func TestClusterDeterminism(t *testing.T) {
 	}
 	if a.EnergyJ != b.EnergyJ || a.MakespanS != b.MakespanS || a.PeakW != b.PeakW {
 		t.Fatal("cluster runs not deterministic")
+	}
+}
+
+// throttleSpec builds a member whose governor pins the uncore at the
+// hardware minimum of a config engineered so the member's bandwidth
+// ratio at that pin stretches its runtime to roughly stretch× nominal
+// (progress rate ≈ floor + (1-floor)·min/max on a fully memory-bound
+// constant phase).
+func throttleSpec(name string, nominal time.Duration, uncoreMin, bwFloor float64) NodeSpec {
+	cfg := node.IntelA100()
+	cfg.Name = "throttle-" + name
+	cfg.UncoreMinGHz = uncoreMin
+	cfg.BWFloorFrac = bwFloor
+	prog := &workload.Program{
+		Name: "membound-" + name,
+		Phases: []workload.Phase{{
+			Name:     "mem",
+			Duration: nominal,
+			Mem:      1.0,
+			Beta:     1.0,
+			Shape:    workload.Constant,
+			GPUSM:    0.5,
+			GPUMem:   0.5,
+		}},
+	}
+	return NodeSpec{
+		Name:     name,
+		Config:   cfg,
+		Workload: prog,
+		Factory:  func() governor.Governor { return governor.NewStatic(uncoreMin) },
+		Seed:     1,
+	}
+}
+
+// TestClusterThrottledMemberExtendsHorizon: a member slowed past 4×
+// nominal by its governor used to be truncated at the horizon; the
+// adaptive extension must now carry it to completion and report the
+// true makespan.
+func TestClusterThrottledMemberExtendsHorizon(t *testing.T) {
+	// Progress rate ≈ 0.05 + 0.95·(0.3/2.2) ≈ 0.18 → ≈5.6× nominal:
+	// past the 4× base horizon, well inside the extension budget.
+	spec := throttleSpec("slow", 10*time.Second, 0.3, 0.05)
+	res, err := Run([]NodeSpec{spec}, 100*time.Millisecond)
+	if err != nil {
+		t.Fatalf("throttled member should finish under the extended horizon: %v", err)
+	}
+	nominal := spec.Workload.NominalDuration().Seconds()
+	if res.MakespanS < 4*nominal {
+		t.Fatalf("makespan %.1f s not past the old 4× horizon (%.1f s) — probe too fast to regress on truncation", res.MakespanS, 4*nominal)
+	}
+	if res.MakespanS > 16*nominal {
+		t.Fatalf("makespan %.1f s implausibly long", res.MakespanS)
+	}
+}
+
+// TestClusterStuckMemberExplicitError: a member that cannot finish in
+// any plausible horizon must produce an error naming it, not a
+// silently truncated result or a bare horizon error.
+func TestClusterStuckMemberExplicitError(t *testing.T) {
+	// The MSR uncore ratio has 100 MHz granularity, so 0.1 GHz is the
+	// slowest effective pin: progress rate ≈ 0.001 + 0.999·(0.1/2.2)
+	// ≈ 0.046 → ≈21× nominal, beyond the 1+3 extension windows
+	// (4·(4·15+10) s = 280 s < 15 s/0.046 ≈ 323 s).
+	spec := throttleSpec("stuck", 15*time.Second, 0.1, 0.001)
+	_, err := Run([]NodeSpec{spec}, 100*time.Millisecond)
+	if err == nil {
+		t.Fatal("stuck member must fail, not truncate silently")
+	}
+	if !strings.Contains(err.Error(), "stuck") || !strings.Contains(err.Error(), "unfinished") {
+		t.Fatalf("error must name the unfinished member: %v", err)
+	}
+}
+
+// TestTimeOverBudgetDtWeighted pins the dt-weighted budget fraction on
+// a hand-built trace: sample-and-hold over [0,1)=50 W, [1,2)=150 W,
+// [2,3)=150 W, [3,10)=50 W against a 100 W budget is 2 s over a 10 s
+// makespan.
+func TestTimeOverBudgetDtWeighted(t *testing.T) {
+	r := Result{
+		Aggregate: &telemetry.Series{
+			Times:  []float64{0, 1, 2, 3},
+			Values: []float64{50, 150, 150, 50},
+		},
+		MakespanS: 10,
+	}
+	if got := r.TimeOverBudget(100); got != 0.2 {
+		t.Fatalf("TimeOverBudget = %v, want 0.2 (the old sample-count formula gives 0.5)", got)
+	}
+	// Irregular sampling: the fraction must follow interval lengths,
+	// not sample counts.
+	r = Result{
+		Aggregate: &telemetry.Series{
+			Times:  []float64{0, 1, 5},
+			Values: []float64{200, 50, 200},
+		},
+		MakespanS: 6,
+	}
+	want := 2.0 / 6.0
+	if got := r.TimeOverBudget(100); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("TimeOverBudget = %v, want %v", got, want)
+	}
+	// Degenerate inputs.
+	if got := (Result{}).TimeOverBudget(100); got != 0 {
+		t.Fatalf("empty result: %v, want 0", got)
+	}
+	always := Result{
+		Aggregate: &telemetry.Series{Times: []float64{0}, Values: []float64{500}},
+		MakespanS: 5,
+	}
+	if got := always.TimeOverBudget(100); got != 1 {
+		t.Fatalf("always-over trace: %v, want 1", got)
 	}
 }

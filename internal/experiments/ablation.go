@@ -108,22 +108,30 @@ func Ablation(opt Options) (AblationResult, error) {
 	variants, factories := ablationVariants(cfg.Name)
 	out := AblationResult{Apps: apps, Variants: variants}
 
+	// One flat grid: per app, the baseline group followed by every
+	// variant group. Group order fixes the output order, so the pool
+	// can interleave cells freely.
+	runOpt := harness.Options{Seed: opt.Seed, Obs: opt.Obs}
+	stride := 1 + len(variants)
+	groups := make([]runGroup, 0, len(apps)*stride)
 	for _, app := range apps {
 		prog := mustProgram(app)
-		runOpt := harness.Options{Seed: opt.Seed, Obs: opt.Obs}
-		base, err := harness.RunRepeated(cfg, prog, defaultFactory, opt.Repeats, runOpt)
-		if err != nil {
-			return AblationResult{}, err
+		groups = append(groups, runGroup{cfg, prog, defaultFactory, runOpt})
+		for i := range variants {
+			groups = append(groups, runGroup{cfg, prog, factories[i], runOpt})
 		}
+	}
+	results, err := runGroups(groups, opt.Repeats, opt.Jobs)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	for ai, app := range apps {
+		base := results[ai*stride]
 		for i, variant := range variants {
-			res, err := harness.RunRepeated(cfg, prog, factories[i], opt.Repeats, runOpt)
-			if err != nil {
-				return AblationResult{}, err
-			}
 			out.Rows = append(out.Rows, AblationRow{
 				Variant:    variant,
 				App:        app,
-				Comparison: harness.Compare(base, res),
+				Comparison: harness.Compare(base, results[ai*stride+1+i]),
 			})
 		}
 	}

@@ -31,6 +31,9 @@ type Options struct {
 	// Obs, when set, collects metrics across every run the experiment
 	// performs (observation is passive; results are unchanged).
 	Obs *obs.Observer
+	// Jobs bounds the worker pool experiment cells fan out across
+	// (<= 0 = GOMAXPROCS). Output is byte-identical for any value.
+	Jobs int
 }
 
 func (o Options) withDefaults() Options {
@@ -133,6 +136,41 @@ func mustProgram(name string) *workload.Program {
 	return p
 }
 
+// runGroup is one aggregated cell of an experiment grid: a (system,
+// app, governor) tuple whose repeats are trim-averaged into a single
+// Result, exactly like harness.RunRepeated.
+type runGroup struct {
+	cfg     node.Config
+	prog    *workload.Program
+	factory harness.GovernorFactory
+	opt     harness.Options
+}
+
+// runGroups flattens every group into its (group, repeat) cells,
+// executes the whole grid on one bounded worker pool, and returns one
+// reduced Result per group in group order. A single flat pool keeps
+// workers busy across group boundaries (no per-group barrier) while
+// canonical-order reassembly keeps the output byte-identical to the
+// serial sweep for any jobs value.
+func runGroups(groups []runGroup, reps, jobs int) ([]harness.Result, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	specs := make([]harness.RunSpec, 0, len(groups)*reps)
+	for _, g := range groups {
+		specs = append(specs, harness.RepeatSpecs(g.cfg, g.prog, g.factory, reps, g.opt)...)
+	}
+	results, err := harness.RunBatch(specs, jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]harness.Result, len(groups))
+	for i := range groups {
+		out[i] = harness.Reduce(results[i*reps : (i+1)*reps])
+	}
+	return out, nil
+}
+
 // AppResult is one application row of Figure 4.
 type AppResult struct {
 	App   string
@@ -166,21 +204,22 @@ func Figure4(system string, opt Options) (Figure4Result, error) {
 		apps = workload.MultiGPU()
 	}
 	out := Figure4Result{System: cfg.Name}
+	runOpt := harness.Options{Seed: opt.Seed, Obs: opt.Obs}
+	groups := make([]runGroup, 0, len(apps)*3)
 	for _, app := range apps {
 		prog := mustProgram(app)
-		runOpt := harness.Options{Seed: opt.Seed, Obs: opt.Obs}
-		base, err := harness.RunRepeated(cfg, prog, defaultFactory, opt.Repeats, runOpt)
-		if err != nil {
-			return Figure4Result{}, err
-		}
-		magus, err := harness.RunRepeated(cfg, prog, magusFactoryFor(cfg.Name), opt.Repeats, runOpt)
-		if err != nil {
-			return Figure4Result{}, err
-		}
-		ups, err := harness.RunRepeated(cfg, prog, upsFactoryFor(cfg.Name), opt.Repeats, runOpt)
-		if err != nil {
-			return Figure4Result{}, err
-		}
+		groups = append(groups,
+			runGroup{cfg, prog, defaultFactory, runOpt},
+			runGroup{cfg, prog, magusFactoryFor(cfg.Name), runOpt},
+			runGroup{cfg, prog, upsFactoryFor(cfg.Name), runOpt},
+		)
+	}
+	results, err := runGroups(groups, opt.Repeats, opt.Jobs)
+	if err != nil {
+		return Figure4Result{}, err
+	}
+	for i, app := range apps {
+		base, magus, ups := results[3*i], results[3*i+1], results[3*i+2]
 		out.Apps = append(out.Apps, AppResult{
 			App:   app,
 			MAGUS: harness.Compare(base, magus),
@@ -220,4 +259,19 @@ func traceRun(cfg node.Config, app string, gov governor.Governor, opt Options) (
 		TraceInterval: 100 * time.Millisecond,
 		Obs:           opt.Obs,
 	})
+}
+
+// traceSpec is traceRun as a batch cell, for figures that trace several
+// policies and can run them concurrently.
+func traceSpec(cfg node.Config, app string, factory harness.GovernorFactory, opt Options) harness.RunSpec {
+	return harness.RunSpec{
+		Cfg:     cfg,
+		Prog:    mustProgram(app),
+		Factory: factory,
+		Opt: harness.Options{
+			Seed:          opt.Seed,
+			TraceInterval: 100 * time.Millisecond,
+			Obs:           opt.Obs,
+		},
+	}
 }

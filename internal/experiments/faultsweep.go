@@ -3,6 +3,7 @@ package experiments
 import (
 	"github.com/spear-repro/magus/internal/core"
 	"github.com/spear-repro/magus/internal/faults"
+	"github.com/spear-repro/magus/internal/governor"
 	"github.com/spear-repro/magus/internal/harness"
 )
 
@@ -48,39 +49,58 @@ func FaultSweep(app string, plans []string, opt Options) (FaultSweepResult, erro
 	}
 	prog := mustProgram(app)
 	runOpt := harness.Options{Seed: opt.Seed, Obs: opt.Obs}
-	base, err := harness.Run(cfg, prog, defaultFactory(), runOpt)
+	if len(plans) == 0 {
+		plans = faults.PresetNames()
+	}
+	// Resolve every plan before running anything, so a bad plan name
+	// fails fast instead of after the clean runs.
+	loaded := make([]*faults.Plan, len(plans))
+	for i, name := range plans {
+		plan, err := faults.Load(name)
+		if err != nil {
+			return FaultSweepResult{}, err
+		}
+		loaded[i] = plan
+	}
+
+	// Flat grid: vendor default, clean MAGUS, then one faulted MAGUS
+	// cell per plan. Each faulted cell's factory stores its MAGUS
+	// instance in ms so Stats() can be read after the pool joins.
+	ms := make([]*core.MAGUS, len(plans))
+	specs := []harness.RunSpec{
+		{Cfg: cfg, Prog: prog, Factory: defaultFactory, Opt: runOpt},
+		{Cfg: cfg, Prog: prog, Factory: magusFactoryFor(cfg.Name), Opt: runOpt},
+	}
+	for i := range plans {
+		i := i
+		specs = append(specs, harness.RunSpec{
+			Cfg: cfg, Prog: prog,
+			Factory: func() governor.Governor {
+				ms[i] = core.New(magusConfigFor(cfg.Name))
+				return ms[i]
+			},
+			Opt: harness.Options{Seed: opt.Seed, Faults: loaded[i], Obs: opt.Obs},
+		})
+	}
+	results, err := harness.RunBatch(specs, opt.Jobs)
 	if err != nil {
 		return FaultSweepResult{}, err
 	}
-	clean, err := harness.Run(cfg, prog, core.New(magusConfigFor(cfg.Name)), runOpt)
-	if err != nil {
-		return FaultSweepResult{}, err
-	}
+	base, clean := results[0], results[1]
 	out := FaultSweepResult{
 		App:             app,
 		CleanRuntimeS:   clean.RuntimeS,
 		CleanEnergyJ:    clean.TotalEnergyJ(),
 		DefaultRuntimeS: base.RuntimeS,
 	}
-	if len(plans) == 0 {
-		plans = faults.PresetNames()
-	}
-	for _, name := range plans {
-		plan, err := faults.Load(name)
-		if err != nil {
-			return FaultSweepResult{}, err
-		}
-		m := core.New(magusConfigFor(cfg.Name))
-		res, err := harness.Run(cfg, prog, m, harness.Options{Seed: opt.Seed, Faults: plan, Obs: opt.Obs})
-		if err != nil {
-			return FaultSweepResult{}, err
-		}
+	for i, name := range plans {
+		res := results[2+i]
 		out.Points = append(out.Points, FaultPoint{
 			Plan:       name,
 			RuntimeS:   res.RuntimeS,
 			Comparison: harness.Compare(clean, res),
 			Injected:   res.FaultsInjected,
-			Resilience: m.Stats(),
+			Resilience: ms[i].Stats(),
 		})
 	}
 	return out, nil

@@ -62,14 +62,14 @@ type Figure2Result struct {
 func Figure2(opt Options) (Figure2Result, error) {
 	opt = opt.withDefaults()
 	cfg := node.IntelA100()
-	max, err := traceRun(cfg, "unet", governor.NewStatic(cfg.UncoreMaxGHz), opt)
+	res, err := harness.RunBatch([]harness.RunSpec{
+		traceSpec(cfg, "unet", func() governor.Governor { return governor.NewStatic(cfg.UncoreMaxGHz) }, opt),
+		traceSpec(cfg, "unet", func() governor.Governor { return governor.NewStatic(cfg.UncoreMinGHz) }, opt),
+	}, opt.Jobs)
 	if err != nil {
 		return Figure2Result{}, err
 	}
-	min, err := traceRun(cfg, "unet", governor.NewStatic(cfg.UncoreMinGHz), opt)
-	if err != nil {
-		return Figure2Result{}, err
-	}
+	max, min := res[0], res[1]
 	out := Figure2Result{
 		MaxUncore:   max,
 		MinUncore:   min,
@@ -102,22 +102,16 @@ type Figure5Result struct {
 func Figure5(opt Options) (Figure5Result, error) {
 	opt = opt.withDefaults()
 	cfg := node.IntelA100()
-	base, err := traceRun(cfg, "srad", defaultFactory(), opt)
+	res, err := harness.RunBatch([]harness.RunSpec{
+		traceSpec(cfg, "srad", defaultFactory, opt),
+		traceSpec(cfg, "srad", func() governor.Governor { return governor.NewStatic(cfg.UncoreMinGHz) }, opt),
+		traceSpec(cfg, "srad", magusFactoryFor(cfg.Name), opt),
+		traceSpec(cfg, "srad", upsFactoryFor(cfg.Name), opt),
+	}, opt.Jobs)
 	if err != nil {
 		return Figure5Result{}, err
 	}
-	min, err := traceRun(cfg, "srad", governor.NewStatic(cfg.UncoreMinGHz), opt)
-	if err != nil {
-		return Figure5Result{}, err
-	}
-	magus, err := traceRun(cfg, "srad", magusFactoryFor(cfg.Name)(), opt)
-	if err != nil {
-		return Figure5Result{}, err
-	}
-	ups, err := traceRun(cfg, "srad", upsFactoryFor(cfg.Name)(), opt)
-	if err != nil {
-		return Figure5Result{}, err
-	}
+	base, min, magus, ups := res[0], res[1], res[2], res[3]
 	return Figure5Result{
 		MaxUncore:      base.Traces.Series("mem_gbs"),
 		MinUncore:      min.Traces.Series("mem_gbs"),
@@ -144,19 +138,22 @@ type Figure6Result struct {
 func Figure6(opt Options) (Figure6Result, error) {
 	opt = opt.withDefaults()
 	cfg := node.IntelA100()
-	base, err := traceRun(cfg, "srad", defaultFactory(), opt)
+	// The MAGUS factory runs once inside its cell; the pool's barrier
+	// (all workers joined before RunBatch returns) makes reading m here
+	// race-free.
+	var m *core.MAGUS
+	res, err := harness.RunBatch([]harness.RunSpec{
+		traceSpec(cfg, "srad", defaultFactory, opt),
+		traceSpec(cfg, "srad", upsFactoryFor(cfg.Name), opt),
+		traceSpec(cfg, "srad", func() governor.Governor {
+			m = core.New(magusConfigFor(cfg.Name))
+			return m
+		}, opt),
+	}, opt.Jobs)
 	if err != nil {
 		return Figure6Result{}, err
 	}
-	ups, err := traceRun(cfg, "srad", upsFactoryFor(cfg.Name)(), opt)
-	if err != nil {
-		return Figure6Result{}, err
-	}
-	m := core.New(magusConfigFor(cfg.Name))
-	magus, err := traceRun(cfg, "srad", m, opt)
-	if err != nil {
-		return Figure6Result{}, err
-	}
+	base, ups, magus := res[0], res[1], res[2]
 	return Figure6Result{
 		Default:                base.Traces.Series("uncore_ghz"),
 		UPS:                    ups.Traces.Series("uncore_ghz"),
@@ -221,14 +218,19 @@ func Figure7(app string, opt Options) (Figure7Result, error) {
 
 	out := Figure7Result{App: app, Default: -1}
 	pts := make([]stats.Point, 0, len(grid))
+	groups := make([]runGroup, 0, len(grid))
 	for _, mc := range grid {
 		mcCopy := mc
-		res, err := harness.RunRepeated(cfg, prog,
+		groups = append(groups, runGroup{cfg, prog,
 			func() governor.Governor { return core.New(mcCopy) },
-			opt.Repeats, harness.Options{Seed: opt.Seed, Obs: opt.Obs})
-		if err != nil {
-			return Figure7Result{}, err
-		}
+			harness.Options{Seed: opt.Seed, Obs: opt.Obs}})
+	}
+	results, err := runGroups(groups, opt.Repeats, opt.Jobs)
+	if err != nil {
+		return Figure7Result{}, err
+	}
+	for gi, mc := range grid {
+		res := results[gi]
 		p := ThresholdPoint{
 			IncGBs:   mc.IncThresholdGBs,
 			DecGBs:   mc.DecThresholdGBs,

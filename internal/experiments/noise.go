@@ -41,6 +41,14 @@ func noiseFn(amplitude float64, seed int64) func(float64) float64 {
 
 // NoiseStudy runs MAGUS on app (Intel+A100) across the noise grid,
 // comparing each point against a clean-baseline default run.
+//
+// Each noisy repeat carries its own noise closure over its own
+// rand.Rand, seeded from that repeat's derived seed. (An earlier
+// version shared one closure across the repeats of an amplitude, so
+// repeat i's noise stream depended on how much stream repeat i-1 had
+// consumed — coupling that breaks the independent-cell contract the
+// parallel engine needs. Repeat 0 still sees the exact stream the old
+// code started with.)
 func NoiseStudy(app string, opt Options) (NoiseStudyResult, error) {
 	opt = opt.withDefaults()
 	cfg, err := SystemByName("Intel+A100")
@@ -48,18 +56,38 @@ func NoiseStudy(app string, opt Options) (NoiseStudyResult, error) {
 		return NoiseStudyResult{}, err
 	}
 	prog := mustProgram(app)
-	base, err := harness.RunRepeated(cfg, prog, defaultFactory, opt.Repeats, harness.Options{Seed: opt.Seed, Obs: opt.Obs})
+	reps := opt.Repeats
+	if reps < 1 {
+		reps = 1
+	}
+	amps := NoiseAmplitudes()
+
+	// Flat grid: the clean baseline's repeats first, then reps cells
+	// per amplitude, all on one pool.
+	specs := harness.RepeatSpecs(cfg, prog, defaultFactory, reps,
+		harness.Options{Seed: opt.Seed, Obs: opt.Obs})
+	for _, amp := range amps {
+		a := amp
+		for i := 0; i < reps; i++ {
+			seed := opt.Seed + int64(i)*7919
+			specs = append(specs, harness.RunSpec{
+				Cfg: cfg, Prog: prog, Factory: magusFactoryFor(cfg.Name),
+				Opt: harness.Options{
+					Seed:     seed,
+					PCMNoise: noiseFn(a, seed*37+int64(a*1000)),
+					Obs:      opt.Obs,
+				},
+			})
+		}
+	}
+	results, err := harness.RunBatch(specs, opt.Jobs)
 	if err != nil {
 		return NoiseStudyResult{}, err
 	}
+	base := harness.Reduce(results[:reps])
 	out := NoiseStudyResult{App: app}
-	for _, amp := range NoiseAmplitudes() {
-		a := amp
-		res, err := harness.RunRepeated(cfg, prog, magusFactoryFor(cfg.Name), opt.Repeats,
-			harness.Options{Seed: opt.Seed, PCMNoise: noiseFn(a, opt.Seed*37+int64(a*1000)), Obs: opt.Obs})
-		if err != nil {
-			return NoiseStudyResult{}, err
-		}
+	for ai, a := range amps {
+		res := harness.Reduce(results[reps*(1+ai) : reps*(2+ai)])
 		out.Points = append(out.Points, NoisePoint{
 			Amplitude:  a,
 			Comparison: harness.Compare(base, res),

@@ -27,24 +27,18 @@ func NUMAStudy(opt Options) (NUMAStudyResult, error) {
 	prog := mustProgram("numa_etl")
 	runOpt := harness.Options{Seed: opt.Seed, Obs: opt.Obs}
 
-	base, err := harness.RunRepeated(cfg, prog, defaultFactory, opt.Repeats, runOpt)
-	if err != nil {
-		return NUMAStudyResult{}, err
-	}
-	global, err := harness.RunRepeated(cfg, prog, magusFactoryFor(cfg.Name), opt.Repeats, runOpt)
-	if err != nil {
-		return NUMAStudyResult{}, err
-	}
 	mc := magusConfigFor(cfg.Name)
-	perSock, err := harness.RunRepeated(cfg, prog,
-		func() governor.Governor { return core.NewPerSocket(mc) },
-		opt.Repeats, runOpt)
+	results, err := runGroups([]runGroup{
+		{cfg, prog, defaultFactory, runOpt},
+		{cfg, prog, magusFactoryFor(cfg.Name), runOpt},
+		{cfg, prog, func() governor.Governor { return core.NewPerSocket(mc) }, runOpt},
+	}, opt.Repeats, opt.Jobs)
 	if err != nil {
 		return NUMAStudyResult{}, err
 	}
 	return NUMAStudyResult{
 		App:       prog.Name,
-		Global:    harness.Compare(base, global),
-		PerSocket: harness.Compare(base, perSock),
+		Global:    harness.Compare(results[0], results[1]),
+		PerSocket: harness.Compare(results[0], results[2]),
 	}, nil
 }

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"github.com/spear-repro/magus/internal/governor"
 	"github.com/spear-repro/magus/internal/harness"
 	"github.com/spear-repro/magus/internal/msr"
 	"github.com/spear-repro/magus/internal/node"
+	"github.com/spear-repro/magus/internal/parallel"
 	"github.com/spear-repro/magus/internal/sim"
 	"github.com/spear-repro/magus/internal/telemetry"
 	"github.com/spear-repro/magus/internal/workload"
@@ -35,15 +37,20 @@ func Table1(opt Options) (Table1Result, error) {
 	opt = opt.withDefaults()
 	cfg := node.IntelA100()
 	out := Table1Result{Bins: 200, ThresholdFrac: 0.5}
-	for _, app := range workload.Table1Apps() {
-		base, err := traceRun(cfg, app, defaultFactory(), opt)
-		if err != nil {
-			return Table1Result{}, err
-		}
-		magus, err := traceRun(cfg, app, magusFactoryFor(cfg.Name)(), opt)
-		if err != nil {
-			return Table1Result{}, err
-		}
+	apps := workload.Table1Apps()
+	// Flat grid: (baseline, magus) traced pair per application.
+	specs := make([]harness.RunSpec, 0, len(apps)*2)
+	for _, app := range apps {
+		specs = append(specs,
+			traceSpec(cfg, app, defaultFactory, opt),
+			traceSpec(cfg, app, magusFactoryFor(cfg.Name), opt))
+	}
+	results, err := harness.RunBatch(specs, opt.Jobs)
+	if err != nil {
+		return Table1Result{}, err
+	}
+	for i, app := range apps {
+		base, magus := results[2*i], results[2*i+1]
 		j := telemetry.BurstJaccard(
 			base.Traces.Series("mem_gbs"),
 			magus.Traces.Series("mem_gbs"),
@@ -128,29 +135,46 @@ func Table2(idleWindow time.Duration, opt Options) (Table2Result, error) {
 		idleWindow = 10 * time.Minute
 	}
 	out := Table2Result{IdleWindow: idleWindow}
-	for _, cfg := range []node.Config{node.IntelA100(), node.IntelMax1550()} {
-		basePower, _, _, err := runIdle(cfg, nil, idleWindow, opt.Seed)
-		if err != nil {
-			return Table2Result{}, err
-		}
-		for _, method := range []string{"magus", "ups"} {
+	// Six independent idle cells — (2 systems) × (unmanaged, magus,
+	// ups) — fanned out directly; each builds its governor inside the
+	// cell, and the unmanaged baselines are read back by index.
+	cfgs := []node.Config{node.IntelA100(), node.IntelMax1550()}
+	methods := []string{"", "magus", "ups"}
+	type idleCell struct {
+		powerW, busySec float64
+		invocations     uint64
+	}
+	var pm *parallel.Metrics
+	if opt.Obs != nil {
+		pm = parallel.NewMetrics(opt.Obs.Registry())
+	}
+	cells, err := parallel.Map(context.Background(), len(cfgs)*len(methods), opt.Jobs, pm,
+		func(_ context.Context, i int) (idleCell, error) {
+			cfg := cfgs[i/len(methods)]
 			var gov governor.Governor
-			if method == "magus" {
+			switch methods[i%len(methods)] {
+			case "magus":
 				gov = magusFactoryFor(cfg.Name)()
-			} else {
+			case "ups":
 				gov = upsFactoryFor(cfg.Name)()
 			}
 			power, busySec, invocations, err := runIdle(cfg, gov, idleWindow, opt.Seed)
-			if err != nil {
-				return Table2Result{}, err
-			}
+			return idleCell{power, busySec, invocations}, err
+		})
+	if err != nil {
+		return Table2Result{}, err
+	}
+	for ci, cfg := range cfgs {
+		basePower := cells[ci*len(methods)].powerW
+		for mi, method := range methods[1:] {
+			cell := cells[ci*len(methods)+1+mi]
 			row := OverheadRow{
 				System:           cfg.Name,
 				Method:           method,
-				PowerOverheadPct: (power - basePower) / basePower * 100,
+				PowerOverheadPct: (cell.powerW - basePower) / basePower * 100,
 			}
-			if invocations > 0 {
-				row.InvocationS = busySec / float64(invocations)
+			if cell.invocations > 0 {
+				row.InvocationS = cell.busySec / float64(cell.invocations)
 			}
 			out.Rows = append(out.Rows, row)
 		}

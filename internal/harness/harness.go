@@ -24,7 +24,6 @@ import (
 	"github.com/spear-repro/magus/internal/rapl"
 	"github.com/spear-repro/magus/internal/resilient"
 	"github.com/spear-repro/magus/internal/sim"
-	"github.com/spear-repro/magus/internal/stats"
 	"github.com/spear-repro/magus/internal/telemetry"
 	"github.com/spear-repro/magus/internal/workload"
 )
@@ -56,6 +55,9 @@ type Options struct {
 	// ObsInterval is the metrics sampling period when Obs is set
 	// (0 = DefaultObsInterval, 100 ms).
 	ObsInterval time.Duration
+	// Jobs bounds the worker pool RunRepeated fans repeats across
+	// (<= 0 = GOMAXPROCS). Results are byte-identical for any value.
+	Jobs int
 }
 
 // Result is one run's outcome.
@@ -284,40 +286,21 @@ func Compare(base, x Result) Comparison {
 }
 
 // RunRepeated executes reps runs with distinct seeds and returns the
-// outlier-trimmed mean of every metric (§6's methodology).
+// outlier-trimmed mean of every metric (§6's methodology). Repeats fan
+// out across opt.Jobs workers; because each repeat is an independent
+// deterministic cell, the aggregate is byte-identical for any jobs
+// value. A shared PCMNoise closure would be mutated from several
+// goroutines at once, so runs carrying one are forced serial — callers
+// wanting parallel noisy repeats must build per-repeat closures and go
+// through RunBatch directly.
 func RunRepeated(cfg node.Config, prog *workload.Program, factory GovernorFactory, reps int, opt Options) (Result, error) {
-	if reps < 1 {
-		reps = 1
+	jobs := opt.Jobs
+	if opt.PCMNoise != nil {
+		jobs = 1
 	}
-	runtimes := make([]float64, 0, reps)
-	powers := make([]float64, 0, reps)
-	pkgs := make([]float64, 0, reps)
-	drams := make([]float64, 0, reps)
-	gpus := make([]float64, 0, reps)
-	var name string
-	for i := 0; i < reps; i++ {
-		o := opt
-		o.Seed = opt.Seed + int64(i)*7919
-		o.TraceInterval = 0 // traces only make sense per run
-		res, err := Run(cfg, prog, factory(), o)
-		if err != nil {
-			return Result{}, err
-		}
-		name = res.Governor
-		runtimes = append(runtimes, res.RuntimeS)
-		powers = append(powers, res.AvgCPUPowerW)
-		pkgs = append(pkgs, res.PkgEnergyJ)
-		drams = append(drams, res.DramEnergyJ)
-		gpus = append(gpus, res.GPUEnergyJ)
+	results, err := RunBatch(RepeatSpecs(cfg, prog, factory, reps, opt), jobs)
+	if err != nil {
+		return Result{}, err
 	}
-	return Result{
-		System:       cfg.Name,
-		Workload:     prog.Name,
-		Governor:     name,
-		RuntimeS:     stats.TrimmedMean(runtimes),
-		AvgCPUPowerW: stats.TrimmedMean(powers),
-		PkgEnergyJ:   stats.TrimmedMean(pkgs),
-		DramEnergyJ:  stats.TrimmedMean(drams),
-		GPUEnergyJ:   stats.TrimmedMean(gpus),
-	}, nil
+	return Reduce(results), nil
 }

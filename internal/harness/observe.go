@@ -19,13 +19,13 @@ const DefaultObsInterval = 100 * time.Millisecond
 // govCounters is the architecture-neutral snapshot of a governor's
 // cumulative counters, polled on the sampling interval.
 type govCounters struct {
-	invocations, tuneEvents, overrides    uint64
-	msrReads, msrWrites, phaseResets      uint64
-	warmupCycles, missed                  uint64
-	retries, timeouts, wild, stale        uint64
-	degradedCycles, lostCycles            uint64
-	recoveries, watchdog                  uint64
-	health                                resilient.Health
+	invocations, tuneEvents, overrides uint64
+	msrReads, msrWrites, phaseResets   uint64
+	warmupCycles, missed               uint64
+	retries, timeouts, wild, stale     uint64
+	degradedCycles, lostCycles         uint64
+	recoveries, watchdog               uint64
+	health                             resilient.Health
 }
 
 // pollerFor maps a governor to a counter snapshot function; nil when

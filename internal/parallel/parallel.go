@@ -1,0 +1,164 @@
+// Package parallel provides the deterministic fan-out engine behind
+// the experiment suite: a bounded worker pool that executes independent
+// cells concurrently and reassembles their results in canonical
+// submission order, so the output of a parallel sweep is byte-identical
+// to the serial one for any worker count.
+//
+// The determinism contract is simple and strict: every cell must be
+// self-contained (its own engine, node, runner and governor, seeded
+// independently), results are written into a slot addressed by the
+// cell's submission index, and nothing is read from those slots until
+// every worker has exited. Scheduling order therefore cannot leak into
+// results — only into wall-clock time.
+//
+// Failure handling is fail-fast: the first cell error cancels the
+// run's context, undispatched cells are never started, and the error
+// reported is the one with the lowest submission index among the cells
+// that actually failed (the same cell a serial run would have stopped
+// at, because cells are deterministic).
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/spear-repro/magus/internal/obs"
+)
+
+// Jobs normalises a worker-count setting: n > 0 is used as given;
+// anything else selects runtime.GOMAXPROCS(0), the hardware
+// parallelism available to the process.
+func Jobs(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Metrics is the pool-level instrumentation surface. All fields are
+// nil-safe no-ops when unset, so an unobserved pool runs unguarded.
+// Cell durations are wall-clock observations (the only non-simulated
+// quantity this repo exports) — they describe the pool, never the
+// experiment results, which stay bit-identical for any jobs value.
+type Metrics struct {
+	// Workers is the number of workers the current batch runs with.
+	Workers *obs.Gauge
+	// InFlight is the number of cells executing right now.
+	InFlight *obs.Gauge
+	// Completed counts cells that finished without error.
+	Completed *obs.Counter
+	// Failed counts cells whose function returned an error.
+	Failed *obs.Counter
+	// Duration is the wall-clock execution time per cell in seconds.
+	Duration *obs.Histogram
+}
+
+// NewMetrics registers the pool families on reg and returns the
+// instrumented set. A nil registry yields all-nil (no-op) instruments.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Workers:   reg.Gauge("magus_pool_workers", "Worker count of the current experiment batch."),
+		InFlight:  reg.Gauge("magus_pool_inflight_cells", "Experiment cells executing right now."),
+		Completed: reg.Counter("magus_pool_cells_completed_total", "Experiment cells finished without error."),
+		Failed:    reg.Counter("magus_pool_cell_failures_total", "Experiment cells that returned an error."),
+		Duration: reg.Histogram("magus_pool_cell_duration_seconds",
+			"Wall-clock execution time per experiment cell in seconds.",
+			[]float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}),
+	}
+}
+
+// Map executes fn for every index in [0, n) on at most jobs concurrent
+// workers and returns the results in index order. A nil ctx is
+// context.Background(); jobs <= 0 selects Jobs(0). The first error
+// cancels the context (fail-fast): running cells see the cancellation
+// through ctx, undispatched cells never start, and the lowest-index
+// error observed is returned. m may be nil (no instrumentation).
+func Map[T any](ctx context.Context, n, jobs int, m *Metrics, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	jobs = Jobs(jobs)
+	if jobs > n {
+		jobs = n
+	}
+	if m != nil {
+		m.Workers.Set(float64(jobs))
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	out := make([]T, n)
+	errs := make([]error, n)
+	idx := make(chan int)
+	go func() {
+		defer close(idx)
+		for i := 0; i < n; i++ {
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				var start time.Time
+				if m != nil {
+					m.InFlight.Add(1)
+					start = time.Now()
+				}
+				v, err := fn(ctx, i)
+				if m != nil {
+					m.Duration.Observe(time.Since(start).Seconds())
+					m.InFlight.Add(-1)
+				}
+				if err != nil {
+					errs[i] = err
+					if m != nil {
+						m.Failed.Inc()
+					}
+					cancel()
+					continue
+				}
+				out[i] = v
+				if m != nil {
+					m.Completed.Inc()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Our own cancel() is deferred and no cell errored, so a cancelled
+	// context here means the *parent* was cancelled or timed out and
+	// some cells never ran: the result slice is incomplete.
+	if ctx.Err() != nil {
+		return nil, context.Cause(ctx)
+	}
+	return out, nil
+}
+
+// ForEach is Map without per-cell results: it executes fn for every
+// index in [0, n) under the same ordering, bounding and fail-fast
+// rules.
+func ForEach(ctx context.Context, n, jobs int, m *Metrics, fn func(ctx context.Context, i int) error) error {
+	_, err := Map(ctx, n, jobs, m, func(ctx context.Context, i int) (struct{}, error) {
+		return struct{}{}, fn(ctx, i)
+	})
+	return err
+}

@@ -1,0 +1,215 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/spear-repro/magus/internal/obs"
+)
+
+func TestJobsNormalisation(t *testing.T) {
+	if got := Jobs(3); got != 3 {
+		t.Fatalf("Jobs(3) = %d, want 3", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if got := Jobs(0); got != want {
+		t.Fatalf("Jobs(0) = %d, want GOMAXPROCS %d", got, want)
+	}
+	if got := Jobs(-5); got != want {
+		t.Fatalf("Jobs(-5) = %d, want GOMAXPROCS %d", got, want)
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	for _, jobs := range []int{1, 2, 8, 100} {
+		out, err := Map(context.Background(), 50, jobs, nil, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		if len(out) != 50 {
+			t.Fatalf("jobs=%d: len = %d, want 50", jobs, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("jobs=%d: out[%d] = %d, want %d", jobs, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(context.Background(), 0, 4, nil, func(_ context.Context, i int) (int, error) {
+		t.Fatal("fn must not be called for n=0")
+		return 0, nil
+	})
+	if err != nil || out != nil {
+		t.Fatalf("Map(n=0) = (%v, %v), want (nil, nil)", out, err)
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const jobs = 3
+	var inFlight, peak atomic.Int64
+	_, err := Map(context.Background(), 40, jobs, nil, func(_ context.Context, i int) (struct{}, error) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		inFlight.Add(-1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > jobs {
+		t.Fatalf("peak concurrency %d exceeds jobs=%d", p, jobs)
+	}
+}
+
+func TestMapFailFast(t *testing.T) {
+	boom := errors.New("boom")
+	var started atomic.Int64
+	var sawCancel atomic.Bool
+	var mu sync.Mutex
+	ran := map[int]bool{}
+	_, err := Map(context.Background(), 1000, 2, nil, func(ctx context.Context, i int) (int, error) {
+		started.Add(1)
+		mu.Lock()
+		ran[i] = true
+		mu.Unlock()
+		if i == 3 {
+			return 0, fmt.Errorf("cell 3: %w", boom)
+		}
+		select {
+		case <-ctx.Done():
+			sawCancel.Store(true)
+		case <-time.After(2 * time.Millisecond):
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if n := started.Load(); n >= 1000 {
+		t.Fatalf("all %d cells started despite fail-fast", n)
+	}
+}
+
+func TestMapLowestIndexError(t *testing.T) {
+	// Two cells fail; the reported error must be the lowest-index one,
+	// matching what a serial sweep would have stopped at. Force both to
+	// fail by blocking index 2 until index 7 has failed.
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	highDone := make(chan struct{})
+	_, err := Map(context.Background(), 8, 8, nil, func(_ context.Context, i int) (int, error) {
+		switch i {
+		case 2:
+			<-highDone
+			return 0, errLow
+		case 7:
+			defer close(highDone)
+			return 0, errHigh
+		}
+		return i, nil
+	})
+	if !errors.Is(err, errLow) {
+		t.Fatalf("err = %v, want lowest-index error %v", err, errLow)
+	}
+}
+
+func TestMapParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := Map(ctx, 10, 4, nil, func(ctx context.Context, i int) (int, error) {
+		return i, nil
+	})
+	if err == nil {
+		t.Fatalf("want error from cancelled parent, got result %v", out)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := ForEach(context.Background(), 10, 4, nil, func(_ context.Context, i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 45 {
+		t.Fatalf("sum = %d, want 45", sum.Load())
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	boom := errors.New("boom")
+	_, _ = Map(context.Background(), 6, 2, m, func(_ context.Context, i int) (int, error) {
+		if i == 5 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	text := reg.Text()
+	if !strings.Contains(text, "magus_pool_workers 2") {
+		t.Fatalf("workers gauge missing or wrong:\n%s", text)
+	}
+	if !strings.Contains(text, "magus_pool_cell_failures_total 1") {
+		t.Fatalf("failure counter missing or wrong:\n%s", text)
+	}
+	if !strings.Contains(text, "magus_pool_inflight_cells 0") {
+		t.Fatalf("in-flight gauge should settle at 0:\n%s", text)
+	}
+	if !strings.Contains(text, "magus_pool_cell_duration_seconds_count") {
+		t.Fatalf("duration histogram missing:\n%s", text)
+	}
+}
+
+func TestNewMetricsNilRegistry(t *testing.T) {
+	m := NewMetrics(nil)
+	// All instruments are nil-safe no-ops; a pool run must not panic.
+	if _, err := Map(context.Background(), 3, 2, m, func(_ context.Context, i int) (int, error) {
+		return i, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapDeterministicAcrossJobs(t *testing.T) {
+	run := func(jobs int) []int {
+		out, err := Map(context.Background(), 64, jobs, nil, func(_ context.Context, i int) (int, error) {
+			return i*7919 + 3, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := run(1)
+	for _, jobs := range []int{2, 8, 64} {
+		got := run(jobs)
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Fatalf("jobs=%d diverges from serial at index %d: %d != %d", jobs, i, got[i], serial[i])
+			}
+		}
+	}
+}

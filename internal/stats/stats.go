@@ -64,11 +64,27 @@ func Max(xs []float64) float64 {
 	return m
 }
 
+// HasNaN reports whether xs contains a NaN.
+func HasNaN(xs []float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			return true
+		}
+	}
+	return false
+}
+
 // Percentile returns the p-th percentile (0..100) of xs using linear
 // interpolation between closest ranks. It panics on an empty slice.
+// NaN inputs poison the result: sort.Float64s leaves NaNs in
+// unspecified positions, so rather than returning a garbage quartile
+// the function propagates NaN, which every caller can detect.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		panic("stats: Percentile of empty slice")
+	}
+	if HasNaN(xs) {
+		return math.NaN()
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
@@ -93,8 +109,18 @@ func Percentile(xs []float64, p float64) float64 {
 // input unchanged (quartiles are meaningless). This is the "outliers were
 // removed, and the average of the remaining results was calculated"
 // procedure of §6.
+//
+// NaN policy: a NaN input makes the fences NaN, and every `x >= lo`
+// comparison fails — an earlier version therefore dropped *all*
+// samples (NaN and finite alike) and fell back to returning the input,
+// silently disabling trimming. Worse, a NaN among otherwise-finite
+// samples would be silently discarded, hiding a corrupted run (e.g. a
+// faulted repeat) inside a clean-looking mean. NaNs now poison the
+// result explicitly: the input is returned unchanged, NaNs included,
+// so TrimmedMean propagates NaN and the corruption is visible to the
+// caller.
 func TrimOutliers(xs []float64) []float64 {
-	if len(xs) < 4 {
+	if len(xs) < 4 || HasNaN(xs) {
 		return append([]float64(nil), xs...)
 	}
 	q1 := Percentile(xs, 25)
@@ -108,13 +134,15 @@ func TrimOutliers(xs []float64) []float64 {
 		}
 	}
 	if len(out) == 0 {
-		// Degenerate (all identical NaN-ish data): fall back to input.
+		// Unreachable for finite inputs (the quartiles themselves are
+		// always inside the fences), but kept as a safety net.
 		return append([]float64(nil), xs...)
 	}
 	return out
 }
 
-// TrimmedMean is Mean(TrimOutliers(xs)).
+// TrimmedMean is Mean(TrimOutliers(xs)). A NaN anywhere in xs yields
+// NaN (see TrimOutliers' NaN policy).
 func TrimmedMean(xs []float64) float64 { return Mean(TrimOutliers(xs)) }
 
 // Jaccard returns |A∩B| / |A∪B| for two binary sequences of equal

@@ -202,3 +202,57 @@ func TestDistanceToFront(t *testing.T) {
 		t.Fatal("distance to empty front should be +Inf")
 	}
 }
+
+func TestHasNaN(t *testing.T) {
+	if HasNaN([]float64{1, 2, 3}) {
+		t.Fatal("finite slice flagged as NaN")
+	}
+	if !HasNaN([]float64{1, math.NaN(), 3}) {
+		t.Fatal("NaN not detected")
+	}
+	if HasNaN(nil) {
+		t.Fatal("empty slice flagged as NaN")
+	}
+}
+
+// TestPercentileNaNPropagates pins the NaN policy: sort.Float64s
+// leaves NaNs in unspecified positions, so a quartile over NaN-tainted
+// data must be NaN, never a plausible-looking garbage value.
+func TestPercentileNaNPropagates(t *testing.T) {
+	xs := []float64{5, math.NaN(), 1, 3, 2, 4}
+	for _, p := range []float64{0, 25, 50, 75, 100} {
+		if v := Percentile(xs, p); !math.IsNaN(v) {
+			t.Fatalf("Percentile(%v, %v) = %v, want NaN", xs, p, v)
+		}
+	}
+}
+
+// TestTrimOutliersNaNPolicy: a NaN input must survive trimming (so the
+// caller sees the corruption), and must not cause finite samples to be
+// dropped alongside it.
+func TestTrimOutliersNaNPolicy(t *testing.T) {
+	xs := []float64{1, 2, math.NaN(), 3, 4, 100}
+	got := TrimOutliers(xs)
+	if len(got) != len(xs) {
+		t.Fatalf("NaN-tainted input must be returned unchanged: got %d of %d values", len(got), len(xs))
+	}
+	var nans int
+	for _, v := range got {
+		if math.IsNaN(v) {
+			nans++
+		}
+	}
+	if nans != 1 {
+		t.Fatalf("NaN silently dropped: %v", got)
+	}
+}
+
+func TestTrimmedMeanNaNPropagates(t *testing.T) {
+	if v := TrimmedMean([]float64{1, 2, math.NaN(), 3, 4}); !math.IsNaN(v) {
+		t.Fatalf("TrimmedMean over NaN-tainted input = %v, want NaN", v)
+	}
+	// Finite data is unaffected by the NaN path.
+	if v := TrimmedMean([]float64{1, 2, 3, 4, 100}); math.IsNaN(v) || v > 3 {
+		t.Fatalf("finite trimmed mean = %v, want outlier 100 trimmed", v)
+	}
+}

@@ -197,9 +197,26 @@ func Run(cfg NodeConfig, prog *Workload, gov Governor, opt Options) (Result, err
 }
 
 // RunRepeated runs reps seeds and returns outlier-trimmed means (§6
-// methodology).
+// methodology). Repeats fan out across Options.Jobs workers; the
+// aggregate is byte-identical for any jobs value.
 func RunRepeated(cfg NodeConfig, prog *Workload, factory GovernorFactory, reps int, opt Options) (Result, error) {
 	return harness.RunRepeated(cfg, prog, factory, reps, opt)
+}
+
+// RunSpec is one fully-described experiment cell for RunBatch.
+type RunSpec = harness.RunSpec
+
+// RunBatch executes independent cells on a bounded worker pool
+// (jobs <= 0 = GOMAXPROCS), returning results in spec order —
+// byte-identical to a serial sweep for any jobs value.
+func RunBatch(specs []RunSpec, jobs int) ([]Result, error) {
+	return harness.RunBatch(specs, jobs)
+}
+
+// RepeatSpecs expands one cell into its repeats under the evaluation's
+// seed-derivation contract (Seed + i*7919, traces disabled).
+func RepeatSpecs(cfg NodeConfig, prog *Workload, factory GovernorFactory, reps int, opt Options) []RunSpec {
+	return harness.RepeatSpecs(cfg, prog, factory, reps, opt)
 }
 
 // Compare reduces (baseline, candidate) to performance loss, power

@@ -1,0 +1,139 @@
+// Command benchgate enforces the hot-path performance contract in CI.
+// It reads `go test -bench -benchmem` output on stdin, compares every
+// gated benchmark against the committed baseline (BENCH_hotpath.json),
+// and exits non-zero when a benchmark is missing, allocates more than
+// its pinned budget, or slows past the ns/op tolerance.
+//
+// Allocation counts are deterministic, so they gate exactly: the
+// zero-allocation benchmarks must report 0 allocs/op even at
+// -benchtime=1x. Wall-clock is noisy on shared CI runners — and wildly
+// so at one iteration — so the time gate is a wide catastrophe net
+// (baseline × tolerance factor), not a benchstat-grade comparison.
+//
+// Usage:
+//
+//	go test -run '^$' -bench '^BenchmarkHotPath' -benchmem -benchtime=1x ./... |
+//	    go run ./cmd/benchgate -baseline BENCH_hotpath.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// baselineFile mirrors the gate section of BENCH_hotpath.json; fields
+// outside "gate" are documentation and ignored here.
+type baselineFile struct {
+	Gate struct {
+		NsToleranceFactor float64              `json:"ns_tolerance_factor"`
+		Benchmarks        map[string]gateEntry `json:"benchmarks"`
+	} `json:"gate"`
+}
+
+type gateEntry struct {
+	MaxAllocsPerOp  uint64  `json:"max_allocs_per_op"`
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op"`
+}
+
+// result is one parsed benchmark output line.
+type result struct {
+	nsPerOp     float64
+	allocsPerOp uint64
+	hasAllocs   bool
+}
+
+// benchLine matches `BenchmarkName[-procs]  N  123 ns/op [ 45 B/op  6 allocs/op]`.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+[0-9.]+ B/op\s+([0-9]+) allocs/op)?`)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_hotpath.json", "committed baseline with the gate section")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	fatalIf(err)
+	var base baselineFile
+	fatalIf(json.Unmarshal(raw, &base))
+	if len(base.Gate.Benchmarks) == 0 {
+		fatalIf(fmt.Errorf("%s: no gate.benchmarks entries", *baselinePath))
+	}
+	tol := base.Gate.NsToleranceFactor
+	if tol <= 1 {
+		fatalIf(fmt.Errorf("%s: gate.ns_tolerance_factor must be > 1 (got %v)", *baselinePath, tol))
+	}
+
+	results := make(map[string]result)
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		fatalIf(err)
+		r := result{nsPerOp: ns}
+		if m[3] != "" {
+			r.allocsPerOp, err = strconv.ParseUint(m[3], 10, 64)
+			fatalIf(err)
+			r.hasAllocs = true
+		}
+		results[m[1]] = r
+	}
+	fatalIf(sc.Err())
+
+	failures := 0
+	fail := func(format string, args ...any) {
+		failures++
+		fmt.Printf("FAIL  "+format+"\n", args...)
+	}
+	names := make([]string, 0, len(base.Gate.Benchmarks))
+	for name := range base.Gate.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		gate := base.Gate.Benchmarks[name]
+		r, ok := results[name]
+		if !ok {
+			fail("%s: missing from input (did the benchmark run with -benchmem?)", name)
+			continue
+		}
+		if !r.hasAllocs {
+			fail("%s: no allocs/op column — run with -benchmem", name)
+			continue
+		}
+		status := "ok  "
+		if r.allocsPerOp > gate.MaxAllocsPerOp {
+			fail("%s: %d allocs/op, budget %d", name, r.allocsPerOp, gate.MaxAllocsPerOp)
+			status = "FAIL"
+		}
+		limit := gate.BaselineNsPerOp * tol
+		if r.nsPerOp > limit {
+			fail("%s: %.0f ns/op exceeds %.0f (baseline %.0f × %.0fx tolerance)",
+				name, r.nsPerOp, limit, gate.BaselineNsPerOp, tol)
+			status = "FAIL"
+		}
+		if status == "ok  " {
+			fmt.Printf("ok    %s: %d allocs/op (budget %d), %.0f ns/op (limit %.0f)\n",
+				name, r.allocsPerOp, gate.MaxAllocsPerOp, r.nsPerOp, limit)
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("benchgate: %d failure(s)\n", failures)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d benchmark(s) within budget\n", len(base.Gate.Benchmarks))
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	magus "github.com/spear-repro/magus"
+	"github.com/spear-repro/magus/internal/prof"
 	"github.com/spear-repro/magus/internal/report"
 )
 
@@ -41,8 +42,13 @@ func main() {
 		app     = flag.String("app", "srad", "application for the Figure 7 sweep")
 		idle    = flag.Duration("idle", 10*time.Minute, "idle window for Table 2")
 		metrics = flag.String("metrics", "", "dump accumulated run metrics (Prometheus text format)\nto this path when the suite finishes")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the suite to this path\n(inspect with `go tool pprof`; see docs/PERF.md)")
+		memProf = flag.String("memprofile", "", "write a heap profile taken after the suite to this path")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	fatalIf(err)
 
 	opt := magus.ExperimentOptions{Repeats: *reps, Seed: *seed, Jobs: *jobs}
 	if *metrics != "" {
@@ -121,6 +127,13 @@ func main() {
 		}
 		fatalIf(err)
 		fmt.Printf("metrics written to %s (%d families)\n", *metrics, len(opt.Obs.Registry().Families()))
+	}
+	fatalIf(stopProf())
+	if *cpuProf != "" {
+		fmt.Printf("cpu profile written to %s\n", *cpuProf)
+	}
+	if *memProf != "" {
+		fmt.Printf("heap profile written to %s\n", *memProf)
 	}
 }
 

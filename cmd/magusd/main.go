@@ -32,6 +32,7 @@ import (
 	"time"
 
 	magus "github.com/spear-repro/magus"
+	"github.com/spear-repro/magus/internal/prof"
 	"github.com/spear-repro/magus/internal/report"
 )
 
@@ -49,10 +50,12 @@ func main() {
 		record   = flag.String("record", "", "archive the run as a JSON record at this path")
 		faultArg = flag.String("faults", "", "arm a fault plan: preset name or plan JSON path\n(presets: "+
 			strings.Join(magus.FaultPresets(), ", ")+")")
-		listen = flag.String("listen", "", "serve /metrics, /healthz and /debug/pprof on this address\n(e.g. :9890); keeps serving after the run until interrupted")
-		events = flag.String("events", "", "write the structured JSONL decision/event log to this path")
-		list   = flag.Bool("list", false, "list catalog applications and exit")
-		dump   = flag.String("dump-workload", "", "print a catalog workload as JSON and exit")
+		listen  = flag.String("listen", "", "serve /metrics, /healthz and /debug/pprof on this address\n(e.g. :9890); keeps serving after the run until interrupted")
+		events  = flag.String("events", "", "write the structured JSONL decision/event log to this path")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this path\n(inspect with `go tool pprof`; see docs/PERF.md)")
+		memProf = flag.String("memprofile", "", "write a heap profile taken after the run to this path")
+		list    = flag.Bool("list", false, "list catalog applications and exit")
+		dump    = flag.String("dump-workload", "", "print a catalog workload as JSON and exit")
 	)
 	flag.Parse()
 
@@ -70,6 +73,9 @@ func main() {
 		fatalIf(p.WriteJSON(os.Stdout))
 		return
 	}
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	fatalIf(err)
 
 	cfg, err := magus.SystemByName(*system)
 	fatalIf(err)
@@ -195,6 +201,13 @@ func main() {
 		ev := obsrv.Events()
 		fatalIf(ev.Err())
 		fmt.Printf("event log written to %s (%d events)\n", *events, ev.Count())
+	}
+	fatalIf(stopProf())
+	if *cpuProf != "" {
+		fmt.Printf("cpu profile written to %s\n", *cpuProf)
+	}
+	if *memProf != "" {
+		fmt.Printf("heap profile written to %s\n", *memProf)
 	}
 	if srvErr != nil {
 		// The simulated run finishes in milliseconds; keep exporting its

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/spear-repro/magus/internal/governor"
+	"github.com/spear-repro/magus/internal/msr"
+	"github.com/spear-repro/magus/internal/pcm"
+)
+
+// BenchmarkHotPathMDFSInvoke measures one steady-state MDFS cycle
+// (Algorithm 3): resilient sensor read, Algorithm 2 over the tune log,
+// Algorithm 1 over the throughput history, no decision change. This is
+// the per-0.3s governor cost the paper bounds at "under 1% overhead";
+// steady state must be allocation-free.
+func BenchmarkHotPathMDFSInvoke(b *testing.B) {
+	space := msr.NewSpace(2, 4)
+	var traffic float64
+	env := &governor.Env{
+		Dev:          space,
+		PCM:          pcm.New(func() float64 { return traffic }),
+		Sockets:      2,
+		CPUs:         8,
+		FirstCPU:     space.FirstCPUOf,
+		UncoreMinGHz: 0.8,
+		UncoreMaxGHz: 2.2,
+	}
+	m := New(DefaultConfig())
+	if err := m.Attach(env); err != nil {
+		b.Fatal(err)
+	}
+	now := time.Duration(0)
+	// Drain the warm-up so the benchmark sees full decision cycles.
+	for i := 0; i < DefaultConfig().WarmupCycles+2; i++ {
+		traffic += 50 * 0.3
+		now += 300 * time.Millisecond
+		m.Invoke(now)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		traffic += 50 * 0.3 // flat 50 GB/s: trend stays flat, no MSR write
+		now += 300 * time.Millisecond
+		m.Invoke(now)
+	}
+}

@@ -169,6 +169,12 @@ func (t Trend) String() string {
 // still caught by the first real decision. hist is in FIFO order
 // (oldest first); it returns TrendFlat when the history has fewer than
 // two samples.
+//
+// This slice form is the algorithm's reference surface (tests, external
+// callers). The runtime's hot path evaluates the same arithmetic
+// directly over the ring storage via predictTrendRing, avoiding the
+// per-invoke Snapshot allocation; TestTrendRingMatchesSlice pins the
+// two equal.
 func PredictTrend(hist []float64, derivLen int, incGBs, decGBs float64) Trend {
 	n := len(hist) - 1
 	if n < 1 {
@@ -189,8 +195,36 @@ func PredictTrend(hist []float64, derivLen int, incGBs, decGBs float64) Trend {
 	return TrendFlat
 }
 
+// predictTrendRing is PredictTrend evaluated in place over the ring
+// buffer: identical arithmetic in identical order, no Snapshot copy.
+func predictTrendRing(hist *ring.Buffer[float64], derivLen int, incGBs, decGBs float64) Trend {
+	n := hist.Len() - 1
+	if n < 1 {
+		return TrendFlat
+	}
+	if derivLen > n {
+		derivLen = n
+	}
+	newest := hist.At(n)
+	for span := 1; span <= derivLen; span++ {
+		d := (newest - hist.At(n-span)) / float64(span)
+		switch {
+		case d > incGBs:
+			return TrendUp
+		case d < -decGBs:
+			return TrendDown
+		}
+	}
+	return TrendFlat
+}
+
 // HighFrequency is Algorithm 2: the fraction of recent cycles that
 // produced a tuning decision, compared against the threshold.
+//
+// Like PredictTrend, this slice form is the reference surface; the
+// runtime maintains the non-zero count incrementally as entries enter
+// and leave the tune log (pushTune), so the per-invoke check is O(1)
+// with no Snapshot.
 func HighFrequency(tuneLog []int, threshold float64) bool {
 	if len(tuneLog) == 0 {
 		return false
@@ -262,6 +296,10 @@ type MAGUS struct {
 
 	memHist *ring.Buffer[float64]
 	tuneLog *ring.Buffer[int]
+	// tuneCount is the number of non-zero entries currently in tuneLog,
+	// maintained incrementally by pushTune so the Algorithm 2 check
+	// never rescans the log.
+	tuneCount int
 
 	warmupLeft int
 	highFreq   bool
@@ -348,6 +386,7 @@ func (m *MAGUS) Attach(env *governor.Env) error {
 	m.memHist = ring.New[float64](m.cfg.Window)
 	// uncore_tune_ls initialised to Window zeros (§3.3).
 	m.tuneLog = ring.Filled(m.cfg.Window, 0)
+	m.tuneCount = 0
 	m.warmupLeft = m.cfg.WarmupCycles
 	m.highFreq = false
 	m.stats = Stats{}
@@ -394,7 +433,7 @@ func (m *MAGUS) Invoke(now time.Duration) time.Duration {
 	if m.warmupLeft > 0 {
 		m.warmupLeft--
 		m.stats.WarmupCycles++
-		m.tuneLog.Push(0)
+		m.pushTune(0)
 		if m.warmupLeft == 0 {
 			// Warm-up complete: start from peak uncore performance so
 			// rapidly rising demand is never starved at kick-off (§3.3).
@@ -409,8 +448,10 @@ func (m *MAGUS) Invoke(now time.Duration) time.Duration {
 	}
 
 	// Phase 2 first (Algorithm 3 lines 9–15): the high-frequency state
-	// is computed from the log of *previous* cycles' decisions.
-	hi := !m.cfg.DisableHighFreq && HighFrequency(m.tuneLog.Snapshot(), m.cfg.HighFreqThreshold)
+	// is computed from the log of *previous* cycles' decisions — the
+	// rolling non-zero count over the same ratio HighFrequency scans.
+	hi := !m.cfg.DisableHighFreq &&
+		float64(m.tuneCount)/float64(m.tuneLog.Len()) >= m.cfg.HighFreqThreshold
 	m.highFreq = hi
 	acted := false
 	if hi {
@@ -420,16 +461,16 @@ func (m *MAGUS) Invoke(now time.Duration) time.Duration {
 	// Phase 1 (lines 16–30): predict, log the potential tuning event
 	// (a flip of the prediction's requested level), and execute it only
 	// when not in a high-frequency state.
-	trend := PredictTrend(m.memHist.Snapshot(), m.cfg.DerivLen, m.cfg.IncThresholdGBs, m.cfg.DecThresholdGBs)
+	trend := predictTrendRing(m.memHist, m.cfg.DerivLen, m.cfg.IncThresholdGBs, m.cfg.DecThresholdGBs)
 	if trend != TrendFlat {
 		if trend != m.lastTrend {
-			m.tuneLog.Push(1)
+			m.pushTune(1)
 			m.stats.TuneEvents++
 			if hi {
 				m.stats.Overrides++
 			}
 		} else {
-			m.tuneLog.Push(0)
+			m.pushTune(0)
 		}
 		m.lastTrend = trend
 		if !hi {
@@ -440,7 +481,7 @@ func (m *MAGUS) Invoke(now time.Duration) time.Duration {
 			acted = m.setUncore(level) || acted
 		}
 	} else {
-		m.tuneLog.Push(0)
+		m.pushTune(0)
 	}
 
 	m.emit(Decision{
@@ -478,9 +519,22 @@ func (m *MAGUS) missedSample(now time.Duration, r resilient.Reading) time.Durati
 func (m *MAGUS) restartWarmup() {
 	m.warmupLeft = m.cfg.WarmupCycles
 	m.memHist.Reset()
-	m.tuneLog = ring.Filled(m.cfg.Window, 0)
+	m.tuneLog.Fill(0)
+	m.tuneCount = 0
 	m.lastTrend = TrendFlat
 	m.highFreq = false
+}
+
+// pushTune records one cycle's tune-event bit and keeps the rolling
+// non-zero count in sync with what enters and leaves the log.
+func (m *MAGUS) pushTune(v int) {
+	evicted, wasFull := m.tuneLog.Push(v)
+	if wasFull && evicted != 0 {
+		m.tuneCount--
+	}
+	if v != 0 {
+		m.tuneCount++
+	}
 }
 
 // delay converts a cycle's extra sensor latency into the absolute delay

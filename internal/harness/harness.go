@@ -122,6 +122,9 @@ func Run(cfg node.Config, prog *workload.Program, gov governor.Governor, opt Opt
 	var rec *telemetry.Recorder
 	if opt.TraceInterval > 0 {
 		rec = NewNodeRecorder(n, opt.TraceInterval)
+		// The nominal horizon bounds the sample count; reserving up
+		// front keeps trace appends from reallocating mid run.
+		rec.Reserve(int(prog.NominalDuration()/opt.TraceInterval) + 2)
 		if fset != nil {
 			rec.Track("faults_injected", func() float64 { return float64(fset.Tally().Total()) })
 		}

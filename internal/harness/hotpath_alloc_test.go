@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"github.com/spear-repro/magus/internal/core"
+	"github.com/spear-repro/magus/internal/node"
+	"github.com/spear-repro/magus/internal/sim"
+	"github.com/spear-repro/magus/internal/workload"
+)
+
+// TestSteadyStateTickZeroAlloc pins the tentpole contract end to end:
+// with the full Run wiring (runner → node demand flow, node, telemetry
+// recorder, MAGUS governor task, no observer — the nil-Obs path), a
+// steady-state engine tick heap-allocates nothing. The trace recorder
+// is reserved for the whole horizon, as Run does, so sampling appends
+// into preallocated storage.
+func TestSteadyStateTickZeroAlloc(t *testing.T) {
+	cfg := node.IntelA100()
+	prog, ok := workload.ByName("unet")
+	if !ok {
+		t.Fatal("unknown workload unet")
+	}
+	eng := sim.NewEngine(0)
+	n := node.New(cfg)
+	runner := workload.NewRunner(prog, cfg.SystemBWGBs(), 1)
+	runner.SetAttained(n.AttainedGBs)
+
+	gov := core.New(core.DefaultConfig())
+	env, envErr := buildEnv(n, nil, nil)
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	if err := gov.Attach(env); err != nil {
+		t.Fatal(err)
+	}
+
+	eng.AddComponent(sim.ComponentFunc(func(now, dt time.Duration) {
+		runner.Step(now, dt)
+		n.SetDemand(runner.Demand())
+	}))
+	eng.AddComponent(n)
+
+	interval := 100 * time.Millisecond
+	rec := NewNodeRecorder(n, interval)
+	rec.Reserve(int(prog.NominalDuration()/interval) + 2)
+	eng.AddComponent(rec)
+
+	eng.AddTask(&sim.Task{Name: gov.Name(), Interval: gov.Interval(), Fn: gov.Invoke}, 0)
+
+	// Warm past MDFS warmup, the first trace samples, and the phase
+	// transitions' first traversal so every lazily-grown buffer has
+	// reached its working size.
+	eng.RunFor(20 * time.Second)
+
+	step := eng.Step()
+	if allocs := testing.AllocsPerRun(2000, func() { eng.RunFor(step) }); allocs != 0 {
+		t.Fatalf("steady-state engine tick allocates %v times per tick, want 0", allocs)
+	}
+}

@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/spear-repro/magus/internal/core"
+	"github.com/spear-repro/magus/internal/faults"
+	"github.com/spear-repro/magus/internal/node"
+	"github.com/spear-repro/magus/internal/obs"
+	"github.com/spear-repro/magus/internal/workload"
+)
+
+// TestHotPathIdentityFaultedObserved pins the full output surface of a
+// faulted AND observed run — the run record (result + traces), the
+// metrics exposition and the JSONL event stream — to its
+// pre-optimization bytes. This is the worst-case tick: fault
+// injection, resilience fallbacks, trace sampling and observer
+// instrumentation are all live, so every hot-path branch the
+// zero-allocation rewrite touches feeds into these three files.
+func TestHotPathIdentityFaultedObserved(t *testing.T) {
+	plan, ok := faults.Preset("chaos")
+	if !ok {
+		t.Fatal("chaos preset missing")
+	}
+	var events bytes.Buffer
+	o := obs.New(obs.NewRegistry(), &events)
+
+	cfg := node.IntelA100()
+	prog, _ := workload.ByName("srad")
+	res, err := Run(cfg, prog, core.New(core.DefaultConfig()), Options{
+		Seed:          7,
+		TraceInterval: 100 * time.Millisecond,
+		Faults:        plan,
+		Obs:           o,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FaultsInjected.Total() == 0 {
+		t.Fatal("chaos plan fired nothing; the golden would not cover the fault path")
+	}
+
+	var record bytes.Buffer
+	if err := NewRecord(res, 7).Write(&record); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, filepath.Join("testdata", "hotpath_record.golden.json"), record.Bytes())
+	checkGolden(t, filepath.Join("testdata", "hotpath_metrics.golden"), o.Registry().AppendText(nil))
+	checkGolden(t, filepath.Join("testdata", "hotpath_events.golden"), events.Bytes())
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Device is the access interface both runtimes use. cpu addresses a
@@ -70,8 +71,20 @@ type Space struct {
 
 	reads, writes uint64 // access counters for overhead accounting
 
+	// limGen counts writes (Write or Poke) to the software-controlled
+	// limit registers (UncoreRatioLimit, PkgPowerLimit). The node polls
+	// it lock-free every step and only re-reads and re-decodes the
+	// limits when the generation moved — limits change a few times per
+	// second while steps happen a thousand times per second.
+	limGen atomic.Uint64
+
 	failRead  error // injected fault for Read
 	failWrite error // injected fault for Write
+}
+
+// limitReg reports registers whose writes bump the limit generation.
+func limitReg(reg uint32) bool {
+	return reg == UncoreRatioLimit || reg == PkgPowerLimit
 }
 
 // NewSpace builds a register space for sockets × cpusPerSocket logical
@@ -142,6 +155,9 @@ func (s *Space) Write(cpu int, reg uint32, val uint64) error {
 	}
 	s.writes++
 	bank[reg] = val
+	if limitReg(reg) {
+		s.limGen.Add(1)
+	}
 	return nil
 }
 
@@ -155,7 +171,16 @@ func (s *Space) Poke(cpu int, reg uint32, val uint64) {
 		panic(fmt.Sprintf("msr: Poke(%d, %#x): %v", cpu, reg, err))
 	}
 	bank[reg] = val
+	if limitReg(reg) {
+		s.limGen.Add(1)
+	}
 }
+
+// LimitGen returns the current limit-write generation: it advances on
+// every Write or Poke to UncoreRatioLimit or PkgPowerLimit. Readers
+// that cache decoded limits invalidate on a generation change. Safe to
+// call without holding any lock.
+func (s *Space) LimitGen() uint64 { return s.limGen.Load() }
 
 // Peek reads a register from the hardware side without accounting.
 func (s *Space) Peek(cpu int, reg uint32) uint64 {
@@ -182,6 +207,29 @@ func (s *Space) Bump(cpu int, reg uint32, delta uint64) {
 		v &= EnergyCounterMask
 	}
 	bank[reg] = v
+}
+
+// BumpEnergy adds deltas to both RAPL energy-status counters of cpu's
+// package under a single lock acquisition — the node publishes package
+// and DRAM energy every simulation step, and two Bump calls per socket
+// per tick would double the lock traffic. Zero deltas are skipped
+// without touching the lock.
+func (s *Space) BumpEnergy(cpu int, pkgDelta, dramDelta uint64) {
+	if pkgDelta == 0 && dramDelta == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bank, err := s.bank(cpu, PkgEnergyStatus)
+	if err != nil {
+		panic(fmt.Sprintf("msr: BumpEnergy(%d): %v", cpu, err))
+	}
+	if pkgDelta != 0 {
+		bank[PkgEnergyStatus] = (bank[PkgEnergyStatus] + pkgDelta) & EnergyCounterMask
+	}
+	if dramDelta != 0 {
+		bank[DramEnergyStatus] = (bank[DramEnergyStatus] + dramDelta) & EnergyCounterMask
+	}
 }
 
 // AccessCounts returns cumulative successful Read and Write counts.

@@ -175,3 +175,65 @@ func TestNewSpacePanicsOnBadTopology(t *testing.T) {
 	}()
 	NewSpace(0, 0)
 }
+
+func TestLimitGen(t *testing.T) {
+	s := NewSpace(2, 4)
+	g0 := s.LimitGen()
+
+	// Writes and Pokes to the limit registers advance the generation.
+	if err := s.Write(0, UncoreRatioLimit, EncodeUncoreLimit(2.2e9, 0.8e9)); err != nil {
+		t.Fatal(err)
+	}
+	if g := s.LimitGen(); g != g0+1 {
+		t.Fatalf("generation after limit write = %d, want %d", g, g0+1)
+	}
+	s.Poke(4, PkgPowerLimit, 42)
+	if g := s.LimitGen(); g != g0+2 {
+		t.Fatalf("generation after PL1 poke = %d, want %d", g, g0+2)
+	}
+
+	// Non-limit traffic must not advance it: a stale cache hit would
+	// feed the node outdated limits.
+	s.Poke(0, UncorePerfStatus, 18)
+	s.Bump(0, PkgEnergyStatus, 100)
+	if _, err := s.Read(0, UncoreRatioLimit); err != nil {
+		t.Fatal(err)
+	}
+	if g := s.LimitGen(); g != g0+2 {
+		t.Fatalf("generation moved to %d on non-limit traffic, want %d", g, g0+2)
+	}
+
+	// A rejected write (read-only register) must not advance it either.
+	if err := s.Write(0, PkgEnergyStatus, 1); err == nil {
+		t.Fatal("write to read-only register succeeded")
+	}
+	if g := s.LimitGen(); g != g0+2 {
+		t.Fatalf("generation moved on rejected write: %d", g)
+	}
+}
+
+func TestBumpEnergy(t *testing.T) {
+	s := NewSpace(2, 4)
+	s.BumpEnergy(0, 100, 40)
+	s.BumpEnergy(0, 0, 0) // no-op
+	s.BumpEnergy(4, 7, 0) // socket 1, dram untouched
+	if v := s.Peek(0, PkgEnergyStatus); v != 100 {
+		t.Fatalf("pkg energy = %d, want 100", v)
+	}
+	if v := s.Peek(0, DramEnergyStatus); v != 40 {
+		t.Fatalf("dram energy = %d, want 40", v)
+	}
+	if v := s.Peek(4, PkgEnergyStatus); v != 7 {
+		t.Fatalf("socket 1 pkg energy = %d, want 7", v)
+	}
+	if v := s.Peek(4, DramEnergyStatus); v != 0 {
+		t.Fatalf("socket 1 dram energy = %d, want 0", v)
+	}
+
+	// Wrap at the 32-bit counter mask, exactly like Bump.
+	s.Poke(0, PkgEnergyStatus, EnergyCounterMask)
+	s.BumpEnergy(0, 2, 0)
+	if v := s.Peek(0, PkgEnergyStatus); v != 1 {
+		t.Fatalf("wrapped pkg energy = %d, want 1", v)
+	}
+}

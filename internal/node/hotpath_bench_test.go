@@ -1,0 +1,28 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"github.com/spear-repro/magus/internal/workload"
+)
+
+// BenchmarkHotPathNodeStep measures one node step under a busy mixed
+// demand — uncore slew, memory service, per-core DVFS and the power
+// model for every core, RAPL accumulation, TDP clamp and GPUs. This is
+// the dominant per-millisecond cost of a cell; steady state must be
+// allocation-free.
+func BenchmarkHotPathNodeStep(b *testing.B) {
+	n := New(IntelA100())
+	n.SetDemand(workload.Demand{
+		MemGBs: 200, CPUBusyCores: 20, MemBoundFrac: 0.6, GPUSMUtil: 0.9, GPUMemUtil: 0.5,
+	})
+	for i := 0; i < 100; i++ { // steady state before the timer starts
+		n.Step(time.Duration(i)*time.Millisecond, time.Millisecond)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Step(time.Duration(100+i)*time.Millisecond, time.Millisecond)
+	}
+}

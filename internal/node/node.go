@@ -59,8 +59,32 @@ type Node struct {
 	pkgJ, drmJ, gpuJ float64   // cumulative joules
 
 	daemon        []daemonWork
+	daemonHead    int     // index of the first undrained queue entry
 	daemonBusyNow float64 // cores busy this step (for telemetry)
 	daemonBusySec float64 // cumulative daemon busy time drained
+
+	// Hot-tick caches (docs/PERF.md). None of these change what a step
+	// computes — they only avoid recomputing invariants every tick.
+	cpu0        []int     // first logical CPU per socket
+	sockTraffic []float64 // per-socket served GB/s scratch (was a per-step alloc)
+	lastStatus  []uint64  // last UncorePerfStatus ratio published per socket
+	maxActive   []int     // per-socket high watermark of cores ever given util > 0
+
+	// Decoded limit-register cache, invalidated by the MSR space's
+	// limit-write generation: steps happen every millisecond, limit
+	// writes a few times per second.
+	limGen uint64
+	limMax []float64 // decoded uncore max limit (GHz)
+	limMin []float64 // decoded uncore min limit (GHz)
+	pl1W   []float64 // decoded RAPL PL1 cap (W)
+	pl1On  []bool    // PL1 enable bit
+	// relPow memo keyed on the exact bits of its input: cores sharing a
+	// utilisation history share bit-identical frequencies, so a step
+	// computes only a handful of distinct math.Pow values.
+	powKey [8]uint64
+	powVal [8]float64
+	powLen int
+	powIns int
 }
 
 // New builds a node from cfg with all controllers at their idle points
@@ -84,16 +108,27 @@ func New(cfg Config) *Node {
 		cycAcc:       make([]float64, cfg.Sockets*cfg.CoresPerSocket),
 		attainedSock: make([]float64, cfg.Sockets),
 		servedGBSock: make([]float64, cfg.Sockets),
+		cpu0:         make([]int, cfg.Sockets),
+		sockTraffic:  make([]float64, cfg.Sockets),
+		lastStatus:   make([]uint64, cfg.Sockets),
+		maxActive:    make([]int, cfg.Sockets),
+		limMax:       make([]float64, cfg.Sockets),
+		limMin:       make([]float64, cfg.Sockets),
+		pl1W:         make([]float64, cfg.Sockets),
+		pl1On:        make([]bool, cfg.Sockets),
 	}
 	for s := 0; s < cfg.Sockets; s++ {
 		n.uncoreEff[s] = cfg.UncoreMaxGHz
 		n.clampCeil[s] = cfg.UncoreMaxGHz
 		cpu0 := n.space.FirstCPUOf(s)
+		n.cpu0[s] = cpu0
+		n.lastStatus[s] = ^uint64(0) // force the first status publish
 		n.space.Poke(cpu0, msr.UncoreRatioLimit,
 			msr.EncodeUncoreLimit(cfg.UncoreMaxGHz*1e9, cfg.UncoreMinGHz*1e9))
 		n.space.Poke(cpu0, msr.PkgPowerInfo,
 			uint64(cfg.TDPWatts/0.125)) // power units of 1/8 W
 	}
+	n.refreshLimits()
 	for i := range n.pstates {
 		n.pstates[i] = cpufreq.New(cfg.CoreMinGHz, cfg.CoreBaseGHz, cfg.CoreMaxGHz, cfg.CoreTau)
 	}
@@ -219,39 +254,67 @@ func (n *Node) TotalPowerW() float64 {
 	return p
 }
 
-// Step implements sim.Component.
-func (n *Node) Step(now, dt time.Duration) {
-	dtSec := dt.Seconds()
-
-	// 1. Resolve each socket's uncore target from the MSR limit and
-	// the TDP clamp, then slew the effective frequency.
+// refreshLimits re-reads and re-decodes the software-controlled limit
+// registers for every socket and records the generation they were read
+// at. Called from Step only when the MSR space's limit-write generation
+// moved, so the per-tick path never takes the register-file lock for
+// limits that did not change.
+func (n *Node) refreshLimits() {
+	n.limGen = n.space.LimitGen()
 	for s := 0; s < n.cfg.Sockets; s++ {
-		limMaxHz, limMinHz := msr.DecodeUncoreLimit(n.space.Peek(n.space.FirstCPUOf(s), msr.UncoreRatioLimit))
+		limMaxHz, limMinHz := msr.DecodeUncoreLimit(n.space.Peek(n.cpu0[s], msr.UncoreRatioLimit))
 		limMax, limMin := limMaxHz/1e9, limMinHz/1e9
 		if limMax < limMin {
 			limMax = limMin
 		}
-		target := limMax
+		n.limMax[s], n.limMin[s] = limMax, limMin
+		pl1, enabled := msr.DecodePowerLimit(n.space.Peek(n.cpu0[s], msr.PkgPowerLimit), 0.125)
+		n.pl1W[s], n.pl1On[s] = pl1, enabled
+	}
+}
+
+// Step implements sim.Component.
+func (n *Node) Step(now, dt time.Duration) {
+	dtSec := dt.Seconds()
+	if g := n.space.LimitGen(); g != n.limGen {
+		n.refreshLimits()
+	}
+	// One blend factor per controller family: every core shares
+	// CoreTau and every socket shares UncoreTau, so the divisions are
+	// per-tick invariants, not per-core ones.
+	uncAlpha := float64(dt) / float64(n.cfg.UncoreTau)
+	if uncAlpha > 1 {
+		uncAlpha = 1
+	}
+	coreAlpha := float64(dt) / float64(n.cfg.CoreTau)
+	if coreAlpha > 1 {
+		coreAlpha = 1
+	}
+
+	// 1. Resolve each socket's uncore target from the MSR limit and
+	// the TDP clamp, then slew the effective frequency. The status
+	// ratio is quantised to 100 MHz steps, so it changes far less often
+	// than the effective frequency — republish only on change.
+	for s := 0; s < n.cfg.Sockets; s++ {
+		target := n.limMax[s]
 		if n.cfg.TDPClamp && target > n.clampCeil[s] {
 			target = n.clampCeil[s]
 		}
-		if target < limMin {
-			target = limMin
+		if target < n.limMin[s] {
+			target = n.limMin[s]
 		}
-		alpha := float64(dt) / float64(n.cfg.UncoreTau)
-		if alpha > 1 {
-			alpha = 1
+		n.uncoreEff[s] += (target - n.uncoreEff[s]) * uncAlpha
+		if status := uint64(msr.HzToRatio(n.uncoreEff[s] * 1e9)); status != n.lastStatus[s] {
+			n.space.Poke(n.cpu0[s], msr.UncorePerfStatus, status)
+			n.lastStatus[s] = status
 		}
-		n.uncoreEff[s] += (target - n.uncoreEff[s]) * alpha
-		n.space.Poke(n.space.FirstCPUOf(s), msr.UncorePerfStatus,
-			uint64(msr.HzToRatio(n.uncoreEff[s]*1e9)))
 	}
 
 	// 2. Serve memory demand: split across sockets (interleaved
 	// allocation, optionally skewed toward socket 0 for
 	// NUMA-imbalanced workloads), each socket caps at BW(f).
 	var attained float64
-	sockTraffic := make([]float64, n.cfg.Sockets)
+	sockTraffic := n.sockTraffic
 	for s := 0; s < n.cfg.Sockets; s++ {
 		bw := n.cfg.BWAt(n.uncoreEff[s])
 		served := n.demand.MemGBs * n.socketShare(s)
@@ -275,12 +338,14 @@ func (n *Node) Step(now, dt time.Duration) {
 		}
 	}
 
-	// 3. Drain daemon work for this step.
+	// 3. Drain daemon work for this step. The queue advances by head
+	// index instead of re-slicing so the backing array is reused once
+	// drained — steady state appends without allocating.
 	n.daemonBusyNow = 0
 	var daemonW float64
 	budget := dt
-	for len(n.daemon) > 0 && budget > 0 {
-		w := &n.daemon[0]
+	for n.daemonHead < len(n.daemon) && budget > 0 {
+		w := &n.daemon[n.daemonHead]
 		use := w.remaining
 		if use > budget {
 			use = budget
@@ -292,18 +357,29 @@ func (n *Node) Step(now, dt time.Duration) {
 		budget -= use
 		n.daemonBusySec += use.Seconds()
 		if w.remaining <= 0 {
-			n.daemon = n.daemon[1:]
+			n.daemonHead++
 		}
+	}
+	if n.daemonHead > 0 && n.daemonHead == len(n.daemon) {
+		n.daemon = n.daemon[:0]
+		n.daemonHead = 0
 	}
 
 	// 4. Distribute busy cores across sockets and step per-core DVFS.
+	// Cores beyond a socket's all-time activity watermark have never
+	// left the idle P-state: their target equals their current
+	// frequency exactly (both MinGHz), so stepping them is a bitwise
+	// no-op and the loop stops at the watermark instead.
 	busyPerSock := n.demand.CPUBusyCores / float64(n.cfg.Sockets)
+	beta := n.demand.MemBoundFrac
+	ipc := n.cfg.CoreIPC * ((1 - beta) + beta*serviceRatio)
 	for s := 0; s < n.cfg.Sockets; s++ {
 		busy := busyPerSock
 		if s == 0 {
 			busy += n.daemonBusyNow
 		}
 		base := s * n.cfg.CoresPerSocket
+		watermark := n.maxActive[s]
 		for c := 0; c < n.cfg.CoresPerSocket; c++ {
 			util := 0.0
 			switch {
@@ -314,20 +390,29 @@ func (n *Node) Step(now, dt time.Duration) {
 				util = 0.9 * busy
 				busy = 0
 			}
+			if util > 0 {
+				if c >= watermark {
+					watermark = c + 1
+				}
+			} else if c >= watermark {
+				// This core and every following one is idle now and was
+				// never active: pinned at MinGHz exactly, nothing to do.
+				break
+			}
 			cpu := base + c
 			n.coreUtil[cpu] = util
-			f := n.pstates[cpu].Step(util, dt)
+			f := n.pstates[cpu].StepAlpha(util, coreAlpha)
 			if util > 0 {
 				cyc := f * 1e9 * util * dtSec
 				n.cycAcc[cpu] += cyc
-				beta := n.demand.MemBoundFrac
-				ipc := n.cfg.CoreIPC * ((1 - beta) + beta*serviceRatio)
 				n.instAcc[cpu] += cyc * ipc
 			}
 		}
+		n.maxActive[s] = watermark
 	}
 
 	// 5. Power and energy per socket.
+	stepGHz := 0.1 * float64(dt) / float64(10*time.Millisecond)
 	for s := 0; s < n.cfg.Sockets; s++ {
 		base := s * n.cfg.CoresPerSocket
 		intensity := n.demand.CPUIntensity
@@ -335,11 +420,11 @@ func (n *Node) Step(now, dt time.Duration) {
 			intensity = 1
 		}
 		var coreW float64
-		for c := 0; c < n.cfg.CoresPerSocket; c++ {
+		for c := 0; c < n.maxActive[s]; c++ {
 			cpu := base + c
 			if u := n.coreUtil[cpu]; u > 0 {
 				coreW += n.cfg.Core.MaxPerCoreWatts * intensity * u *
-					relPow(n.pstates[cpu].Current()/n.cfg.CoreMaxGHz, n.cfg.Core.FreqExp)
+					n.relPowMemo(n.pstates[cpu].Current()/n.cfg.CoreMaxGHz)
 			}
 		}
 		coreW += n.cfg.Core.IdleWatts
@@ -361,11 +446,9 @@ func (n *Node) Step(now, dt time.Duration) {
 		// cap through MSR_PKG_POWER_LIMIT (RAPL power capping).
 		if n.cfg.TDPClamp {
 			limit := n.cfg.TDPWatts
-			if pl1, enabled := msr.DecodePowerLimit(
-				n.space.Peek(n.space.FirstCPUOf(s), msr.PkgPowerLimit), 0.125); enabled && pl1 > 0 && pl1 < limit {
+			if pl1 := n.pl1W[s]; n.pl1On[s] && pl1 > 0 && pl1 < limit {
 				limit = pl1
 			}
-			stepGHz := 0.1 * float64(dt) / float64(10*time.Millisecond)
 			switch {
 			case pkg > 0.97*limit:
 				n.clampCeil[s] -= stepGHz
@@ -393,21 +476,54 @@ func (n *Node) Step(now, dt time.Duration) {
 }
 
 // accumulateEnergy pushes joules into the socket's wrapping RAPL
-// counters, carrying fractional units between steps.
+// counters, carrying fractional units between steps. Both counters are
+// published through one batched register-file operation.
 func (n *Node) accumulateEnergy(s int, pkgW, drmW, dtSec float64) {
 	const unitsPerJoule = 16384 // 2^14, matching MSR_RAPL_POWER_UNIT default
-	cpu0 := n.space.FirstCPUOf(s)
 
 	n.pkgEnergyAcc[s] += pkgW * dtSec * unitsPerJoule
-	if u := uint64(n.pkgEnergyAcc[s]); u > 0 {
-		n.space.Bump(cpu0, msr.PkgEnergyStatus, u)
-		n.pkgEnergyAcc[s] -= float64(u)
+	pu := uint64(n.pkgEnergyAcc[s])
+	if pu > 0 {
+		n.pkgEnergyAcc[s] -= float64(pu)
 	}
 	n.drmEnergyAcc[s] += drmW * dtSec * unitsPerJoule
-	if u := uint64(n.drmEnergyAcc[s]); u > 0 {
-		n.space.Bump(cpu0, msr.DramEnergyStatus, u)
-		n.drmEnergyAcc[s] -= float64(u)
+	du := uint64(n.drmEnergyAcc[s])
+	if du > 0 {
+		n.drmEnergyAcc[s] -= float64(du)
 	}
+	n.space.BumpEnergy(n.cpu0[s], pu, du)
+}
+
+// relPowMemo is relPow(rel, cfg.Core.FreqExp) behind a tiny
+// direct-search memo keyed on the exact bits of rel. math.Pow is pure,
+// so a hit returns the identical float64 the call would have produced —
+// byte-identity is preserved by construction. Cores whose utilisation
+// histories match carry bit-identical frequencies, so a step needs only
+// a handful of distinct evaluations.
+func (n *Node) relPowMemo(rel float64) float64 {
+	if rel <= 0 {
+		return 0
+	}
+	if rel >= 1 {
+		return 1
+	}
+	key := math.Float64bits(rel)
+	for i := 0; i < n.powLen; i++ {
+		if n.powKey[i] == key {
+			return n.powVal[i]
+		}
+	}
+	v := math.Pow(rel, n.cfg.Core.FreqExp)
+	if n.powLen < len(n.powKey) {
+		n.powKey[n.powLen] = key
+		n.powVal[n.powLen] = v
+		n.powLen++
+	} else {
+		n.powKey[n.powIns] = key
+		n.powVal[n.powIns] = v
+		n.powIns = (n.powIns + 1) % len(n.powKey)
+	}
+	return v
 }
 
 // flushCoreCounters publishes the per-core accumulators into the

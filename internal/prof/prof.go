@@ -1,0 +1,56 @@
+// Package prof wires runtime/pprof CPU and heap profile collection
+// behind the -cpuprofile/-memprofile flags the magus binaries share.
+// Profiles produced here are read with `go tool pprof`; docs/PERF.md
+// documents the workflow.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profile collection. A non-empty cpuPath starts a CPU
+// profile immediately; a non-empty memPath schedules a heap profile for
+// collection time. The returned stop function finalises both — it must
+// run before the process exits or the CPU profile is truncated. With
+// both paths empty, Start is a no-op and stop returns nil.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			os.Remove(cpuPath)
+			return nil, fmt.Errorf("start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("write %s: %w", cpuPath, err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			runtime.GC() // materialise up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				os.Remove(memPath)
+				return fmt.Errorf("write %s: %w", memPath, err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("write %s: %w", memPath, err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -85,6 +85,18 @@ func (b *Buffer[T]) Newest() (v T, ok bool) {
 	return b.At(b.count - 1), true
 }
 
+// Fill resets the buffer to full capacity with every slot set to v,
+// without allocating — the in-place equivalent of building a new
+// Filled buffer (MAGUS re-initialises uncore_tune_ls this way when it
+// re-enters warm-up after a sensor outage).
+func (b *Buffer[T]) Fill(v T) {
+	for i := range b.data {
+		b.data[i] = v
+	}
+	b.head = 0
+	b.count = len(b.data)
+}
+
 // Snapshot copies the contents into a new slice in FIFO order.
 func (b *Buffer[T]) Snapshot() []T {
 	out := make([]T, b.count)

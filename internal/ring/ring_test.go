@@ -181,3 +181,39 @@ func TestEvictionProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFill(t *testing.T) {
+	b := New[int](5)
+	b.Push(1)
+	b.Push(2)
+	b.Push(3)
+	b.Push(4)
+	b.Push(5)
+	b.Push(6) // rotate the head so Fill must also rewind it
+	b.Fill(0)
+	if !b.Full() || b.Len() != 5 {
+		t.Fatalf("Fill left len=%d full=%v", b.Len(), b.Full())
+	}
+	for i := 0; i < b.Len(); i++ {
+		if b.At(i) != 0 {
+			t.Fatalf("At(%d) = %d after Fill(0)", i, b.At(i))
+		}
+	}
+	// Fill must behave exactly like a fresh Filled buffer under
+	// subsequent pushes.
+	b.Push(9)
+	want := Filled(5, 0)
+	want.Push(9)
+	for i := 0; i < 5; i++ {
+		if b.At(i) != want.At(i) {
+			t.Fatalf("post-Fill push diverges at %d: %d vs %d", i, b.At(i), want.At(i))
+		}
+	}
+}
+
+func TestFillZeroAlloc(t *testing.T) {
+	b := Filled(10, 1)
+	if allocs := testing.AllocsPerRun(100, func() { b.Fill(0) }); allocs != 0 {
+		t.Fatalf("Fill allocates %v times per call", allocs)
+	}
+}

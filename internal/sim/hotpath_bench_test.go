@@ -1,0 +1,30 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkHotPathEngineTick measures one engine step with a task and a
+// pair of components registered — the dispatch skeleton every simulated
+// millisecond pays before any model code runs. Steady state must be
+// allocation-free.
+func BenchmarkHotPathEngineTick(b *testing.B) {
+	eng := NewEngine(0)
+	var sink float64
+	eng.AddComponent(ComponentFunc(func(now, dt time.Duration) { sink += dt.Seconds() }))
+	eng.AddComponent(ComponentFunc(func(now, dt time.Duration) { sink += now.Seconds() }))
+	eng.AddTask(&Task{
+		Name:     "governor",
+		Interval: 300 * time.Millisecond,
+		Fn:       func(now time.Duration) time.Duration { return 0 },
+	}, 0)
+	dt := eng.Step()
+	eng.RunFor(100 * dt) // steady state before the timer starts
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.RunFor(dt)
+	}
+	_ = sink
+}

@@ -128,6 +128,7 @@ type Recorder struct {
 	names    []string
 	probes   []func() float64
 	series   map[string]*Series
+	reserve  int
 }
 
 // NewRecorder builds a recorder sampling every interval.
@@ -149,7 +150,11 @@ func (r *Recorder) Track(name string, probe func() float64) {
 	}
 	r.names = append(r.names, name)
 	r.probes = append(r.probes, probe)
-	r.series[name] = &Series{}
+	s := &Series{}
+	if r.reserve > 0 {
+		s.reserve(r.reserve)
+	}
+	r.series[name] = s
 }
 
 // Step implements sim.Component.
@@ -162,6 +167,33 @@ func (r *Recorder) Step(now, dt time.Duration) {
 		r.series[name].Append(sec, r.probes[i]())
 	}
 	r.next = now + r.interval
+}
+
+// Reserve grows every tracked series' capacity to hold at least samples
+// points, so a run of known horizon records without reallocating mid
+// trace. Applies to probes already registered and to ones added later.
+func (r *Recorder) Reserve(samples int) {
+	if samples <= 0 {
+		return
+	}
+	r.reserve = samples
+	for _, s := range r.series {
+		s.reserve(samples)
+	}
+}
+
+// reserve grows the series' backing arrays to at least n points.
+func (s *Series) reserve(n int) {
+	if cap(s.Times) < n {
+		tt := make([]float64, len(s.Times), n)
+		copy(tt, s.Times)
+		s.Times = tt
+	}
+	if cap(s.Values) < n {
+		vv := make([]float64, len(s.Values), n)
+		copy(vv, s.Values)
+		s.Values = vv
+	}
 }
 
 // Series returns the series recorded under name (nil if unknown).

@@ -1,0 +1,55 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+// benchProgram is a repeated multi-phase program exercising every shape
+// the catalog uses, so the demand lookup benchmark covers phase
+// transitions, modulated shapes and the burst dice.
+func benchProgram() *Program {
+	return &Program{
+		Name: "bench",
+		Prologue: []Phase{
+			{Name: "load", Duration: 2 * time.Second, Mem: 0.3, Beta: 0.5, CPUBusyCores: 4},
+		},
+		Phases: []Phase{
+			{Name: "compute", Duration: 3 * time.Second, Mem: 0.7, MemLow: 0.1,
+				Shape: Square, Period: 80 * time.Millisecond, Duty: 0.5, Beta: 0.6,
+				CPUBusyCores: 6, GPUSM: 0.9, GPUMem: 0.5, Jitter: 0.05},
+			{Name: "burst", Duration: 2 * time.Second, Mem: 0.8, MemLow: 0.05,
+				Shape: Bursts, Period: 120 * time.Millisecond, Duty: 0.4, Beta: 0.7,
+				CPUBusyCores: 8, GPUSM: 0.8},
+			{Name: "drain", Duration: time.Second, Mem: 0.6, MemLow: 0.1,
+				Shape: RampDown, Beta: 0.4, CPUBusyCores: 2},
+		},
+		Repeat: 50,
+	}
+}
+
+// BenchmarkHotPathDemandLookup measures one Runner.Step — the per-tick
+// demand generation (phase cursor advance, shape evaluation, jitter) the
+// node consumes every simulated millisecond.
+func BenchmarkHotPathDemandLookup(b *testing.B) {
+	r := NewRunner(benchProgram(), 400, 1)
+	r.SetAttained(func() float64 { return 250 })
+	dt := time.Millisecond
+	now := time.Duration(0)
+	for i := 0; i < 100; i++ { // steady state before the timer starts
+		r.Step(now, dt)
+		now += dt
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r.Done() {
+			b.StopTimer()
+			r = NewRunner(benchProgram(), 400, 1)
+			r.SetAttained(func() float64 { return 250 })
+			b.StartTimer()
+		}
+		r.Step(now, dt)
+		now += dt
+	}
+}

@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+// TestValidateZeroAlloc pins the Validate bugfix: the old
+// implementation rebuilt Prologue+Phases through a double append on
+// every call; the in-place walk must not allocate.
+func TestValidateZeroAlloc(t *testing.T) {
+	p := benchProgram()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("Validate allocates %v times per call, want 0", allocs)
+	}
+}
+
+// TestRunnerStepZeroAlloc pins the phase-cursor rewrite: a steady-state
+// Runner.Step (including phase transitions and the burst dice) must not
+// allocate.
+func TestRunnerStepZeroAlloc(t *testing.T) {
+	r := NewRunner(benchProgram(), 400, 1)
+	r.SetAttained(func() float64 { return 250 })
+	now := time.Duration(0)
+	dt := time.Millisecond
+	step := func() {
+		r.Step(now, dt)
+		now += dt
+	}
+	for i := 0; i < 100; i++ {
+		step()
+	}
+	if allocs := testing.AllocsPerRun(2000, step); allocs != 0 {
+		t.Fatalf("Runner.Step allocates %v times per call, want 0", allocs)
+	}
+}
+
+// TestPhaseAtMatchesFlatten checks the cursor mapping against an
+// explicitly flattened sequence for programs with and without a
+// prologue and with several repeat counts.
+func TestPhaseAtMatchesFlatten(t *testing.T) {
+	progs := []*Program{
+		benchProgram(),
+		{Name: "noprologue", Phases: []Phase{
+			{Name: "a", Duration: time.Second},
+			{Name: "b", Duration: time.Second},
+		}, Repeat: 3},
+		{Name: "once", Prologue: []Phase{{Name: "p", Duration: time.Second}},
+			Phases: []Phase{{Name: "x", Duration: time.Second}}},
+	}
+	for _, p := range progs {
+		reps := p.Repeat
+		if reps < 1 {
+			reps = 1
+		}
+		var flat []Phase
+		flat = append(flat, p.Prologue...)
+		for i := 0; i < reps; i++ {
+			flat = append(flat, p.Phases...)
+		}
+		if got := p.phaseCount(); got != len(flat) {
+			t.Fatalf("%s: phaseCount = %d, flattened length %d", p.Name, got, len(flat))
+		}
+		for i := range flat {
+			if got := p.phaseAt(i); got.Name != flat[i].Name || got.Duration != flat[i].Duration {
+				t.Fatalf("%s: phaseAt(%d) = %s, want %s", p.Name, i, got.Name, flat[i].Name)
+			}
+		}
+	}
+}

@@ -160,21 +160,33 @@ func (p *Program) NominalDuration() time.Duration {
 	return d + body*time.Duration(reps)
 }
 
-// flatten expands the program into the executed phase sequence.
-func (p *Program) flatten() []Phase {
-	reps := p.Repeat
-	if reps < 1 {
-		reps = 1
+// reps normalises Repeat (<= 1 means the body runs once).
+func (p *Program) reps() int {
+	if p.Repeat < 1 {
+		return 1
 	}
-	out := make([]Phase, 0, len(p.Prologue)+len(p.Phases)*reps)
-	out = append(out, p.Prologue...)
-	for i := 0; i < reps; i++ {
-		out = append(out, p.Phases...)
-	}
-	return out
+	return p.Repeat
 }
 
-// Validate checks the program for construction errors.
+// phaseCount is the number of executed phases: prologue plus the body
+// times Repeat.
+func (p *Program) phaseCount() int {
+	return len(p.Prologue) + len(p.Phases)*p.reps()
+}
+
+// phaseAt maps an executed phase index onto the program structure:
+// prologue phases first, then the body cycled Repeat times. O(1), no
+// flattened copy.
+func (p *Program) phaseAt(i int) *Phase {
+	if i < len(p.Prologue) {
+		return &p.Prologue[i]
+	}
+	return &p.Phases[(i-len(p.Prologue))%len(p.Phases)]
+}
+
+// Validate checks the program for construction errors. It walks the
+// prologue and body in place (indices match the executed order of the
+// first repetition) and does not allocate on the happy path.
 func (p *Program) Validate() error {
 	if p.Name == "" {
 		return fmt.Errorf("workload: program without a name")
@@ -182,31 +194,44 @@ func (p *Program) Validate() error {
 	if len(p.Phases) == 0 {
 		return fmt.Errorf("workload %s: no phases", p.Name)
 	}
-	for i, ph := range append(append([]Phase(nil), p.Prologue...), p.Phases...) {
-		if ph.Duration <= 0 {
-			return fmt.Errorf("workload %s phase %d (%s): non-positive duration", p.Name, i, ph.Name)
+	for i := range p.Prologue {
+		if err := p.validatePhase(i, &p.Prologue[i]); err != nil {
+			return err
 		}
-		if ph.Mem < 0 || ph.Mem > 1 || ph.MemLow < 0 || ph.MemLow > ph.Mem {
-			return fmt.Errorf("workload %s phase %d (%s): memory fractions out of range", p.Name, i, ph.Name)
+	}
+	for i := range p.Phases {
+		if err := p.validatePhase(len(p.Prologue)+i, &p.Phases[i]); err != nil {
+			return err
 		}
-		if ph.Beta < 0 || ph.Beta > 1 {
-			return fmt.Errorf("workload %s phase %d (%s): beta out of range", p.Name, i, ph.Name)
-		}
-		if (ph.Shape == Square || ph.Shape == Bursts) && ph.Period <= 0 {
-			return fmt.Errorf("workload %s phase %d (%s): modulated shape needs a period", p.Name, i, ph.Name)
-		}
-		if ph.Duty < 0 || ph.Duty > 1 {
-			return fmt.Errorf("workload %s phase %d (%s): duty out of range", p.Name, i, ph.Name)
-		}
-		if ph.Jitter < 0 || ph.Jitter > 0.5 {
-			return fmt.Errorf("workload %s phase %d (%s): jitter out of range", p.Name, i, ph.Name)
-		}
-		if ph.NUMASkew < 0 || ph.NUMASkew > 1 {
-			return fmt.Errorf("workload %s phase %d (%s): NUMA skew out of range", p.Name, i, ph.Name)
-		}
-		if ph.CPUIntensity < 0 || ph.CPUIntensity > 3 {
-			return fmt.Errorf("workload %s phase %d (%s): CPU intensity out of range", p.Name, i, ph.Name)
-		}
+	}
+	return nil
+}
+
+// validatePhase checks one phase, reporting it under its executed index.
+func (p *Program) validatePhase(i int, ph *Phase) error {
+	if ph.Duration <= 0 {
+		return fmt.Errorf("workload %s phase %d (%s): non-positive duration", p.Name, i, ph.Name)
+	}
+	if ph.Mem < 0 || ph.Mem > 1 || ph.MemLow < 0 || ph.MemLow > ph.Mem {
+		return fmt.Errorf("workload %s phase %d (%s): memory fractions out of range", p.Name, i, ph.Name)
+	}
+	if ph.Beta < 0 || ph.Beta > 1 {
+		return fmt.Errorf("workload %s phase %d (%s): beta out of range", p.Name, i, ph.Name)
+	}
+	if (ph.Shape == Square || ph.Shape == Bursts) && ph.Period <= 0 {
+		return fmt.Errorf("workload %s phase %d (%s): modulated shape needs a period", p.Name, i, ph.Name)
+	}
+	if ph.Duty < 0 || ph.Duty > 1 {
+		return fmt.Errorf("workload %s phase %d (%s): duty out of range", p.Name, i, ph.Name)
+	}
+	if ph.Jitter < 0 || ph.Jitter > 0.5 {
+		return fmt.Errorf("workload %s phase %d (%s): jitter out of range", p.Name, i, ph.Name)
+	}
+	if ph.NUMASkew < 0 || ph.NUMASkew > 1 {
+		return fmt.Errorf("workload %s phase %d (%s): NUMA skew out of range", p.Name, i, ph.Name)
+	}
+	if ph.CPUIntensity < 0 || ph.CPUIntensity > 3 {
+		return fmt.Errorf("workload %s phase %d (%s): CPU intensity out of range", p.Name, i, ph.Name)
 	}
 	return nil
 }
@@ -217,10 +242,16 @@ func (p *Program) Validate() error {
 // with SetAttained before stepping.
 type Runner struct {
 	prog     *Program
-	phases   []Phase // flattened prologue + repeated body
 	sysBWGBs float64
 	rng      *rand.Rand
 	attained func() float64
+
+	// The executed phase sequence is never materialised: cur points at
+	// the active phase inside the program (phaseAt maps phaseIdx onto
+	// prologue + cycled body) and advances monotonically with the
+	// cursor, so a step touches no flattened copy and allocates nothing.
+	cur       *Phase
+	numPhases int
 
 	phaseIdx  int
 	progress  time.Duration // progress-time within the current phase
@@ -245,7 +276,8 @@ func NewRunner(prog *Program, sysBWGBs float64, seed int64) *Runner {
 	}
 	return &Runner{
 		prog:      prog,
-		phases:    prog.flatten(),
+		cur:       prog.phaseAt(0),
+		numPhases: prog.phaseCount(),
 		sysBWGBs:  sysBWGBs,
 		rng:       rand.New(rand.NewSource(seed)),
 		attained:  func() float64 { return 0 },
@@ -281,7 +313,7 @@ func (r *Runner) Step(now, dt time.Duration) {
 		return
 	}
 	r.elapsed += dt
-	ph := &r.phases[r.phaseIdx]
+	ph := r.cur
 
 	// Advance progress using last step's service ratio.
 	rate := 1.0
@@ -301,13 +333,14 @@ func (r *Runner) Step(now, dt time.Duration) {
 		r.phaseIdx++
 		r.burstOn = false
 		r.burstSeen = -1
-		if r.phaseIdx >= len(r.phases) {
+		if r.phaseIdx >= r.numPhases {
 			r.done = true
 			r.demand = Demand{}
 			r.prevDemand = 0
 			return
 		}
-		ph = &r.phases[r.phaseIdx]
+		ph = r.prog.phaseAt(r.phaseIdx)
+		r.cur = ph
 	}
 
 	// Smoothed multiplicative noise (first-order filtered white noise).

@@ -15,6 +15,7 @@
 //	magus-bench -ext numa            # scaling, measurement noise
 //	magus-bench -ext noise -app unet
 //	magus-bench -ext faults -app srad  # fault-injection robustness sweep
+//	magus-bench -waste -app srad       # power-waste attribution ledger
 //
 // Output is aligned ASCII tables with sparkline trace previews.
 package main
@@ -36,6 +37,7 @@ func main() {
 		fig     = flag.String("fig", "", "figure to regenerate: 1, 2, 4a, 4b, 4c, 5, 6, 7")
 		tab     = flag.String("tab", "", "table to regenerate: 1, 2")
 		ext     = flag.String("ext", "", "extension study: ablation, cluster, numa, noise, faults")
+		waste   = flag.Bool("waste", false, "power-waste attribution ledger for -app under each governor")
 		reps    = flag.Int("reps", 5, "repeats per experiment cell")
 		seed    = flag.Int64("seed", 1, "base seed")
 		jobs    = flag.Int("jobs", 0, "parallel experiment cells (0 = GOMAXPROCS);\noutput is byte-identical for any value")
@@ -114,6 +116,10 @@ func main() {
 		ran = true
 		faultStudy(*app, opt)
 	}
+	if *all || *waste {
+		ran = true
+		wasteStudy(*app, opt)
+	}
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
@@ -171,6 +177,18 @@ func faultStudy(app string, opt magus.ExperimentOptions) {
 			p.Injected.Total(), p.Resilience.MissedSamples, p.Resilience.LostCycles, p.Resilience.Recoveries)
 	}
 	fmt.Print(t)
+	fmt.Println()
+}
+
+func wasteStudy(app string, opt magus.ExperimentOptions) {
+	res, err := magus.RunWasteStudy("a100", app, opt)
+	fatalIf(err)
+	fmt.Printf("== Power-waste attribution ledger (%s on %s) ==\n", res.Workload, res.System)
+	fmt.Print(res.Table())
+	for _, c := range res.Cells {
+		fmt.Printf("%-8s %3d windows, %3d decisions, ledger balanced=%v, runtime %.2f s\n",
+			c.Governor, c.Windows, c.Decisions, c.Balanced, c.Result.RuntimeS)
+	}
 	fmt.Println()
 }
 

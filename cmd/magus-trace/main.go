@@ -5,6 +5,7 @@
 //	magus-trace -fig 2 -out fig2.csv   # UNet power at uncore extremes
 //	magus-trace -fig 5 -out fig5.csv   # SRAD throughput, four policies
 //	magus-trace -fig 6 -out fig6.csv   # SRAD uncore frequency, three policies
+//	magus-trace -list                  # figures with trace output
 //
 // Columns are aligned on each run's own time axis; runs of different
 // lengths are padded by sample-and-hold of the final value.
@@ -20,13 +21,32 @@ import (
 	"github.com/spear-repro/magus/internal/telemetry"
 )
 
+// figures names every figure with trace output, in order.
+var figures = []struct {
+	id   int
+	desc string
+}{
+	{1, "UNet core/GPU/uncore frequencies under the vendor default"},
+	{2, "UNet package power at the uncore extremes"},
+	{5, "SRAD memory throughput under four policies"},
+	{6, "SRAD uncore frequency under three policies"},
+}
+
 func main() {
 	var (
-		fig  = flag.Int("fig", 1, "figure to trace: 1, 2, 5 or 6")
+		fig  = flag.Int("fig", 1, "figure to trace: 1, 2, 5 or 6 (see -list)")
 		out  = flag.String("out", "", "output CSV path (default stdout)")
 		seed = flag.Int64("seed", 1, "workload seed")
+		list = flag.Bool("list", false, "list the figures with trace output and exit")
 	)
 	flag.Parse()
+
+	if *list {
+		for _, f := range figures {
+			fmt.Printf("%d\t%s\n", f.id, f.desc)
+		}
+		return
+	}
 
 	opt := magus.ExperimentOptions{Repeats: 1, Seed: *seed}
 
@@ -74,7 +94,7 @@ func main() {
 		series[names[1]] = padTo(res.UPS, longest)
 		series[names[2]] = padTo(res.MAGUS, longest)
 	default:
-		fatalIf(fmt.Errorf("figure %d has no trace output (use 1, 2, 5 or 6)", *fig))
+		fatalIf(fmt.Errorf("figure %d has no trace output (supported: 1, 2, 5, 6 — run magus-trace -list)", *fig))
 	}
 
 	w := os.Stdout

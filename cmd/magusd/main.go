@@ -11,6 +11,7 @@
 //	magusd -workload srad -governor magus -trace srad.csv -record srad.json
 //	magusd -workload-file myjob.json -power-cap 180 -compare
 //	magusd -workload srad -faults pcm-outage -compare
+//	magusd -workload srad -spans srad-spans.json   # ui.perfetto.dev
 //	magusd -dump-workload unet > unet.json
 //
 // Governors: magus (default), ups, duf, default (vendor), max, min; any of
@@ -50,12 +51,13 @@ func main() {
 		record   = flag.String("record", "", "archive the run as a JSON record at this path")
 		faultArg = flag.String("faults", "", "arm a fault plan: preset name or plan JSON path\n(presets: "+
 			strings.Join(magus.FaultPresets(), ", ")+")")
-		listen  = flag.String("listen", "", "serve /metrics, /healthz and /debug/pprof on this address\n(e.g. :9890); keeps serving after the run until interrupted")
-		events  = flag.String("events", "", "write the structured JSONL decision/event log to this path")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this path\n(inspect with `go tool pprof`; see docs/PERF.md)")
-		memProf = flag.String("memprofile", "", "write a heap profile taken after the run to this path")
-		list    = flag.Bool("list", false, "list catalog applications and exit")
-		dump    = flag.String("dump-workload", "", "print a catalog workload as JSON and exit")
+		listen   = flag.String("listen", "", "serve /metrics, /healthz and /debug/pprof on this address\n(e.g. :9890); keeps serving after the run until interrupted")
+		events   = flag.String("events", "", "write the structured JSONL decision/event log to this path")
+		spansOut = flag.String("spans", "", "write decision-causality spans and the power-waste ledger\nas Perfetto/Chrome trace-event JSON to this path\n(open at ui.perfetto.dev; see docs/TRACING.md)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this path\n(inspect with `go tool pprof`; see docs/PERF.md)")
+		memProf  = flag.String("memprofile", "", "write a heap profile taken after the run to this path")
+		list     = flag.Bool("list", false, "list catalog applications and exit")
+		dump     = flag.String("dump-workload", "", "print a catalog workload as JSON and exit")
 	)
 	flag.Parse()
 
@@ -121,6 +123,11 @@ func main() {
 		fatalIf(err)
 		opt.Faults = plan
 		fmt.Printf("magusd: %s armed\n", plan)
+	}
+	var tracer *magus.Tracer
+	if *spansOut != "" {
+		tracer = magus.NewTracer(magus.DefaultConfig().Window)
+		opt.Spans = tracer
 	}
 
 	var obsrv *magus.Observer
@@ -196,6 +203,14 @@ func main() {
 			return magus.NewRecord(res, *seed).Write(w)
 		}))
 		fmt.Printf("run record written to %s\n", *record)
+	}
+	if tracer != nil {
+		fatalIf(writeOutput(*spansOut, func(w io.Writer) error {
+			return magus.WritePerfettoTrace(w, tracer)
+		}))
+		run := tracer.Ledger().Run()
+		fmt.Printf("span trace written to %s (%d spans, %d decisions; uncore waste %.0f J of %.0f J)\n",
+			*spansOut, len(tracer.Spans()), tracer.Count(magus.SpanDecision), run.WasteJ, run.TotalJ)
 	}
 	if obsrv != nil && *events != "" {
 		ev := obsrv.Events()

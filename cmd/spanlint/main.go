@@ -1,0 +1,155 @@
+// Command spanlint validates a Perfetto trace exported by
+// `magusd -spans` (or magus.WritePerfettoTrace): the JSON must parse,
+// carry at least one decision span, and the embedded power-waste
+// ledger must balance — baseline + useful + waste == total, for the
+// run bucket and every window, within a sample-scaled ulp tolerance.
+// CI runs it as the spans smoke step; exit status is non-zero with a
+// one-line reason when any check fails.
+//
+// Usage:
+//
+//	spanlint trace.json
+//	spanlint -min-decisions 10 trace.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+)
+
+// energy mirrors the writeEnergyObject JSON shape in internal/spans.
+type energy struct {
+	BaselineJ float64 `json:"baseline_j"`
+	UsefulJ   float64 `json:"useful_j"`
+	WasteJ    float64 `json:"waste_j"`
+	TotalJ    float64 `json:"total_j"`
+	Seconds   float64 `json:"seconds"`
+}
+
+type trace struct {
+	TraceEvents []struct {
+		Name string `json:"name"`
+		Ph   string `json:"ph"`
+	} `json:"traceEvents"`
+	MagusWaste struct {
+		Run     energy `json:"run"`
+		Windows []struct {
+			Index  int    `json:"index"`
+			Energy energy `json:"energy"`
+		} `json:"windows"`
+		Phases []struct {
+			Name   string `json:"name"`
+			Energy energy `json:"energy"`
+		} `json:"phases"`
+	} `json:"magusWaste"`
+}
+
+func main() {
+	minDec := flag.Int("min-decisions", 1, "minimum decision spans the trace must carry")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: spanlint [-min-decisions n] trace.json")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+
+	data, err := os.ReadFile(path)
+	fatalIf(err)
+	var tr trace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		fatalIf(fmt.Errorf("%s: not valid trace-event JSON: %w", path, err))
+	}
+
+	counts := map[string]int{}
+	for _, ev := range tr.TraceEvents {
+		if ev.Ph == "X" {
+			counts[ev.Name]++
+		}
+	}
+	if counts["run"] != 1 {
+		fatalIf(fmt.Errorf("%s: %d run spans, want exactly 1", path, counts["run"]))
+	}
+	if counts["decision"] < *minDec {
+		fatalIf(fmt.Errorf("%s: %d decision spans, want >= %d", path, counts["decision"], *minDec))
+	}
+
+	w := tr.MagusWaste
+	if w.Run.TotalJ <= 0 || w.Run.Seconds <= 0 {
+		fatalIf(fmt.Errorf("%s: ledger attributed no uncore energy (total %g J over %g s)",
+			path, w.Run.TotalJ, w.Run.Seconds))
+	}
+	fatalIf(checkBalance(path, "run", w.Run))
+	var winSum float64
+	for _, win := range w.Windows {
+		fatalIf(checkBalance(path, fmt.Sprintf("window %d", win.Index), win.Energy))
+		winSum += win.Energy.TotalJ
+	}
+	// Windows tile the run: their totals must re-add to the run total.
+	if len(w.Windows) > 0 {
+		if err := relClose("windows sum vs run total", winSum, w.Run.TotalJ); err != nil {
+			fatalIf(fmt.Errorf("%s: %w", path, err))
+		}
+	}
+	var phaseSum float64
+	for _, ph := range w.Phases {
+		fatalIf(checkBalance(path, "phase "+ph.Name, ph.Energy))
+		phaseSum += ph.Energy.TotalJ
+	}
+	if len(w.Phases) > 0 {
+		if err := relClose("phases sum vs run total", phaseSum, w.Run.TotalJ); err != nil {
+			fatalIf(fmt.Errorf("%s: %w", path, err))
+		}
+	}
+
+	fmt.Printf("%s: ok — %d spans (%d decisions, %d msr writes), %d windows, %d phases; "+
+		"uncore %.1f J = baseline %.1f + useful %.1f + waste %.1f\n",
+		path, total(counts), counts["decision"], counts["msr_write"],
+		len(w.Windows), len(w.Phases),
+		w.Run.TotalJ, w.Run.BaselineJ, w.Run.UsefulJ, w.Run.WasteJ)
+}
+
+// checkBalance verifies baseline + useful + waste == total for one
+// bucket. The exporter rounds each float to its shortest decimal
+// form independently, so allow a relative slack well above ulp noise
+// but far below any real attribution error.
+func checkBalance(path, scope string, e energy) error {
+	sum := e.BaselineJ + e.UsefulJ + e.WasteJ
+	if err := relClose(scope+" balance", sum, e.TotalJ); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if e.BaselineJ < 0 || e.UsefulJ < 0 || e.WasteJ < 0 {
+		return fmt.Errorf("%s: %s has a negative component (%+.3g/%+.3g/%+.3g)",
+			path, scope, e.BaselineJ, e.UsefulJ, e.WasteJ)
+	}
+	return nil
+}
+
+func relClose(what string, got, want float64) error {
+	diff := math.Abs(got - want)
+	if diff <= 1e-6*math.Max(1, math.Abs(want)) {
+		return nil
+	}
+	return fmt.Errorf("%s does not hold: %.9g vs %.9g (diff %.3g J)", what, got, want, diff)
+}
+
+func total(counts map[string]int) int {
+	n := 0
+	for _, c := range counts {
+		n += c
+	}
+	return n
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spanlint:", err)
+		os.Exit(1)
+	}
+}

@@ -13,6 +13,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 
@@ -92,6 +93,9 @@ type member struct {
 	spec   NodeSpec
 	node   *node.Node
 	runner *workload.Runner
+	// govName is the attached governor's display name ("default" when
+	// the member runs under the vendor default, i.e. no factory).
+	govName string
 }
 
 // Run executes the batch. All nodes share the virtual clock; each
@@ -126,7 +130,7 @@ func RunObserved(specs []NodeSpec, sampleEvery time.Duration, o *obs.Observer) (
 		n := node.New(spec.Config)
 		runner := workload.NewRunner(spec.Workload, spec.Config.SystemBWGBs(), spec.Seed)
 		runner.SetAttained(n.AttainedGBs)
-		m := &member{spec: spec, node: n, runner: runner}
+		m := &member{spec: spec, node: n, runner: runner, govName: "default"}
 		members = append(members, m)
 
 		eng.AddComponent(sim.ComponentFunc(func(now, dt time.Duration) {
@@ -144,6 +148,7 @@ func RunObserved(specs []NodeSpec, sampleEvery time.Duration, o *obs.Observer) (
 			if err := gov.Attach(env); err != nil {
 				return Result{}, fmt.Errorf("cluster: %s: %w", spec.Name, err)
 			}
+			m.govName = gov.Name()
 			eng.AddTask(&sim.Task{Name: spec.Name + "/" + gov.Name(), Interval: gov.Interval(), Fn: gov.Invoke}, 0)
 		}
 		if h := spec.Workload.NominalDuration()*4 + 10*time.Second; h > horizon {
@@ -173,9 +178,13 @@ func RunObserved(specs []NodeSpec, sampleEvery time.Duration, o *obs.Observer) (
 		energyG := reg.Gauge("magus_cluster_energy_joules", "Cumulative cluster energy to completion.")
 		doneG := reg.Gauge("magus_cluster_nodes_done", "Cluster members whose application finished.")
 		reg.Gauge("magus_cluster_nodes", "Cluster member count.").Set(float64(len(members)))
+		memberInfo := reg.GaugeVec("magus_cluster_member_info",
+			"Static cluster membership (constant 1): one series per member with its index, node name, workload and governor.",
+			"member", "node", "workload", "governor")
 		gauges := make([]*obs.Gauge, len(members))
 		for i, m := range members {
 			gauges[i] = nodeW.With(m.spec.Name)
+			memberInfo.With(strconv.Itoa(i), m.spec.Name, m.spec.Workload.Name, m.govName).Set(1)
 		}
 		var next time.Duration
 		eng.AddComponent(sim.ComponentFunc(func(now, dt time.Duration) {

@@ -9,6 +9,7 @@ import (
 	"github.com/spear-repro/magus/internal/core"
 	"github.com/spear-repro/magus/internal/governor"
 	"github.com/spear-repro/magus/internal/node"
+	"github.com/spear-repro/magus/internal/obs"
 	"github.com/spear-repro/magus/internal/telemetry"
 	"github.com/spear-repro/magus/internal/workload"
 )
@@ -121,6 +122,42 @@ func TestClusterBudgetClaim(t *testing.T) {
 		t.Fatalf("time over budget: tuned %.2f vs base %.2f", tunedOver, baseOver)
 	}
 }
+
+// TestClusterObservedMemberInfo: RunObserved publishes a static
+// membership series per member (index, node, workload, governor), and
+// a nil observer is exactly Run — observation never perturbs the batch.
+func TestClusterObservedMemberInfo(t *testing.T) {
+	apps := batchApps(t)
+	specs := Uniform(node.IntelA100(), apps, 2, magusFactory, 1)
+	specs[1].Factory = nil // one vendor-default member
+
+	o := obs.New(nil, nil)
+	observed, err := RunObserved(specs, 100*time.Millisecond, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := o.Registry().Text()
+	for _, want := range []string{
+		`magus_cluster_member_info{member="0",node="node0",workload="bfs",governor="magus"} 1`,
+		`magus_cluster_member_info{member="1",node="node1",workload="gemm",governor="default"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %s\ngot:\n%s", want, text)
+		}
+	}
+
+	plain, err := Run(specs, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.EnergyJ != observed.EnergyJ || plain.MakespanS != observed.MakespanS ||
+		plain.PeakW != observed.PeakW || plain.AvgW != observed.AvgW {
+		t.Fatalf("nil observer is not equivalent to Run:\nplain    %+v\nobserved %+v",
+			summary(plain), summary(observed))
+	}
+}
+
+func summary(r Result) [4]float64 { return [4]float64{r.EnergyJ, r.MakespanS, r.PeakW, r.AvgW} }
 
 func TestClusterDeterminism(t *testing.T) {
 	apps := batchApps(t)

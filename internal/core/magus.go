@@ -245,8 +245,10 @@ type Decision struct {
 	Trend         Trend
 	HighFreq      bool
 	Warmup        bool
-	// TargetGHz is the uncore limit in force after the cycle.
+	// TargetGHz is the uncore limit in force after the cycle; PrevGHz
+	// is the limit that was in force before it (chosen vs previous).
 	TargetGHz float64
+	PrevGHz   float64
 	// Acted reports whether an MSR write happened this cycle.
 	Acted bool
 	// Missed marks a cycle that produced no usable throughput sample:
@@ -255,7 +257,41 @@ type Decision struct {
 	Missed bool
 	// SensorHealth is the throughput sensor's state after the cycle.
 	SensorHealth resilient.Health
+	// DerivGBs is the one-interval throughput derivative Algorithm 1
+	// reacts to first (GB/s per monitoring interval); RingFill is how
+	// many samples the trend window held when the cycle decided.
+	DerivGBs float64
+	RingFill int
+	// Reason names the decision cause for causality tracing: one of
+	// the Reason* constants below.
+	Reason string
 }
+
+// Decision reasons: why a cycle chose its uncore target.
+const (
+	// ReasonWarmup: pure monitoring, no tuning yet (§3.3).
+	ReasonWarmup = "warmup"
+	// ReasonWarmupExit: the last warm-up cycle raising the limit to max.
+	ReasonWarmupExit = "warmup-exit-max"
+	// ReasonHighFreqPin: Algorithm 2 classified the workload as
+	// high-frequency and pinned the uncore at max.
+	ReasonHighFreqPin = "high-freq-pin"
+	// ReasonTrendUp / ReasonTrendDown: Algorithm 1 executed a scaling
+	// decision in the predicted direction.
+	ReasonTrendUp   = "trend-up"
+	ReasonTrendDown = "trend-down"
+	// ReasonFlatHold: no significant trend; the previous limit holds.
+	ReasonFlatHold = "flat-hold"
+	// ReasonHoldDegraded: missed sample on a degraded sensor — the
+	// fail-safe held the last decision rather than feed garbage into
+	// the trend window.
+	ReasonHoldDegraded = "hold-degraded"
+	// ReasonPinLost: the sensor is lost; vendor-default pin at max.
+	ReasonPinLost = "pin-lost"
+	// ReasonPinWarmupBlind: missed sample during warm-up with no prior
+	// decision to hold — pin at max.
+	ReasonPinWarmupBlind = "pin-warmup-blind"
+)
 
 // Stats aggregates runtime counters for Table 2 / §6.3, plus the
 // fault-handling counters of the resilient sensor layer.
@@ -428,19 +464,26 @@ func (m *MAGUS) Invoke(now time.Duration) time.Duration {
 		m.restartWarmup()
 	}
 	thr := r.GBs
+	prevGHz := m.targetGHz
 	m.memHist.Push(thr)
+	deriv := m.deriv1()
 
 	if m.warmupLeft > 0 {
 		m.warmupLeft--
 		m.stats.WarmupCycles++
 		m.pushTune(0)
+		reason := ReasonWarmup
 		if m.warmupLeft == 0 {
 			// Warm-up complete: start from peak uncore performance so
 			// rapidly rising demand is never starved at kick-off (§3.3).
 			m.setUncore(m.env.UncoreMaxGHz)
 			m.lastTrend = TrendUp
+			reason = ReasonWarmupExit
 		}
-		m.emit(Decision{At: now, ThroughputGBs: thr, Warmup: true, TargetGHz: m.targetGHz})
+		m.emit(Decision{
+			At: now, ThroughputGBs: thr, Warmup: true, TargetGHz: m.targetGHz,
+			PrevGHz: prevGHz, DerivGBs: deriv, RingFill: m.memHist.Len(), Reason: reason,
+		})
 		// Warm-up cycles are pure monitoring at the paper's 0.2 s
 		// frequency (10 cycles = 2.0 s); full decision cycles with the
 		// 0.1 s invocation window start afterwards (§3.3, §6.5).
@@ -484,9 +527,19 @@ func (m *MAGUS) Invoke(now time.Duration) time.Duration {
 		m.pushTune(0)
 	}
 
+	reason := ReasonFlatHold
+	switch {
+	case hi:
+		reason = ReasonHighFreqPin
+	case trend == TrendUp:
+		reason = ReasonTrendUp
+	case trend == TrendDown:
+		reason = ReasonTrendDown
+	}
 	m.emit(Decision{
 		At: now, ThroughputGBs: thr, Trend: trend, HighFreq: hi,
 		TargetGHz: m.targetGHz, Acted: acted,
+		PrevGHz: prevGHz, DerivGBs: deriv, RingFill: m.memHist.Len(), Reason: reason,
 	})
 	return m.delay(r.Latency)
 }
@@ -500,13 +553,20 @@ func (m *MAGUS) Invoke(now time.Duration) time.Duration {
 // performance is never sacrificed to a blind policy.
 func (m *MAGUS) missedSample(now time.Duration, r resilient.Reading) time.Duration {
 	inWarmup := m.warmupLeft > 0
+	prevGHz := m.targetGHz
 	acted := false
+	reason := ReasonHoldDegraded
 	if inWarmup || r.Health == resilient.Lost {
 		acted = m.setUncore(m.env.UncoreMaxGHz)
+		reason = ReasonPinLost
+		if inWarmup {
+			reason = ReasonPinWarmupBlind
+		}
 	}
 	m.emit(Decision{
 		At: now, Warmup: inWarmup, TargetGHz: m.targetGHz, Acted: acted,
 		Missed: true, SensorHealth: r.Health,
+		PrevGHz: prevGHz, RingFill: m.memHist.Len(), Reason: reason,
 	})
 	if inWarmup {
 		return m.cfg.Interval + r.Latency
@@ -523,6 +583,16 @@ func (m *MAGUS) restartWarmup() {
 	m.tuneCount = 0
 	m.lastTrend = TrendFlat
 	m.highFreq = false
+}
+
+// deriv1 returns the one-interval first derivative of the throughput
+// history (the span Algorithm 1 reacts to first), 0 with < 2 samples.
+func (m *MAGUS) deriv1() float64 {
+	n := m.memHist.Len() - 1
+	if n < 1 {
+		return 0
+	}
+	return m.memHist.At(n) - m.memHist.At(n-1)
 }
 
 // pushTune records one cycle's tune-event bit and keeps the rolling

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWasteStudy runs the attribution study on the quickest cell and
+// checks the acceptance invariant: the ledger balances for every
+// governor, and MAGUS wastes no more uncore energy than the vendor
+// default (the paper's core claim).
+func TestWasteStudy(t *testing.T) {
+	res, err := WasteStudy("a100", "srad", Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.System != "Intel+A100" || res.Workload != "srad" {
+		t.Fatalf("identity = %s/%s", res.System, res.Workload)
+	}
+	if len(res.Cells) != 3 {
+		t.Fatalf("cells = %d, want 3", len(res.Cells))
+	}
+	byGov := map[string]WasteCell{}
+	for _, c := range res.Cells {
+		byGov[c.Governor] = c
+		if !c.Balanced {
+			t.Errorf("%s: ledger does not balance", c.Governor)
+		}
+		if c.Run.TotalJ <= 0 {
+			t.Errorf("%s: no uncore energy attributed", c.Governor)
+		}
+		if c.Windows == 0 {
+			t.Errorf("%s: no window spans", c.Governor)
+		}
+		if len(c.Phases) == 0 {
+			t.Errorf("%s: no phase attribution", c.Governor)
+		}
+		if bal := c.Run.BaselineJ + c.Run.UsefulJ + c.Run.WasteJ - c.Run.TotalJ; bal > 1e-6 || bal < -1e-6 {
+			t.Errorf("%s: run row imbalance %v", c.Governor, bal)
+		}
+	}
+	// MAGUS and UPS emit decisions; the static default does not.
+	if byGov["magus"].Decisions == 0 {
+		t.Error("magus recorded no decision spans")
+	}
+	if byGov["default"].Decisions != 0 {
+		t.Errorf("default governor recorded %d decision spans, want 0", byGov["default"].Decisions)
+	}
+	// The paper's pitch, in ledger terms: scaling the uncore wastes
+	// fewer joules than pinning it at max.
+	if m, d := byGov["magus"].Run.WasteJ, byGov["default"].Run.WasteJ; m >= d {
+		t.Errorf("magus waste %v J >= default waste %v J — attribution contradicts the paper", m, d)
+	}
+
+	rows := res.Rows()
+	if len(rows) < 6 {
+		t.Fatalf("rows = %d, want >= 6 (3 run rows + phases)", len(rows))
+	}
+	tbl := res.Table().String()
+	for _, want := range []string{"magus run", "default run", "ups run", "waste_%"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table missing %q:\n%s", want, tbl)
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"github.com/spear-repro/magus/internal/rapl"
 	"github.com/spear-repro/magus/internal/resilient"
 	"github.com/spear-repro/magus/internal/sim"
+	"github.com/spear-repro/magus/internal/spans"
 	"github.com/spear-repro/magus/internal/telemetry"
 	"github.com/spear-repro/magus/internal/workload"
 )
@@ -58,6 +59,12 @@ type Options struct {
 	// Jobs bounds the worker pool RunRepeated fans repeats across
 	// (<= 0 = GOMAXPROCS). Results are byte-identical for any value.
 	Jobs int
+	// Spans attaches a decision-causality tracer and waste ledger to
+	// the run (nil = disabled; the disabled path adds no component, no
+	// device wrapper and no allocations, so it stays byte-identical to
+	// the seed). Tracers are single-run objects: like governors, they
+	// must not be shared across runs, and RepeatSpecs nils them out.
+	Spans *spans.Tracer
 }
 
 // Result is one run's outcome.
@@ -107,8 +114,22 @@ func Run(cfg node.Config, prog *workload.Program, gov governor.Governor, opt Opt
 	if err != nil {
 		return Result{}, err
 	}
+	if opt.Spans != nil {
+		// Intercept uncore-limit writes for MSR-write spans. The
+		// wrapper is a pure pass-through, installed after the fault
+		// layer so it records what actually reached the hardware.
+		env.Dev = &spanMSRDevice{
+			inner: env.Dev, tr: opt.Spans,
+			now: eng.Clock().Now, cps: cfg.CoresPerSocket,
+		}
+	}
 	if err := gov.Attach(env); err != nil {
 		return Result{}, fmt.Errorf("harness: attach %s: %w", gov.Name(), err)
+	}
+
+	horizon := opt.Horizon
+	if horizon <= 0 {
+		horizon = prog.NominalDuration()*4 + 10*time.Second
 	}
 
 	// Demand flows runner → node each step; the runner reads the
@@ -140,19 +161,25 @@ func Run(cfg node.Config, prog *workload.Program, gov governor.Governor, opt Opt
 		eng.AddComponent(ro)
 	}
 
+	govFn := gov.Invoke
+	if opt.Spans != nil {
+		// The sampler reads state the node just computed, so it is
+		// added after the node component; the tick wrapper opens a
+		// tick span around every scheduled invocation.
+		eng.AddComponent(installSpans(opt.Spans, n, runner, gov, opt.Obs, opt, horizon))
+		govFn = tickFn(opt.Spans, gov.Invoke)
+	}
+
 	eng.AddTask(&sim.Task{
 		Name:     gov.Name(),
 		Interval: gov.Interval(),
-		Fn:       gov.Invoke,
+		Fn:       govFn,
 	}, 0)
 
-	horizon := opt.Horizon
-	if horizon <= 0 {
-		horizon = prog.NominalDuration()*4 + 10*time.Second
-	}
 	if _, err := eng.RunUntil(runner.Done, horizon); err != nil {
 		return Result{}, fmt.Errorf("harness: %s/%s/%s: %w", cfg.Name, prog.Name, gov.Name(), err)
 	}
+	opt.Spans.Finish(eng.Clock().Now())
 
 	runtime := runner.Elapsed().Seconds()
 	pkgJ, drmJ, gpuJ := n.EnergyJ()

@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"github.com/spear-repro/magus/internal/core"
+	"github.com/spear-repro/magus/internal/node"
+	"github.com/spear-repro/magus/internal/sim"
+	"github.com/spear-repro/magus/internal/workload"
+)
+
+// BenchmarkHotPathSpansDisabledTick measures one steady-state engine
+// tick with the full Run wiring and no tracer attached — the exact
+// configuration TestSteadyStateTickZeroAlloc pins at zero allocations.
+// The row exists so cmd/benchgate keeps gating the spans-disabled hot
+// path at 0 allocs/op: the tracing layer must stay free when off.
+func BenchmarkHotPathSpansDisabledTick(b *testing.B) {
+	cfg := node.IntelA100()
+	prog, ok := workload.ByName("unet")
+	if !ok {
+		b.Fatal("unknown workload unet")
+	}
+	eng := sim.NewEngine(0)
+	n := node.New(cfg)
+	runner := workload.NewRunner(prog, cfg.SystemBWGBs(), 1)
+	runner.SetAttained(n.AttainedGBs)
+
+	gov := core.New(core.DefaultConfig())
+	env, err := buildEnv(n, nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := gov.Attach(env); err != nil {
+		b.Fatal(err)
+	}
+
+	eng.AddComponent(sim.ComponentFunc(func(now, dt time.Duration) {
+		runner.Step(now, dt)
+		n.SetDemand(runner.Demand())
+	}))
+	eng.AddComponent(n)
+
+	// Reserve trace storage for the benchmark's whole virtual horizon
+	// (b.N engine ticks past warm-up), as Run reserves for its horizon —
+	// otherwise recorder growth past the nominal duration shows up as
+	// amortised bytes that have nothing to do with the tick loop.
+	interval := 100 * time.Millisecond
+	rec := NewNodeRecorder(n, interval)
+	rec.Reserve(int(prog.NominalDuration()/interval) + b.N/100 + 256)
+	eng.AddComponent(rec)
+
+	eng.AddTask(&sim.Task{Name: gov.Name(), Interval: gov.Interval(), Fn: gov.Invoke}, 0)
+
+	// Warm past MDFS warmup and lazy buffer growth, as the alloc test does.
+	eng.RunFor(20 * time.Second)
+	step := eng.Step()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.RunFor(step)
+	}
+}

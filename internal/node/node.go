@@ -39,6 +39,7 @@ type Node struct {
 	uncoreEff    []float64 // effective uncore frequency (GHz)
 	clampCeil    []float64 // TDP-clamp ceiling (GHz)
 	pkgPowerW    []float64
+	uncPowerW    []float64 // uncore share of pkg power (W)
 	drmPowerW    []float64
 	pkgEnergyAcc []float64 // fractional RAPL units not yet in the MSR
 	drmEnergyAcc []float64
@@ -99,6 +100,7 @@ func New(cfg Config) *Node {
 		uncoreEff:    make([]float64, cfg.Sockets),
 		clampCeil:    make([]float64, cfg.Sockets),
 		pkgPowerW:    make([]float64, cfg.Sockets),
+		uncPowerW:    make([]float64, cfg.Sockets),
 		drmPowerW:    make([]float64, cfg.Sockets),
 		pkgEnergyAcc: make([]float64, cfg.Sockets),
 		drmEnergyAcc: make([]float64, cfg.Sockets),
@@ -207,6 +209,12 @@ func (n *Node) DaemonBusySeconds() float64 { return n.daemonBusySec }
 
 // UncoreFreqGHz returns a socket's current effective uncore frequency.
 func (n *Node) UncoreFreqGHz(socket int) float64 { return n.uncoreEff[socket] }
+
+// UncorePowerW returns a socket's instantaneous uncore power as
+// computed by the last Step — the exact watts the package energy
+// integral charged for the uncore domain, so the waste ledger's total
+// agrees bit-for-bit with the simulated energy accounting.
+func (n *Node) UncorePowerW(socket int) float64 { return n.uncPowerW[socket] }
 
 // CoreFreqGHz returns a logical CPU's current frequency.
 func (n *Node) CoreFreqGHz(cpu int) float64 { return n.pstates[cpu].Current() }
@@ -429,6 +437,7 @@ func (n *Node) Step(now, dt time.Duration) {
 		}
 		coreW += n.cfg.Core.IdleWatts
 		uncW := n.cfg.Uncore.Power(n.uncoreEff[s]/n.cfg.UncoreMaxGHz, sockTraffic[s])
+		n.uncPowerW[s] = uncW
 		pkg := coreW + uncW
 		if s == 0 {
 			pkg += daemonW

@@ -1,0 +1,30 @@
+package obs
+
+import "runtime/debug"
+
+// RegisterBuildInfo publishes the standard `magus_build_info` identity
+// gauge on reg: constant value 1 with the module version, Go toolchain
+// version and VCS revision as labels, so every scrape can tell exactly
+// which build produced the metrics. Unknown fields (e.g. a non-module
+// test binary, or no VCS stamp) degrade to "unknown" rather than
+// omitting the family. Registration is idempotent — the registry
+// returns the existing family on repeated calls.
+func RegisterBuildInfo(reg *Registry) {
+	version, revision := "unknown", "unknown"
+	goVersion := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		goVersion = bi.GoVersion
+		if bi.Main.Version != "" {
+			version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				revision = s.Value
+			}
+		}
+	}
+	reg.GaugeVec("magus_build_info",
+		"Build identity of the running binary (constant 1).",
+		"version", "goversion", "revision").
+		With(version, goVersion, revision).Set(1)
+}

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRegisterBuildInfo(t *testing.T) {
+	reg := NewRegistry()
+	RegisterBuildInfo(reg)
+	RegisterBuildInfo(reg) // idempotent: same family, same child
+
+	text := reg.Text()
+	if !strings.Contains(text, "# TYPE magus_build_info gauge") {
+		t.Fatalf("family missing:\n%s", text)
+	}
+	if n := strings.Count(text, "magus_build_info{"); n != 1 {
+		t.Fatalf("%d magus_build_info samples, want 1:\n%s", n, text)
+	}
+	// The test binary always carries a Go toolchain version.
+	if !strings.Contains(text, `goversion="go`) {
+		t.Errorf("goversion label not populated:\n%s", text)
+	}
+	for _, label := range []string{`version="`, `revision="`} {
+		if !strings.Contains(text, label) {
+			t.Errorf("label %s missing:\n%s", label, text)
+		}
+	}
+	if !strings.Contains(text, "} 1\n") {
+		t.Errorf("build info gauge not set to 1:\n%s", text)
+	}
+}
+
+// The daemon surface publishes build identity on its registry, so a
+// plain /metrics scrape names the binary.
+func TestHandlerServesBuildInfo(t *testing.T) {
+	o := New(nil, nil)
+	srv := httptest.NewServer(NewHandler(o))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "magus_build_info{") {
+		t.Fatalf("/metrics missing magus_build_info:\n%s", body)
+	}
+}

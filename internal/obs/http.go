@@ -18,7 +18,11 @@ const ExpositionContentType = "text/plain; version=0.0.4; charset=utf-8"
 //
 // Every endpoint reads only atomically published state, so serving
 // concurrently with a running simulation is race-free.
+//
+// The handler also publishes the `magus_build_info` identity gauge on
+// o's registry, so any scraped exposition names the binary behind it.
 func NewHandler(o *Observer) http.Handler {
+	RegisterBuildInfo(o.Registry())
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet && r.Method != http.MethodHead {

@@ -1,0 +1,49 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWasteTable(t *testing.T) {
+	rows := []WasteRow{
+		{Scope: "run", BaselineJ: 100, UsefulJ: 250, WasteJ: 50, TotalJ: 400, Seconds: 20},
+		{Scope: "phase burst", BaselineJ: 40, UsefulJ: 200, WasteJ: 10, TotalJ: 250, Seconds: 8},
+	}
+	out := WasteTable(rows).String()
+	for _, want := range []string{"scope", "waste_%", "balance_err_j", "run", "phase burst", "12.50", "400.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWasteRowFrac(t *testing.T) {
+	if got := (WasteRow{WasteJ: 25, TotalJ: 100}).WasteFracPct(); got != 25 {
+		t.Errorf("WasteFracPct = %v, want 25", got)
+	}
+	if got := (WasteRow{}).WasteFracPct(); got != 0 {
+		t.Errorf("zero-total WasteFracPct = %v, want 0", got)
+	}
+}
+
+func TestWriteWasteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteWasteCSV(&buf, []WasteRow{
+		{Scope: "run", BaselineJ: 1, UsefulJ: 2, WasteJ: 1, TotalJ: 4, Seconds: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[0], "scope,baseline_j") {
+		t.Fatalf("csv output:\n%s", buf.String())
+	}
+	if !strings.Contains(lines[1], "run,1.0000,2.0000,1.0000,4.0000,25.00,2.000") {
+		t.Errorf("csv row: %s", lines[1])
+	}
+	if err := WriteWasteCSV(&buf, nil); err == nil {
+		t.Error("empty rows must error")
+	}
+}

@@ -1,0 +1,259 @@
+// Perfetto / Chrome trace-event export. The writer emits the JSON
+// object form of the trace-event format — "X" complete events with
+// microsecond timestamps plus "M" metadata naming the process and the
+// per-kind tracks — byte-deterministically: field order is fixed,
+// floats use the shortest round-trip encoding, and all timestamps are
+// virtual. The same seeded run always exports the same bytes, which is
+// what the committed golden pins.
+//
+// Extra top-level keys are legal in the format; the exporter adds a
+// "magusWaste" summary (run / per-window / per-phase ledger totals) so
+// one file carries both the causality tree and the attribution table —
+// cmd/spanlint validates the balance invariant straight off this key.
+package spans
+
+import (
+	"io"
+	"strconv"
+	"time"
+)
+
+// trackID assigns each span kind its own "thread" so Perfetto renders
+// the causality levels as stacked tracks.
+func trackID(k Kind) int { return int(k) + 1 }
+
+// perfettoWriter builds the JSON into one reusable buffer.
+type perfettoWriter struct {
+	buf []byte
+}
+
+func (w *perfettoWriter) str(s string) {
+	w.buf = append(w.buf, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			w.buf = append(w.buf, '\\', c)
+		case c < 0x20:
+			w.buf = append(w.buf, '\\', 'u', '0', '0',
+				"0123456789abcdef"[c>>4], "0123456789abcdef"[c&0xf])
+		default:
+			w.buf = append(w.buf, c)
+		}
+	}
+	w.buf = append(w.buf, '"')
+}
+
+func (w *perfettoWriter) raw(s string)      { w.buf = append(w.buf, s...) }
+func (w *perfettoWriter) int(v int64)       { w.buf = strconv.AppendInt(w.buf, v, 10) }
+func (w *perfettoWriter) float(v float64)   { w.buf = strconv.AppendFloat(w.buf, v, 'g', -1, 64) }
+func (w *perfettoWriter) key(name string)   { w.str(name); w.buf = append(w.buf, ':') }
+func (w *perfettoWriter) field(name string) { w.raw(","); w.key(name) }
+
+// usec converts a virtual timestamp to trace microseconds.
+func usec(d time.Duration) int64 { return int64(d / time.Microsecond) }
+
+// WritePerfetto serialises the trace. Safe on a nil tracer (writes an
+// empty trace document).
+func (t *Tracer) WritePerfetto(out io.Writer) error {
+	w := &perfettoWriter{buf: make([]byte, 0, 1<<16)}
+	w.raw("{")
+	w.key("traceEvents")
+	w.raw("[\n")
+
+	meta := t.Meta()
+	first := true
+	emit := func(f func()) {
+		if !first {
+			w.raw(",\n")
+		}
+		first = false
+		f()
+	}
+
+	// Process / track names so the UI labels the causality levels.
+	emit(func() {
+		w.raw(`{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":`)
+		name := "magus"
+		if meta.Workload != "" {
+			name = "magus " + meta.Workload
+		}
+		w.str(name)
+		w.raw("}}")
+	})
+	for k := KindRun; k < numKinds; k++ {
+		k := k
+		emit(func() {
+			w.raw(`{"name":"thread_name","ph":"M","pid":1,"tid":`)
+			w.int(int64(trackID(k)))
+			w.raw(`,"args":{"name":`)
+			w.str(k.String())
+			w.raw("}}")
+		})
+	}
+	for i := range t.Spans() {
+		s := &t.Spans()[i]
+		emit(func() { writeSpanEvent(w, s) })
+	}
+	w.raw("\n]")
+
+	w.field("displayTimeUnit")
+	w.str("ms")
+
+	w.field("otherData")
+	w.raw("{")
+	w.key("system")
+	w.str(meta.System)
+	w.field("workload")
+	w.str(meta.Workload)
+	w.field("governor")
+	w.str(meta.Governor)
+	w.field("seed")
+	w.int(meta.Seed)
+	w.raw("}")
+
+	w.field("magusWaste")
+	writeWasteSummary(w, t.Ledger())
+
+	w.raw("}\n")
+	_, err := out.Write(w.buf)
+	return err
+}
+
+// writeSpanEvent emits one "X" complete event. Field order is fixed
+// for byte determinism.
+func writeSpanEvent(w *perfettoWriter, s *Span) {
+	w.raw(`{"name":`)
+	w.str(s.Kind.String())
+	w.raw(`,"ph":"X","pid":1,"tid":`)
+	w.int(int64(trackID(s.Kind)))
+	w.raw(`,"ts":`)
+	w.int(usec(s.Start))
+	w.raw(`,"dur":`)
+	end := s.End
+	if end < s.Start {
+		end = s.Start
+	}
+	w.int(usec(end - s.Start))
+	w.raw(`,"args":{`)
+	w.key("id")
+	w.int(int64(s.ID))
+	w.field("parent")
+	w.int(int64(s.Parent))
+	switch s.Kind {
+	case KindWindow:
+		w.field("index")
+		w.int(int64(s.Index))
+		writeEnergyFields(w, s.Energy)
+	case KindTick:
+		w.field("index")
+		w.int(int64(s.Index))
+	case KindDecision:
+		d := &s.Decision
+		w.field("throughput_gbs")
+		w.float(d.ThroughputGBs)
+		w.field("deriv_gbs")
+		w.float(d.DerivGBs)
+		w.field("ring_fill")
+		w.int(int64(d.RingFill))
+		w.field("trend")
+		w.int(int64(d.Trend))
+		w.field("high_freq")
+		w.raw(boolStr(d.HighFreq))
+		w.field("warmup")
+		w.raw(boolStr(d.Warmup))
+		w.field("missed")
+		w.raw(boolStr(d.Missed))
+		w.field("acted")
+		w.raw(boolStr(d.Acted))
+		w.field("prev_ghz")
+		w.float(d.PrevGHz)
+		w.field("target_ghz")
+		w.float(d.TargetGHz)
+		w.field("reason")
+		w.str(d.Reason)
+		w.field("health")
+		w.str(d.Health)
+		writeEnergyFields(w, s.Energy)
+	case KindMSRWrite:
+		w.field("socket")
+		w.int(int64(s.Socket))
+		w.field("ghz")
+		w.float(s.GHz)
+	case KindRun:
+		writeEnergyFields(w, s.Energy)
+	}
+	w.raw("}}")
+}
+
+func writeEnergyFields(w *perfettoWriter, e EnergyAttr) {
+	if e.Seconds == 0 {
+		return
+	}
+	w.field("baseline_j")
+	w.float(e.BaselineJ)
+	w.field("useful_j")
+	w.float(e.UsefulJ)
+	w.field("waste_j")
+	w.float(e.WasteJ)
+	w.field("total_j")
+	w.float(e.TotalJ)
+}
+
+func writeEnergyObject(w *perfettoWriter, e EnergyAttr) {
+	w.raw("{")
+	w.key("baseline_j")
+	w.float(e.BaselineJ)
+	w.field("useful_j")
+	w.float(e.UsefulJ)
+	w.field("waste_j")
+	w.float(e.WasteJ)
+	w.field("total_j")
+	w.float(e.TotalJ)
+	w.field("seconds")
+	w.float(e.Seconds)
+	w.raw("}")
+}
+
+// writeWasteSummary emits the ledger block spanlint validates.
+func writeWasteSummary(w *perfettoWriter, l *Ledger) {
+	w.raw("{")
+	w.key("run")
+	writeEnergyObject(w, l.Run())
+	w.field("windows")
+	w.raw("[")
+	for i, win := range l.Windows() {
+		if i > 0 {
+			w.raw(",")
+		}
+		w.raw("{")
+		w.key("index")
+		w.int(int64(win.Index))
+		w.field("energy")
+		writeEnergyObject(w, win.Energy)
+		w.raw("}")
+	}
+	w.raw("]")
+	w.field("phases")
+	w.raw("[")
+	for i, ph := range l.Phases() {
+		if i > 0 {
+			w.raw(",")
+		}
+		w.raw("{")
+		w.key("name")
+		w.str(ph.Name)
+		w.field("energy")
+		writeEnergyObject(w, ph.Energy)
+		w.raw("}")
+	}
+	w.raw("]")
+	w.raw("}")
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
+}

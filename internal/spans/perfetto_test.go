@@ -1,0 +1,176 @@
+package spans
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// buildSyntheticTrace records a small deterministic trace exercising
+// every span kind, attribute and the ledger summary.
+func buildSyntheticTrace() *Tracer {
+	m := testModel()
+	tr := New(2)
+	tr.SetPowerModel(m)
+	tr.BeginRun(Meta{System: "IntelA100", Workload: "srad", Governor: "magus", Seed: 7})
+	tr.MSRWrite(0, 0, 2.2) // attach-time write
+	dt := 100 * time.Millisecond
+	now := time.Duration(0)
+	phases := []string{"warmup", "stream", "stream"}
+	rels := []float64{1, 0.9, 0.6}
+	traffics := []float64{0, 180, 40}
+	for i := 0; i < 3; i++ {
+		tr.BeginTick(now)
+		tr.SetPhase(phases[i])
+		// Writes precede the decision emit, as in the runtime.
+		tr.MSRWrite(now, 0, 2.2-0.1*float64(i+1))
+		tr.MSRWrite(now, 1, 2.2-0.1*float64(i+1))
+		tr.Decision(now, DecisionAttrs{
+			ThroughputGBs: traffics[i],
+			DerivGBs:      float64(i) * 1.5,
+			RingFill:      i,
+			Trend:         1 - i,
+			HighFreq:      i == 1,
+			Warmup:        i == 0,
+			Acted:         i != 2,
+			PrevGHz:       2.2 - 0.1*float64(i),
+			TargetGHz:     2.2 - 0.1*float64(i+1),
+			Reason:        []string{"warmup", "high-freq-pin", "trend-down"}[i],
+			Health:        "healthy",
+		})
+		for s := 0; s < 3; s++ {
+			tr.AccumulateSocketActual(dt, rels[i], traffics[i], testModel().Total(rels[i], traffics[i]))
+			now += dt
+		}
+	}
+	tr.Finish(now)
+	return tr
+}
+
+// TestPerfettoGolden pins the exporter's bytes. Regenerate with
+// `go test ./internal/spans -run TestPerfettoGolden -update`.
+func TestPerfettoGolden(t *testing.T) {
+	tr := buildSyntheticTrace()
+	var buf bytes.Buffer
+	if err := tr.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "synthetic_trace.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("perfetto export differs from golden %s\ngot %d bytes, want %d\n(regenerate with -update if the change is intentional)",
+			golden, buf.Len(), len(want))
+	}
+
+	// Round-trip: export again, byte-for-byte identical.
+	var again bytes.Buffer
+	if err := tr.WritePerfetto(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("second export differs from first — exporter is not deterministic")
+	}
+}
+
+// TestPerfettoValidJSON checks the document parses and carries the
+// shape spanlint (and ui.perfetto.dev) expect.
+func TestPerfettoValidJSON(t *testing.T) {
+	tr := buildSyntheticTrace()
+	var buf bytes.Buffer
+	if err := tr.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string          `json:"name"`
+			Ph   string          `json:"ph"`
+			TS   *int64          `json:"ts"`
+			Dur  *int64          `json:"dur"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		OtherData       struct {
+			System   string `json:"system"`
+			Workload string `json:"workload"`
+			Governor string `json:"governor"`
+			Seed     int64  `json:"seed"`
+		} `json:"otherData"`
+		MagusWaste struct {
+			Run struct {
+				BaselineJ float64 `json:"baseline_j"`
+				UsefulJ   float64 `json:"useful_j"`
+				WasteJ    float64 `json:"waste_j"`
+				TotalJ    float64 `json:"total_j"`
+			} `json:"run"`
+			Windows []json.RawMessage `json:"windows"`
+			Phases  []json.RawMessage `json:"phases"`
+		} `json:"magusWaste"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	decisions, writes := 0, 0
+	for _, e := range doc.TraceEvents {
+		switch {
+		case e.Ph == "X" && e.Name == "decision":
+			decisions++
+			if e.TS == nil || e.Dur == nil {
+				t.Error("decision event missing ts/dur")
+			}
+		case e.Ph == "X" && e.Name == "msr_write":
+			writes++
+		}
+	}
+	if decisions != 3 {
+		t.Errorf("decision events = %d, want 3", decisions)
+	}
+	if writes != 7 {
+		t.Errorf("msr_write events = %d, want 7", writes)
+	}
+	if doc.OtherData.Workload != "srad" || doc.OtherData.Seed != 7 {
+		t.Errorf("otherData = %+v", doc.OtherData)
+	}
+	r := doc.MagusWaste.Run
+	if r.TotalJ <= 0 {
+		t.Fatalf("run total = %v", r.TotalJ)
+	}
+	if diff := r.BaselineJ + r.UsefulJ + r.WasteJ - r.TotalJ; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("waste summary does not balance: %v", diff)
+	}
+	if len(doc.MagusWaste.Windows) == 0 || len(doc.MagusWaste.Phases) != 2 {
+		t.Errorf("windows=%d phases=%d", len(doc.MagusWaste.Windows), len(doc.MagusWaste.Phases))
+	}
+}
+
+// TestPerfettoStringEscaping pins control/quote escaping in names.
+func TestPerfettoStringEscaping(t *testing.T) {
+	tr := New(0)
+	tr.BeginRun(Meta{System: `sys"with\quote`, Workload: "tab\there"})
+	tr.Finish(time.Second)
+	var buf bytes.Buffer
+	if err := tr.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("escaped export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	other := doc["otherData"].(map[string]any)
+	if other["system"] != `sys"with\quote` || other["workload"] != "tab\there" {
+		t.Errorf("escaping round-trip failed: %+v", other)
+	}
+}

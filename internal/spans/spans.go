@@ -1,0 +1,449 @@
+// Package spans is the decision-causality layer of the MAGUS
+// reproduction: a deterministic span tracer over the simulation's
+// virtual clock (never wall-clock) plus an energy-attribution ledger
+// that decomposes uncore energy into baseline / useful / waste joules.
+//
+// The span model mirrors how the runtime actually makes decisions:
+//
+//	run                 the whole harness run
+//	└── window          one Algorithm-1/2 history window (Window ticks)
+//	    └── tick        one governor invocation (sample-and-hold until
+//	        │           the next invocation — the MDFS decision period)
+//	        └── decision  the MDFS outcome, carrying the structured
+//	            │         attributes that explain *why* it fired
+//	            └── msr_write  each uncore-limit MSR write it caused
+//
+// Three properties the rest of the repo relies on:
+//
+//   - Virtual time only: every timestamp is the sim engine's clock, so
+//     a seeded run produces byte-identical spans on any machine.
+//   - Nil safety: every method on a nil *Tracer is a no-op, so
+//     instrumentation sites run unguarded and a spans-disabled run
+//     executes the exact same code path as the seed (zero allocations,
+//     byte-identical outputs — pinned by the harness identity tests).
+//   - Preallocated arenas: when enabled, the tracer reserves span
+//     storage for the whole run horizon up front (mirroring
+//     telemetry.Recorder.Reserve), so steady-state span pushes append
+//     into existing capacity.
+package spans
+
+import (
+	"time"
+)
+
+// Kind discriminates span types in the causality tree.
+type Kind uint8
+
+// Span kinds, ordered root to leaf.
+const (
+	KindRun Kind = iota
+	KindWindow
+	KindTick
+	KindDecision
+	KindMSRWrite
+	numKinds
+)
+
+// String implements fmt.Stringer (the Perfetto event name).
+func (k Kind) String() string {
+	switch k {
+	case KindRun:
+		return "run"
+	case KindWindow:
+		return "window"
+	case KindTick:
+		return "tick"
+	case KindDecision:
+		return "decision"
+	case KindMSRWrite:
+		return "msr_write"
+	}
+	return "unknown"
+}
+
+// ID identifies a span inside its tracer; 0 is "no span" (the root's
+// parent). Valid IDs are 1-based indices into the arena.
+type ID int32
+
+// DecisionAttrs is the structured "why" of one MDFS decision span.
+// Field semantics follow core.Decision; Reason is the human-readable
+// cause (trend edge, high-frequency pin, resilience hold/pin, warm-up).
+type DecisionAttrs struct {
+	// ThroughputGBs is the cycle's memory-throughput sample; DerivGBs
+	// is the one-interval first derivative Algorithm 1 saw (GB/s per
+	// monitoring interval); RingFill is how much history the trend
+	// window held when the decision was made.
+	ThroughputGBs float64
+	DerivGBs      float64
+	RingFill      int
+
+	// Trend is the Algorithm 1 prediction (-1 down, 0 flat, +1 up);
+	// HighFreq reports the Algorithm 2 high-frequency phase state.
+	Trend    int
+	HighFreq bool
+	Warmup   bool
+	Missed   bool
+	Acted    bool
+
+	// PrevGHz → TargetGHz is the chosen-versus-previous uncore limit.
+	PrevGHz   float64
+	TargetGHz float64
+
+	// Reason names the decision cause ("trend-up", "high-freq-pin",
+	// "hold-degraded", "pin-lost", ...); Health is the resilience
+	// tracker's sensor state ("healthy", "degraded", "lost").
+	Reason string
+	Health string
+}
+
+// Span is one node of the causality tree. End < Start means the span
+// is still open; Finish closes every open span at the run end.
+type Span struct {
+	ID     ID
+	Parent ID
+	Kind   Kind
+	Start  time.Duration
+	End    time.Duration
+
+	// Decision attributes (KindDecision only).
+	Decision DecisionAttrs
+
+	// Socket and GHz describe an uncore-limit write (KindMSRWrite).
+	Socket int
+	GHz    float64
+
+	// Index numbers windows and ticks within the run (0-based).
+	Index int
+
+	// Energy attribution accumulated while the span was the open
+	// attribution unit of its kind (run, window and decision spans).
+	Energy EnergyAttr
+}
+
+// Open reports whether the span has not been closed yet.
+func (s *Span) Open() bool { return s.End < s.Start }
+
+// Meta is the run identity stamped on the trace.
+type Meta struct {
+	System   string
+	Workload string
+	Governor string
+	Seed     int64
+}
+
+// pendingWrite buffers an MSR write until its causal parent (the
+// decision emitted later in the same invocation) exists.
+type pendingWrite struct {
+	at     time.Duration
+	socket int
+	ghz    float64
+}
+
+// Tracer records spans for one run. A nil tracer is disabled: every
+// method no-ops, costs nothing and allocates nothing. Tracers are
+// single-run, single-goroutine objects (the sim engine is serial);
+// create one per run.
+type Tracer struct {
+	meta  Meta
+	spans []Span
+
+	// windowTicks is how many ticks one window groups (the runtime's
+	// Algorithm 1/2 history length); 0 defaults to DefaultWindowTicks.
+	windowTicks int
+
+	run          ID
+	window       ID
+	tick         ID
+	decision     ID
+	lastTick     ID
+	tickCount    int
+	windowCount  int
+	pending      []pendingWrite
+	byKind       [numKinds]int
+	finished     bool
+	finishedAt   time.Duration
+	ledger       Ledger
+	model        PowerModel
+	modelPresent bool
+}
+
+// DefaultWindowTicks groups ticks into windows when the caller does not
+// override it — the paper's Window=10 history length.
+const DefaultWindowTicks = 10
+
+// New returns an enabled tracer. windowTicks sets how many governor
+// ticks one window span groups (<= 0 selects DefaultWindowTicks).
+func New(windowTicks int) *Tracer {
+	if windowTicks <= 0 {
+		windowTicks = DefaultWindowTicks
+	}
+	return &Tracer{
+		windowTicks: windowTicks,
+		pending:     make([]pendingWrite, 0, 8),
+	}
+}
+
+// Enabled reports whether the tracer records anything (false for nil).
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Reserve preallocates the span arena for n spans, sized by the caller
+// from the run horizon, so steady-state pushes never reallocate. The
+// ledger's per-window list is reserved alongside.
+func (t *Tracer) Reserve(n int) {
+	if t == nil {
+		return
+	}
+	if n > cap(t.spans) {
+		grown := make([]Span, len(t.spans), n)
+		copy(grown, t.spans)
+		t.spans = grown
+	}
+	if wcap := n/t.windowTicks + 2; wcap > cap(t.ledger.windows) {
+		grownW := make([]WindowEnergy, len(t.ledger.windows), wcap)
+		copy(grownW, t.ledger.windows)
+		t.ledger.windows = grownW
+	}
+}
+
+// SetPowerModel installs the uncore power decomposition model the
+// ledger integrates under. Must be called before the run starts.
+func (t *Tracer) SetPowerModel(m PowerModel) {
+	if t == nil {
+		return
+	}
+	t.model = m
+	t.modelPresent = true
+	t.ledger.reset()
+}
+
+// Meta returns the run identity (zero value for a nil tracer).
+func (t *Tracer) Meta() Meta {
+	if t == nil {
+		return Meta{}
+	}
+	return t.meta
+}
+
+// push appends a span and returns its ID.
+func (t *Tracer) push(kind Kind, parent ID, start time.Duration) ID {
+	id := ID(len(t.spans) + 1)
+	t.spans = append(t.spans, Span{
+		ID: id, Parent: parent, Kind: kind,
+		Start: start, End: start - 1, // open
+	})
+	t.byKind[kind]++
+	return id
+}
+
+// at returns the span for id (valid IDs only; callers own the IDs).
+func (t *Tracer) at(id ID) *Span { return &t.spans[id-1] }
+
+// close closes id at 'end' if it is open.
+func (t *Tracer) close(id ID, end time.Duration) {
+	if id == 0 {
+		return
+	}
+	if s := t.at(id); s.Open() {
+		s.End = end
+	}
+}
+
+// BeginRun opens the root span at virtual time 0 and stamps the run
+// identity. Calling it twice is a no-op.
+func (t *Tracer) BeginRun(meta Meta) {
+	if t == nil || t.run != 0 {
+		return
+	}
+	t.meta = meta
+	t.run = t.push(KindRun, 0, 0)
+}
+
+// BeginTick opens a tick span at now, closing the previous tick (and
+// flushing any MSR writes it left pending onto it — a governor that
+// emits no decisions still gets its writes attributed to the tick that
+// performed them). Every windowTicks ticks a new window span opens.
+func (t *Tracer) BeginTick(now time.Duration) {
+	if t == nil {
+		return
+	}
+	if t.run == 0 {
+		t.BeginRun(Meta{})
+	}
+	t.flushPending(t.lastTickOrRun())
+	t.close(t.tick, now)
+	if t.tickCount%t.windowTicks == 0 {
+		t.closeWindow(now)
+		t.window = t.push(KindWindow, t.run, now)
+		t.at(t.window).Index = t.windowCount
+		t.windowCount++
+		t.ledger.openWindow(t.window)
+	}
+	t.lastTick = t.tick
+	t.tick = t.push(KindTick, t.window, now)
+	t.at(t.tick).Index = t.tickCount
+	t.tickCount++
+	t.lastTick = t.tick
+}
+
+// lastTickOrRun is where stale pending writes (performed outside any
+// decision) are parented: the tick that performed them, or the run for
+// writes that predate the first tick (governor Attach).
+func (t *Tracer) lastTickOrRun() ID {
+	if t.lastTick != 0 {
+		return t.lastTick
+	}
+	return t.run
+}
+
+// closeWindow closes the open window span, folding the ledger's
+// per-window accumulation into its energy attribution.
+func (t *Tracer) closeWindow(now time.Duration) {
+	if t.window == 0 {
+		return
+	}
+	t.at(t.window).Energy = t.ledger.closeWindow()
+	t.close(t.window, now)
+	t.window = 0
+}
+
+// MSRWrite records one uncore-limit MSR write. The write is buffered
+// and parented to the decision span emitted later in the same
+// invocation; writes no decision claims fall to the tick (or the run,
+// for Attach-time writes before the first tick).
+func (t *Tracer) MSRWrite(now time.Duration, socket int, ghz float64) {
+	if t == nil {
+		return
+	}
+	t.pending = append(t.pending, pendingWrite{at: now, socket: socket, ghz: ghz})
+}
+
+// flushPending materialises buffered MSR writes as children of parent.
+func (t *Tracer) flushPending(parent ID) {
+	if len(t.pending) == 0 {
+		return
+	}
+	if parent == 0 {
+		if t.run == 0 {
+			t.BeginRun(Meta{})
+		}
+		parent = t.run
+	}
+	for _, w := range t.pending {
+		id := t.push(KindMSRWrite, parent, w.at)
+		s := t.at(id)
+		s.End = w.at // instantaneous
+		s.Socket = w.socket
+		s.GHz = w.ghz
+	}
+	t.pending = t.pending[:0]
+}
+
+// Decision opens a decision span under the current tick, closes the
+// previous decision (sample-and-hold: a decision stays in force — and
+// keeps accumulating attributed energy — until the next one), and
+// adopts the invocation's buffered MSR writes as children.
+func (t *Tracer) Decision(now time.Duration, attrs DecisionAttrs) {
+	if t == nil {
+		return
+	}
+	if t.run == 0 {
+		t.BeginRun(Meta{})
+	}
+	prev := t.decision
+	if prev != 0 {
+		t.at(prev).Energy = t.ledger.closeDecision()
+		t.close(prev, now)
+	}
+	parent := t.tick
+	if parent == 0 {
+		parent = t.run
+	}
+	t.decision = t.push(KindDecision, parent, now)
+	t.at(t.decision).Decision = attrs
+	t.ledger.openDecision(t.decision)
+	t.flushPending(t.decision)
+}
+
+// Accumulate integrates one engine step of uncore power into the
+// ledger: actual versus needed-for-traffic decomposition summed over
+// sockets, attributed to the open run, window, decision and workload
+// phase. rel is the socket's uncore frequency relative to max, traffic
+// its served GB/s. Call once per socket per step via AccumulateSocket,
+// or use AccumulateSocket directly.
+func (t *Tracer) AccumulateSocket(dt time.Duration, rel, traffic float64) {
+	if t == nil || !t.modelPresent {
+		return
+	}
+	b, u, w := t.model.Decompose(rel, traffic)
+	total := t.model.Total(rel, traffic)
+	t.ledger.accumulate(dt.Seconds(), b, u, w, total)
+}
+
+// AccumulateSocketActual is AccumulateSocket with the node's own
+// computed uncore watts as the total (bit-identical to the power model
+// the node integrated), so the ledger's total is exactly the simulated
+// uncore energy rather than a re-evaluation of the same formula.
+func (t *Tracer) AccumulateSocketActual(dt time.Duration, rel, traffic, actualW float64) {
+	if t == nil || !t.modelPresent {
+		return
+	}
+	b, u, w := t.model.Decompose(rel, traffic)
+	t.ledger.accumulate(dt.Seconds(), b, u, w, actualW)
+}
+
+// SetPhase switches the workload-phase attribution bucket (sample-and-
+// hold: energy accumulates into the current phase until the next call).
+func (t *Tracer) SetPhase(name string) {
+	if t == nil {
+		return
+	}
+	t.ledger.setPhase(name)
+}
+
+// Finish closes every open span at end. Further recording is ignored.
+func (t *Tracer) Finish(end time.Duration) {
+	if t == nil || t.finished {
+		return
+	}
+	t.finished = true
+	t.finishedAt = end
+	t.flushPending(t.lastTickOrRun())
+	if t.decision != 0 {
+		t.at(t.decision).Energy = t.ledger.closeDecision()
+		t.close(t.decision, end)
+		t.decision = 0
+	}
+	t.close(t.tick, end)
+	t.tick = 0
+	t.closeWindow(end)
+	if t.run != 0 {
+		t.at(t.run).Energy = t.ledger.run
+		t.close(t.run, end)
+	}
+}
+
+// Spans returns the recorded spans in creation order. The slice is the
+// tracer's arena; callers must not mutate it.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	return t.spans
+}
+
+// Count returns how many spans of kind were recorded.
+func (t *Tracer) Count(kind Kind) int {
+	if t == nil || kind >= numKinds {
+		return 0
+	}
+	return t.byKind[kind]
+}
+
+// Ledger returns the energy-attribution ledger (zero value when nil or
+// no power model was installed).
+func (t *Tracer) Ledger() *Ledger {
+	if t == nil {
+		return nil
+	}
+	return &t.ledger
+}

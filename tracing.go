@@ -1,0 +1,70 @@
+package magus
+
+import (
+	"io"
+
+	"github.com/spear-repro/magus/internal/experiments"
+	"github.com/spear-repro/magus/internal/spans"
+)
+
+// This file exposes the decision-causality tracing layer: a
+// deterministic, virtual-time span tracer (run → window → tick → MDFS
+// decision → MSR write) with an energy-attribution ledger that
+// decomposes uncore energy into baseline / useful / waste joules.
+// Attach a tracer through Options.Spans; export it as Perfetto/Chrome
+// trace-event JSON with WritePerfetto (viewable at ui.perfetto.dev).
+// A nil Tracer disables tracing with zero overhead. See docs/TRACING.md.
+
+// Tracer records a run's decision-causality spans and waste ledger.
+// Tracers are single-run objects: like governors, create a fresh one
+// per run and do not share them across parallel repeats.
+type Tracer = spans.Tracer
+
+// NewTracer returns an enabled tracer; windowTicks groups ticks into
+// window spans (<= 0 selects the runtime's default window of 10).
+func NewTracer(windowTicks int) *Tracer { return spans.New(windowTicks) }
+
+// Span is one node of the recorded causality tree.
+type Span = spans.Span
+
+// SpanKind discriminates span types (run, window, tick, decision,
+// msr_write).
+type SpanKind = spans.Kind
+
+// Span kinds, root to leaf.
+const (
+	SpanRun      = spans.KindRun
+	SpanWindow   = spans.KindWindow
+	SpanTick     = spans.KindTick
+	SpanDecision = spans.KindDecision
+	SpanMSRWrite = spans.KindMSRWrite
+)
+
+// DecisionSpanAttrs is the structured "why" carried by decision spans.
+type DecisionSpanAttrs = spans.DecisionAttrs
+
+// EnergyAttribution is one ledger bucket's integrated joules
+// (baseline / useful / waste / independently-integrated total).
+type EnergyAttribution = spans.EnergyAttr
+
+// WasteLedger is the per-run energy-attribution ledger.
+type WasteLedger = spans.Ledger
+
+// WritePerfettoTrace writes tr's spans and ledger as Chrome
+// trace-event JSON. Safe on a nil tracer (writes an empty trace).
+func WritePerfettoTrace(w io.Writer, tr *Tracer) error { return tr.WritePerfetto(w) }
+
+// WasteStudyResult compares each governor's uncore-energy attribution
+// (baseline / useful / waste) on one workload.
+type WasteStudyResult = experiments.WasteStudyResult
+
+// WasteAttrCell is one governor's cell of the study.
+type WasteAttrCell = experiments.WasteCell
+
+// RunWasteStudy runs app on the named system under the vendor
+// default, MAGUS and UPS with the causality tracer attached, and
+// reduces each run's ledger into attribution rows — the
+// `magus-bench -waste` surface.
+func RunWasteStudy(system, app string, opt ExperimentOptions) (WasteStudyResult, error) {
+	return experiments.WasteStudy(system, app, opt)
+}

@@ -29,6 +29,7 @@ import (
 	magus "github.com/spear-repro/magus"
 	"github.com/spear-repro/magus/internal/prof"
 	"github.com/spear-repro/magus/internal/report"
+	"github.com/spear-repro/magus/internal/safeio"
 )
 
 func main() {
@@ -125,13 +126,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *metrics != "" {
-		f, err := os.Create(*metrics)
-		fatalIf(err)
-		err = opt.Obs.Registry().WriteText(f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		fatalIf(err)
+		fatalIf(safeio.WriteFile(*metrics, opt.Obs.Registry().WriteText))
 		fmt.Printf("metrics written to %s (%d families)\n", *metrics, len(opt.Obs.Registry().Families()))
 	}
 	fatalIf(stopProf())

@@ -1,0 +1,205 @@
+// Command magus-load is a deterministic load generator for
+// `magusd serve`. It admits a fleet of tenant sessions, steps every
+// session's workload to completion over the HTTP API, closes them, and
+// prints one greppable summary line with admission/backpressure counts
+// and throughput.
+//
+// Overload is part of the point: pointed at a daemon whose
+// -max-sessions is below -tenants, the generator observes explicit 429
+// rejections and retries until slots free up, rather than failing —
+// the CI smoke test greps the rejected_429 count off the summary.
+//
+// Usage:
+//
+//	magus-load -addr http://127.0.0.1:9900 -tenants 8
+//	magus-load -tenants 12 -governor ups -faults pcm-flaky -step 5
+//
+// Exit status is 0 only when every tenant's workload completed.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type counters struct {
+	requests  atomic.Int64
+	created   atomic.Int64
+	rejected  atomic.Int64 // 429: admission limit
+	shed      atomic.Int64 // 503: queue full / draining
+	steps     atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:9900", "magusd serve base URL")
+		tenants  = flag.Int("tenants", 8, "tenant sessions to run to completion")
+		conc     = flag.Int("concurrency", 4, "tenants driven at once")
+		stepS    = flag.Float64("step", 2.0, "virtual seconds per step request")
+		workload = flag.String("workload", "bfs", "workload for every session")
+		governor = flag.String("governor", "magus", "governor for every session")
+		faults   = flag.String("faults", "", "fault preset for every session (empty = none)")
+		seed     = flag.Int64("seed", 1, "base seed; tenant i runs seed+i")
+		timeout  = flag.Duration("timeout", 5*time.Minute, "overall wall deadline")
+	)
+	flag.Parse()
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	var c counters
+	deadline := time.Now().Add(*timeout)
+	start := time.Now()
+
+	sem := make(chan struct{}, max(1, *conc))
+	var wg sync.WaitGroup
+	for i := 0; i < *tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			runTenant(client, &c, *addr, i, spec{
+				Tenant:   fmt.Sprintf("load-%03d", i),
+				Workload: *workload,
+				Governor: *governor,
+				Faults:   *faults,
+				Seed:     *seed + int64(i),
+			}, *stepS, deadline)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	ok := c.completed.Load() == int64(*tenants)
+	fmt.Printf("summary tenants=%d created=%d completed=%d failed=%d rejected_429=%d shed_503=%d "+
+		"steps=%d requests=%d elapsed_s=%.2f sessions_per_sec=%.2f requests_per_sec=%.1f ok=%v\n",
+		*tenants, c.created.Load(), c.completed.Load(), c.failed.Load(),
+		c.rejected.Load(), c.shed.Load(), c.steps.Load(), c.requests.Load(),
+		elapsed.Seconds(),
+		float64(c.completed.Load())/elapsed.Seconds(),
+		float64(c.requests.Load())/elapsed.Seconds(),
+		ok)
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+type spec struct {
+	Tenant   string `json:"tenant"`
+	Workload string `json:"workload"`
+	Governor string `json:"governor,omitempty"`
+	Faults   string `json:"faults,omitempty"`
+	Seed     int64  `json:"seed,omitempty"`
+}
+
+type status struct {
+	ID string `json:"id"`
+}
+
+type stepResult struct {
+	Done bool `json:"done"`
+}
+
+// runTenant drives one session create → step* → delete, retrying
+// through explicit overload answers until the deadline.
+func runTenant(client *http.Client, c *counters, addr string, i int, sp spec, stepS float64, deadline time.Time) {
+	body, _ := json.Marshal(sp)
+
+	var id string
+	for {
+		if time.Now().After(deadline) {
+			c.failed.Add(1)
+			return
+		}
+		code, retryAfter, resp := post(client, c, addr+"/api/v1/sessions", body)
+		if code == http.StatusCreated {
+			var st status
+			json.Unmarshal(resp, &st)
+			id = st.ID
+			c.created.Add(1)
+			break
+		}
+		switch code {
+		case http.StatusTooManyRequests:
+			c.rejected.Add(1)
+		case http.StatusServiceUnavailable:
+			c.shed.Add(1)
+		default:
+			fmt.Fprintf(os.Stderr, "magus-load: tenant %d: create HTTP %d: %s\n", i, code, resp)
+			c.failed.Add(1)
+			return
+		}
+		time.Sleep(backoff(retryAfter))
+	}
+
+	stepBody, _ := json.Marshal(map[string]float64{"seconds": stepS})
+	for {
+		if time.Now().After(deadline) {
+			c.failed.Add(1)
+			return
+		}
+		code, retryAfter, resp := post(client, c, addr+"/api/v1/sessions/"+id+"/step", stepBody)
+		switch code {
+		case http.StatusOK:
+			c.steps.Add(1)
+			var sr stepResult
+			json.Unmarshal(resp, &sr)
+			if sr.Done {
+				del(client, c, addr+"/api/v1/sessions/"+id)
+				c.completed.Add(1)
+				return
+			}
+		case http.StatusServiceUnavailable:
+			c.shed.Add(1)
+			time.Sleep(backoff(retryAfter))
+		default:
+			fmt.Fprintf(os.Stderr, "magus-load: tenant %d (%s): step HTTP %d: %s\n", i, id, code, resp)
+			c.failed.Add(1)
+			return
+		}
+	}
+}
+
+// backoff converts a Retry-After header into a bounded sleep: the
+// generator is a pressure source, not a hammer, but it must also not
+// sleep so long that overload tests crawl.
+func backoff(retryAfter string) time.Duration {
+	d := 50 * time.Millisecond
+	if s, err := strconv.Atoi(retryAfter); err == nil && s > 0 {
+		d = time.Duration(s) * time.Second
+	}
+	if d > 250*time.Millisecond {
+		d = 250 * time.Millisecond
+	}
+	return d
+}
+
+func post(client *http.Client, c *counters, url string, body []byte) (code int, retryAfter string, respBody []byte) {
+	c.requests.Add(1)
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, "", []byte(err.Error())
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp.StatusCode, resp.Header.Get("Retry-After"), buf.Bytes()
+}
+
+func del(client *http.Client, c *counters, url string) {
+	c.requests.Add(1)
+	req, _ := http.NewRequest(http.MethodDelete, url, nil)
+	resp, err := client.Do(req)
+	if err == nil {
+		resp.Body.Close()
+	}
+}

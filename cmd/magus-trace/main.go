@@ -14,10 +14,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	magus "github.com/spear-repro/magus"
 	"github.com/spear-repro/magus/internal/report"
+	"github.com/spear-repro/magus/internal/safeio"
 	"github.com/spear-repro/magus/internal/telemetry"
 )
 
@@ -97,16 +99,13 @@ func main() {
 		fatalIf(fmt.Errorf("figure %d has no trace output (supported: 1, 2, 5, 6 — run magus-trace -list)", *fig))
 	}
 
-	w := os.Stdout
 	if *out != "" {
-		f, err := os.Create(*out)
-		fatalIf(err)
-		defer f.Close()
-		w = f
-	}
-	fatalIf(report.WriteCSV(w, names, series))
-	if *out != "" {
+		fatalIf(safeio.WriteFile(*out, func(w io.Writer) error {
+			return report.WriteCSV(w, names, series)
+		}))
 		fmt.Fprintf(os.Stderr, "magus-trace: wrote %s\n", *out)
+	} else {
+		fatalIf(report.WriteCSV(os.Stdout, names, series))
 	}
 }
 

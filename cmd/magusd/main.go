@@ -13,14 +13,21 @@
 //	magusd -workload srad -faults pcm-outage -compare
 //	magusd -workload srad -spans srad-spans.json   # ui.perfetto.dev
 //	magusd -dump-workload unet > unet.json
+//	magusd serve -listen :9900                     # multi-tenant daemon
 //
 // Governors: magus (default), ups, duf, default (vendor), max, min; any of
 // them composes with -power-cap (RAPL PL1). With -compare, the
 // vendor-default baseline runs first and the summary reports the
 // paper's three metrics against it.
+//
+// `magusd serve` switches to daemon mode: a session manager running
+// one deterministic governor session per tenant over an HTTP API, with
+// admission control, backpressure and graceful degradation under
+// overload (see docs/SERVE.md and `magusd serve -h`).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -35,9 +42,15 @@ import (
 	magus "github.com/spear-repro/magus"
 	"github.com/spear-repro/magus/internal/prof"
 	"github.com/spear-repro/magus/internal/report"
+	"github.com/spear-repro/magus/internal/safeio"
+	"github.com/spear-repro/magus/internal/serve"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		runServe(os.Args[2:])
+		return
+	}
 	var (
 		system   = flag.String("system", "a100", "system preset: a100, 4a100, max1550")
 		workload = flag.String("workload", "unet", "catalog application to execute")
@@ -143,10 +156,13 @@ func main() {
 		opt.Obs = obsrv
 	}
 	var srvErr chan error
+	var srv *http.Server
 	if *listen != "" {
 		ln, err := net.Listen("tcp", *listen)
 		fatalIf(err)
-		srv := &http.Server{Handler: magus.NewObsHandler(obsrv)}
+		// Shared with serve mode: header/idle timeouts bound slowloris
+		// connections on what may be a long-lived public port.
+		srv = serve.NewServer(*listen, magus.NewObsHandler(obsrv))
 		srvErr = make(chan error, 1)
 		go func() { srvErr <- srv.Serve(ln) }()
 		fmt.Printf("magusd: serving /metrics, /healthz, /debug/pprof on http://%s\n", ln.Addr())
@@ -193,19 +209,19 @@ func main() {
 		for _, n := range names {
 			series[n] = res.Traces.Series(n)
 		}
-		fatalIf(writeOutput(*trace, func(w io.Writer) error {
+		fatalIf(safeio.WriteFile(*trace, func(w io.Writer) error {
 			return report.WriteCSV(w, names, series)
 		}))
 		fmt.Printf("\ntrace written to %s (%d columns)\n", *trace, len(names))
 	}
 	if *record != "" {
-		fatalIf(writeOutput(*record, func(w io.Writer) error {
+		fatalIf(safeio.WriteFile(*record, func(w io.Writer) error {
 			return magus.NewRecord(res, *seed).Write(w)
 		}))
 		fmt.Printf("run record written to %s\n", *record)
 	}
 	if tracer != nil {
-		fatalIf(writeOutput(*spansOut, func(w io.Writer) error {
+		fatalIf(safeio.WriteFile(*spansOut, func(w io.Writer) error {
 			return magus.WritePerfettoTrace(w, tracer)
 		}))
 		run := tracer.Ledger().Run()
@@ -233,30 +249,16 @@ func main() {
 		fmt.Printf("magusd: run complete, still serving %s (interrupt to exit)\n", *listen)
 		select {
 		case <-sig:
+			// Bounded drain: in-flight scrapes finish, then the
+			// listener closes, instead of dropping connections
+			// mid-response.
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			fatalIf(srv.Shutdown(ctx))
 		case err := <-srvErr:
 			fatalIf(err)
 		}
 	}
-}
-
-// writeOutput creates path, runs write into it, and never leaves a
-// partial file behind: a failed write (or close) removes the file and
-// reports the path in the error.
-func writeOutput(path string, write func(io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := write(f); err != nil {
-		f.Close()
-		os.Remove(path)
-		return fmt.Errorf("write %s: %w", path, err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(path)
-		return fmt.Errorf("write %s: %w", path, err)
-	}
-	return nil
 }
 
 // buildGovernor maps a name to a governor; the second return value is

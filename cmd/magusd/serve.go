@@ -1,0 +1,76 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/spear-repro/magus/internal/serve"
+)
+
+// runServe is `magusd serve`: the long-running multi-tenant governor
+// daemon. Unlike the one-shot mode, nothing runs until clients create
+// sessions over the HTTP API; see docs/SERVE.md for the API and the
+// admission/backpressure model.
+func runServe(args []string) {
+	fs := flag.NewFlagSet("magusd serve", flag.ExitOnError)
+	var (
+		listen       = fs.String("listen", ":9900", "HTTP listen address")
+		maxSessions  = fs.Int("max-sessions", 64, "admission limit on live sessions (excess creates get 429)")
+		maxInflight  = fs.Int("max-inflight", 8, "max concurrently executing simulation requests")
+		maxQueue     = fs.Int("max-queue", 0, "max requests queued for a slot before shedding with 503\n(0 = 4x max-inflight)")
+		maxStep      = fs.Duration("max-step", 30*time.Second, "virtual-time cap per step request (larger requests are clamped)")
+		stepBudget   = fs.Duration("step-wall-budget", 2*time.Second, "wall-clock watchdog per step; repeated overruns mark the\nsession degraded (0 disables)")
+		idleExpiry   = fs.Duration("idle-expiry", 10*time.Minute, "reap sessions idle this long (negative disables)")
+		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+		quiet        = fs.Bool("quiet", false, "suppress per-session lifecycle logging")
+	)
+	fs.Parse(args)
+
+	logf := log.New(os.Stderr, "", log.LstdFlags).Printf
+	if *quiet {
+		logf = nil
+	}
+	mg := serve.NewManager(serve.Config{
+		MaxSessions:    *maxSessions,
+		MaxInflight:    *maxInflight,
+		MaxQueue:       *maxQueue,
+		MaxStep:        *maxStep,
+		StepWallBudget: *stepBudget,
+		IdleExpiry:     *idleExpiry,
+		Logf:           logf,
+	})
+
+	ln, err := net.Listen("tcp", *listen)
+	fatalIf(err)
+	srv := serve.NewServer(*listen, serve.NewHTTPHandler(mg))
+	srvErr := make(chan error, 1)
+	go func() { srvErr <- srv.Serve(ln) }()
+	fmt.Printf("magusd serve: listening on http://%s (max %d sessions, %d inflight)\n",
+		ln.Addr(), *maxSessions, *maxInflight)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("magusd serve: %v, draining (deadline %s)\n", s, *drainTimeout)
+	case err := <-srvErr:
+		fatalIf(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Drain order matters: the manager first (new API work answers 503
+	// and in-flight simulation finishes), then the HTTP server (open
+	// connections complete their responses).
+	drainErr := mg.Close(ctx)
+	fatalIf(srv.Shutdown(ctx))
+	fatalIf(drainErr)
+	fmt.Println("magusd serve: drained, exiting")
+}

@@ -23,7 +23,6 @@ import (
 	"github.com/spear-repro/magus/internal/pcm"
 	"github.com/spear-repro/magus/internal/rapl"
 	"github.com/spear-repro/magus/internal/resilient"
-	"github.com/spear-repro/magus/internal/sim"
 	"github.com/spear-repro/magus/internal/spans"
 	"github.com/spear-repro/magus/internal/telemetry"
 	"github.com/spear-repro/magus/internal/workload"
@@ -96,113 +95,18 @@ func (r Result) TotalEnergyJ() float64 { return r.PkgEnergyJ + r.DramEnergyJ + r
 
 // Run executes prog on a node built from cfg under gov and returns the
 // metrics. The governor is attached fresh; governors are stateful and
-// must not be reused across runs.
+// must not be reused across runs. Run is NewSteppable driven to
+// completion in one call; the two paths perform the identical
+// computation and produce byte-identical results.
 func Run(cfg node.Config, prog *workload.Program, gov governor.Governor, opt Options) (Result, error) {
-	eng := sim.NewEngine(opt.Step)
-	n := node.New(cfg)
-	runner := workload.NewRunner(prog, cfg.SystemBWGBs(), opt.Seed)
-	runner.SetAttained(n.AttainedGBs)
-
-	var fset *faults.Set
-	if opt.Faults.Armed() {
-		if err := opt.Faults.Validate(); err != nil {
-			return Result{}, fmt.Errorf("harness: %w", err)
-		}
-		fset = faults.NewSet(opt.Faults, eng.Clock().Now)
-	}
-	env, err := buildEnv(n, fset, opt.PCMNoise)
+	st, err := NewSteppable(cfg, prog, gov, opt)
 	if err != nil {
 		return Result{}, err
 	}
-	if opt.Spans != nil {
-		// Intercept uncore-limit writes for MSR-write spans. The
-		// wrapper is a pure pass-through, installed after the fault
-		// layer so it records what actually reached the hardware.
-		env.Dev = &spanMSRDevice{
-			inner: env.Dev, tr: opt.Spans,
-			now: eng.Clock().Now, cps: cfg.CoresPerSocket,
-		}
-	}
-	if err := gov.Attach(env); err != nil {
-		return Result{}, fmt.Errorf("harness: attach %s: %w", gov.Name(), err)
-	}
-
-	horizon := opt.Horizon
-	if horizon <= 0 {
-		horizon = prog.NominalDuration()*4 + 10*time.Second
-	}
-
-	// Demand flows runner → node each step; the runner reads the
-	// node's service from the previous step.
-	eng.AddComponent(sim.ComponentFunc(func(now, dt time.Duration) {
-		runner.Step(now, dt)
-		n.SetDemand(runner.Demand())
-	}))
-	eng.AddComponent(n)
-
-	var rec *telemetry.Recorder
-	if opt.TraceInterval > 0 {
-		rec = NewNodeRecorder(n, opt.TraceInterval)
-		// The nominal horizon bounds the sample count; reserving up
-		// front keeps trace appends from reallocating mid run.
-		rec.Reserve(int(prog.NominalDuration()/opt.TraceInterval) + 2)
-		if fset != nil {
-			rec.Track("faults_injected", func() float64 { return float64(fset.Tally().Total()) })
-		}
-		if hr, ok := gov.(healthReporter); ok {
-			rec.Track("sensor_health", func() float64 { return float64(hr.SensorHealth()) })
-		}
-		eng.AddComponent(rec)
-	}
-
-	var ro *runObserver
-	if opt.Obs != nil {
-		ro = installObservability(opt.Obs, n, fset, gov, opt.ObsInterval, opt, cfg.Name, prog.Name)
-		eng.AddComponent(ro)
-	}
-
-	govFn := gov.Invoke
-	if opt.Spans != nil {
-		// The sampler reads state the node just computed, so it is
-		// added after the node component; the tick wrapper opens a
-		// tick span around every scheduled invocation.
-		eng.AddComponent(installSpans(opt.Spans, n, runner, gov, opt.Obs, opt, horizon))
-		govFn = tickFn(opt.Spans, gov.Invoke)
-	}
-
-	eng.AddTask(&sim.Task{
-		Name:     gov.Name(),
-		Interval: gov.Interval(),
-		Fn:       govFn,
-	}, 0)
-
-	if _, err := eng.RunUntil(runner.Done, horizon); err != nil {
+	if _, err := st.eng.RunUntil(st.runner.Done, st.horizon); err != nil {
 		return Result{}, fmt.Errorf("harness: %s/%s/%s: %w", cfg.Name, prog.Name, gov.Name(), err)
 	}
-	opt.Spans.Finish(eng.Clock().Now())
-
-	runtime := runner.Elapsed().Seconds()
-	pkgJ, drmJ, gpuJ := n.EnergyJ()
-	res := Result{
-		System:      cfg.Name,
-		Workload:    prog.Name,
-		Governor:    gov.Name(),
-		RuntimeS:    runtime,
-		PkgEnergyJ:  pkgJ,
-		DramEnergyJ: drmJ,
-		GPUEnergyJ:  gpuJ,
-		Traces:      rec,
-	}
-	if runtime > 0 {
-		res.AvgCPUPowerW = (pkgJ + drmJ) / runtime
-	}
-	if fset != nil {
-		res.FaultsInjected = fset.Tally()
-	}
-	if ro != nil {
-		ro.finish(eng.Clock().Now(), res)
-	}
-	return res, nil
+	return st.finish(), nil
 }
 
 // healthReporter is the optional sensor-health surface governors expose

@@ -1,0 +1,210 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/spear-repro/magus/internal/faults"
+	"github.com/spear-repro/magus/internal/governor"
+	"github.com/spear-repro/magus/internal/node"
+	"github.com/spear-repro/magus/internal/sim"
+	"github.com/spear-repro/magus/internal/telemetry"
+	"github.com/spear-repro/magus/internal/workload"
+)
+
+// Steppable is a single harness run under external clock control: the
+// exact wiring Run performs — runner → node demand flow, fault set,
+// governor attachment, telemetry, observability, spans — but instead of
+// running to completion it advances in caller-chosen virtual-time
+// increments. It exists for long-running services (magusd serve) that
+// interleave many tenant sessions, each of which must remain
+// deterministic and byte-identical to the equivalent Run call.
+//
+// A Steppable is single-goroutine: like governors, it must not be
+// shared across runs, and callers serialise access themselves.
+type Steppable struct {
+	eng    *sim.Engine
+	n      *node.Node
+	runner *workload.Runner
+	gov    governor.Governor
+	cfg    node.Config
+	prog   *workload.Program
+	opt    Options
+	fset   *faults.Set
+	rec    *telemetry.Recorder
+	ro     *runObserver
+
+	horizon time.Duration
+	done    bool
+	res     Result
+}
+
+// NewSteppable wires a run without starting it. The governor is
+// attached fresh; governors are stateful and must not be reused.
+func NewSteppable(cfg node.Config, prog *workload.Program, gov governor.Governor, opt Options) (*Steppable, error) {
+	eng := sim.NewEngine(opt.Step)
+	n := node.New(cfg)
+	runner := workload.NewRunner(prog, cfg.SystemBWGBs(), opt.Seed)
+	runner.SetAttained(n.AttainedGBs)
+
+	var fset *faults.Set
+	if opt.Faults.Armed() {
+		if err := opt.Faults.Validate(); err != nil {
+			return nil, fmt.Errorf("harness: %w", err)
+		}
+		fset = faults.NewSet(opt.Faults, eng.Clock().Now)
+	}
+	env, err := buildEnv(n, fset, opt.PCMNoise)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Spans != nil {
+		// Intercept uncore-limit writes for MSR-write spans. The
+		// wrapper is a pure pass-through, installed after the fault
+		// layer so it records what actually reached the hardware.
+		env.Dev = &spanMSRDevice{
+			inner: env.Dev, tr: opt.Spans,
+			now: eng.Clock().Now, cps: cfg.CoresPerSocket,
+		}
+	}
+	if err := gov.Attach(env); err != nil {
+		return nil, fmt.Errorf("harness: attach %s: %w", gov.Name(), err)
+	}
+
+	horizon := opt.Horizon
+	if horizon <= 0 {
+		horizon = prog.NominalDuration()*4 + 10*time.Second
+	}
+
+	// Demand flows runner → node each step; the runner reads the
+	// node's service from the previous step.
+	eng.AddComponent(sim.ComponentFunc(func(now, dt time.Duration) {
+		runner.Step(now, dt)
+		n.SetDemand(runner.Demand())
+	}))
+	eng.AddComponent(n)
+
+	var rec *telemetry.Recorder
+	if opt.TraceInterval > 0 {
+		rec = NewNodeRecorder(n, opt.TraceInterval)
+		// The nominal horizon bounds the sample count; reserving up
+		// front keeps trace appends from reallocating mid run.
+		rec.Reserve(int(prog.NominalDuration()/opt.TraceInterval) + 2)
+		if fset != nil {
+			rec.Track("faults_injected", func() float64 { return float64(fset.Tally().Total()) })
+		}
+		if hr, ok := gov.(healthReporter); ok {
+			rec.Track("sensor_health", func() float64 { return float64(hr.SensorHealth()) })
+		}
+		eng.AddComponent(rec)
+	}
+
+	var ro *runObserver
+	if opt.Obs != nil {
+		ro = installObservability(opt.Obs, n, fset, gov, opt.ObsInterval, opt, cfg.Name, prog.Name)
+		eng.AddComponent(ro)
+	}
+
+	govFn := gov.Invoke
+	if opt.Spans != nil {
+		// The sampler reads state the node just computed, so it is
+		// added after the node component; the tick wrapper opens a
+		// tick span around every scheduled invocation.
+		eng.AddComponent(installSpans(opt.Spans, n, runner, gov, opt.Obs, opt, horizon))
+		govFn = tickFn(opt.Spans, gov.Invoke)
+	}
+
+	eng.AddTask(&sim.Task{
+		Name:     gov.Name(),
+		Interval: gov.Interval(),
+		Fn:       govFn,
+	}, 0)
+
+	return &Steppable{
+		eng: eng, n: n, runner: runner, gov: gov,
+		cfg: cfg, prog: prog, opt: opt,
+		fset: fset, rec: rec, ro: ro, horizon: horizon,
+	}, nil
+}
+
+// Now returns the run's current virtual time.
+func (s *Steppable) Now() time.Duration { return s.eng.Clock().Now() }
+
+// Done reports whether the workload has completed (and the result
+// finalised).
+func (s *Steppable) Done() bool { return s.done }
+
+// Node exposes the simulated node for live probes (power, frequency);
+// callers must treat it as read-only.
+func (s *Steppable) Node() *node.Node { return s.n }
+
+// Horizon returns the safety horizon beyond which Advance refuses to
+// run (4× nominal duration + 10 s unless Options.Horizon was set).
+func (s *Steppable) Horizon() time.Duration { return s.horizon }
+
+// Result returns the finalised metrics; valid only once Done reports
+// true.
+func (s *Steppable) Result() Result { return s.res }
+
+// Advance runs the simulation forward by up to d of virtual time,
+// stopping early when the workload completes — in which case the
+// result is finalised exactly as Run would have, and Advance returns
+// true. Reaching the safety horizon without completing is an error
+// (sim.ErrHorizon, wrapped with the run identity), after which the
+// run is stuck: further calls return the same error.
+func (s *Steppable) Advance(d time.Duration) (bool, error) {
+	if s.done {
+		return true, nil
+	}
+	if d <= 0 {
+		return false, nil
+	}
+	target := s.eng.Clock().Now() + d
+	if target > s.horizon {
+		target = s.horizon
+	}
+	// The stop condition includes the target time, so this RunUntil
+	// always terminates well inside its own safety horizon.
+	s.eng.RunUntil(func() bool {
+		return s.runner.Done() || s.eng.Clock().Now() >= target
+	}, d+time.Second)
+	if s.runner.Done() {
+		s.finish()
+		return true, nil
+	}
+	if s.eng.Clock().Now() >= s.horizon {
+		return false, fmt.Errorf("harness: %s/%s/%s: %w",
+			s.cfg.Name, s.prog.Name, s.gov.Name(), sim.ErrHorizon)
+	}
+	return false, nil
+}
+
+// finish finalises the result, mirroring the tail of Run.
+func (s *Steppable) finish() Result {
+	s.opt.Spans.Finish(s.eng.Clock().Now())
+
+	runtime := s.runner.Elapsed().Seconds()
+	pkgJ, drmJ, gpuJ := s.n.EnergyJ()
+	res := Result{
+		System:      s.cfg.Name,
+		Workload:    s.prog.Name,
+		Governor:    s.gov.Name(),
+		RuntimeS:    runtime,
+		PkgEnergyJ:  pkgJ,
+		DramEnergyJ: drmJ,
+		GPUEnergyJ:  gpuJ,
+		Traces:      s.rec,
+	}
+	if runtime > 0 {
+		res.AvgCPUPowerW = (pkgJ + drmJ) / runtime
+	}
+	if s.fset != nil {
+		res.FaultsInjected = s.fset.Tally()
+	}
+	if s.ro != nil {
+		s.ro.finish(s.eng.Clock().Now(), res)
+	}
+	s.done = true
+	s.res = res
+	return res
+}

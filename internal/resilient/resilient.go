@@ -55,6 +55,19 @@ func (h Health) String() string {
 	}
 }
 
+// Worst reduces health states to the most severe one — the aggregation
+// rule a multi-sensor (or multi-session) surface reports: healthy only
+// when every input is healthy, lost as soon as any input is lost.
+func Worst(hs ...Health) Health {
+	w := Healthy
+	for _, h := range hs {
+		if h > w {
+			w = h
+		}
+	}
+	return w
+}
+
 // Config tunes the sensor fault handling. The zero value selects the
 // defaults below, so embedding it in a governor config costs nothing.
 type Config struct {

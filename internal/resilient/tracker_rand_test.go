@@ -1,0 +1,132 @@
+package resilient
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// trackerModel is an independent reference implementation of the
+// documented Tracker contract, driven alongside the real one.
+type trackerModel struct {
+	lostAfter int
+	health    Health
+	consec    int
+	c         Counters
+}
+
+func (m *trackerModel) miss() Health {
+	m.consec++
+	m.c.Misses++
+	if m.consec >= m.lostAfter {
+		m.health = Lost
+		m.c.LostCycles++
+	} else {
+		m.health = Degraded
+		m.c.DegradedCycles++
+	}
+	return m.health
+}
+
+func (m *trackerModel) good() bool {
+	fromLost := m.health == Lost
+	if m.health != Healthy {
+		m.c.Recoveries++
+	}
+	m.health = Healthy
+	m.consec = 0
+	return fromLost
+}
+
+// TestTrackerRandomizedStateMachine drives arbitrary Miss/Good
+// sequences against a reference model and asserts, step by step, the
+// healthy→degraded→lost transitions, recovery reporting, and the
+// counter invariants (monotonicity, Misses == DegradedCycles +
+// LostCycles, Recoveries bounded by Good calls).
+func TestTrackerRandomizedStateMachine(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		lostAfter := 1 + rng.Intn(5)
+		tr := NewTracker(lostAfter)
+		model := &trackerModel{lostAfter: lostAfter}
+		goods := uint64(0)
+		var prev Counters
+
+		for step := 0; step < 2000; step++ {
+			if rng.Intn(100) < 60 { // biased toward misses to exercise Lost
+				got := tr.Miss()
+				want := model.miss()
+				if got != want {
+					t.Fatalf("seed %d step %d: Miss() = %v, model %v", seed, step, got, want)
+				}
+			} else {
+				goods++
+				got := tr.Good()
+				want := model.good()
+				if got != want {
+					t.Fatalf("seed %d step %d: Good() recoveredFromLost = %v, model %v", seed, step, got, want)
+				}
+			}
+			if tr.Health() != model.health {
+				t.Fatalf("seed %d step %d: Health() = %v, model %v", seed, step, tr.Health(), model.health)
+			}
+
+			c := tr.Counters()
+			if c != model.c {
+				t.Fatalf("seed %d step %d: Counters() = %+v, model %+v", seed, step, c, model.c)
+			}
+			// Monotonicity: no counter ever decreases.
+			if c.Misses < prev.Misses || c.DegradedCycles < prev.DegradedCycles ||
+				c.LostCycles < prev.LostCycles || c.Recoveries < prev.Recoveries {
+				t.Fatalf("seed %d step %d: counters went backwards: %+v after %+v", seed, step, c, prev)
+			}
+			prev = c
+			// Every miss lands in exactly one health-state bucket.
+			if c.DegradedCycles+c.LostCycles != c.Misses {
+				t.Fatalf("seed %d step %d: degraded %d + lost %d != misses %d",
+					seed, step, c.DegradedCycles, c.LostCycles, c.Misses)
+			}
+			// A recovery needs a Good call, and at most one per Good.
+			if c.Recoveries > goods {
+				t.Fatalf("seed %d step %d: %d recoveries from %d Good calls", seed, step, c.Recoveries, goods)
+			}
+			// Health must agree with the consecutive-miss rule.
+			switch h := tr.Health(); h {
+			case Healthy:
+				if model.consec != 0 {
+					t.Fatalf("seed %d step %d: healthy with %d consecutive misses", seed, step, model.consec)
+				}
+			case Degraded:
+				if model.consec <= 0 || model.consec >= lostAfter {
+					t.Fatalf("seed %d step %d: degraded with %d consecutive misses (lostAfter %d)",
+						seed, step, model.consec, lostAfter)
+				}
+			case Lost:
+				if model.consec < lostAfter {
+					t.Fatalf("seed %d step %d: lost with only %d consecutive misses (lostAfter %d)",
+						seed, step, model.consec, lostAfter)
+				}
+			default:
+				t.Fatalf("seed %d step %d: unknown health %v", seed, step, h)
+			}
+		}
+	}
+}
+
+// TestWorst pins the aggregation rule serve's /healthz relies on.
+func TestWorst(t *testing.T) {
+	cases := []struct {
+		in   []Health
+		want Health
+	}{
+		{nil, Healthy},
+		{[]Health{Healthy, Healthy}, Healthy},
+		{[]Health{Healthy, Degraded, Healthy}, Degraded},
+		{[]Health{Degraded, Lost, Healthy}, Lost},
+		{[]Health{Lost}, Lost},
+	}
+	for _, c := range cases {
+		if got := Worst(c.in...); got != c.want {
+			t.Errorf("Worst(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

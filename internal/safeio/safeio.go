@@ -1,0 +1,31 @@
+// Package safeio holds the partial-file-safe output helper shared by
+// every CLI in this repo. A report, record or trace that fails halfway
+// through must never leave a truncated file behind for a later plotting
+// or analysis step to silently consume.
+package safeio
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteFile creates path, runs write into it, and never leaves a
+// partial file behind: a failed write (or close) removes the file and
+// reports the path in the error.
+func WriteFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(path)
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return nil
+}

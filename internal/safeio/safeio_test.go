@@ -1,0 +1,72 @@
+package safeio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileSuccess(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "hello\n")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "hello\n" {
+		t.Fatalf("content = %q, want %q", b, "hello\n")
+	}
+}
+
+func TestWriteFileFailingWriterLeavesNoFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	boom := errors.New("boom")
+	err := WriteFile(path, func(w io.Writer) error {
+		io.WriteString(w, "partial data that must not survive")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped %v", err, boom)
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Fatalf("error %q does not name the path %q", err, path)
+	}
+	if _, statErr := os.Stat(path); !os.IsNotExist(statErr) {
+		t.Fatalf("partial file left behind: stat err = %v", statErr)
+	}
+}
+
+func TestWriteFileOverwritesExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "new")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := os.ReadFile(path)
+	if string(b) != "new" {
+		t.Fatalf("content = %q, want %q", b, "new")
+	}
+}
+
+func TestWriteFileUncreatablePath(t *testing.T) {
+	err := WriteFile(filepath.Join(t.TempDir(), "missing-dir", "out.txt"), func(io.Writer) error {
+		t.Fatal("write callback ran despite create failure")
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected create error")
+	}
+}

@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/spear-repro/magus/internal/obs"
+)
+
+// maxBodyBytes bounds any request body; a session spec or step request
+// is a few hundred bytes, so 64 KiB is already generous.
+const maxBodyBytes = 64 << 10
+
+// stepRequest is the POST .../step body.
+type stepRequest struct {
+	// Seconds of virtual time to advance (clamped to the manager's
+	// MaxStep).
+	Seconds float64 `json:"seconds"`
+}
+
+// errorBody is every non-2xx JSON response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// NewHTTPHandler builds the daemon's full HTTP surface over mg:
+//
+//	POST   /api/v1/sessions           create a session
+//	GET    /api/v1/sessions           list sessions
+//	GET    /api/v1/sessions/{id}      session status (+stats/waste)
+//	POST   /api/v1/sessions/{id}/step advance virtual time
+//	DELETE /api/v1/sessions/{id}      close a session
+//	GET    /healthz                   aggregated service health
+//	GET    /metrics, /debug/pprof/... delegated to the obs handler
+//
+// /healthz and /metrics never take the work gate or a session lock, so
+// they stay responsive while the service sheds load.
+func NewHTTPHandler(mg *Manager) http.Handler {
+	inner := obs.NewHandler(mg.Metrics().obs)
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /api/v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		var spec Spec
+		if !decodeJSON(w, r, &spec) {
+			return
+		}
+		st, err := mg.Create(spec)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, st)
+	})
+	mux.HandleFunc("GET /api/v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, mg.List())
+	})
+	mux.HandleFunc("GET /api/v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := mg.Get(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("POST /api/v1/sessions/{id}/step", func(w http.ResponseWriter, r *http.Request) {
+		var req stepRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		res, err := mg.Step(r.PathValue("id"), time.Duration(req.Seconds*float64(time.Second)))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("DELETE /api/v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := mg.CloseSession(r.PathValue("id")); err != nil {
+			writeErr(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := mg.Health()
+		code := http.StatusOK
+		if h.Draining {
+			// Draining is the one service-level outage: load balancers
+			// must stop routing here. A lost *tenant* stays a 200 —
+			// one misbehaving session must not take the service down.
+			code = http.StatusServiceUnavailable
+		}
+		w.Header().Set("X-Magus-Health", h.Worst)
+		writeJSON(w, code, h)
+	})
+	mux.Handle("GET /metrics", inner)
+	mux.Handle("/debug/pprof/", inner)
+	return mux
+}
+
+// decodeJSON parses a bounded, strict JSON body; a false return means
+// the 400 was already written.
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad request body: %v", err)})
+		return false
+	}
+	return true
+}
+
+// writeErr maps manager errors onto HTTP statuses. Overload answers
+// carry Retry-After so well-behaved clients back off instead of
+// hammering a shedding server.
+func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrBadSpec):
+		code = http.StatusBadRequest
+	case errors.Is(err, ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrSessionFailed):
+		code = http.StatusConflict
+	case errors.Is(err, ErrSessionLimit):
+		code = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "5")
+	case errors.Is(err, ErrOverloaded):
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, ErrDraining):
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "10")
+	}
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+// NewServer wraps h in an http.Server hardened for an untrusted
+// network: header and idle timeouts bound slow-loris connections, and
+// the caller is expected to stop it with Shutdown (see cmd/magusd).
+// Both magusd modes (-listen and serve) share this construction.
+func NewServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    64 << 10,
+	}
+}

@@ -1,0 +1,257 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Manager, *httptest.Server) {
+	t.Helper()
+	mg := NewManager(cfg)
+	srv := httptest.NewServer(NewHTTPHandler(mg))
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		mg.Close(ctx)
+	})
+	return mg, srv
+}
+
+func doJSON(t *testing.T, method, url string, body any, out any) *http.Response {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil && err != io.EOF {
+			t.Fatalf("%s %s: decode: %v", method, url, err)
+		}
+	}
+	return resp
+}
+
+// TestHTTPSessionLifecycle drives create → step → status → delete over
+// the wire.
+func TestHTTPSessionLifecycle(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+
+	var st Status
+	resp := doJSON(t, "POST", srv.URL+"/api/v1/sessions",
+		Spec{Tenant: "acme", Workload: "bfs", Governor: "magus", Waste: true}, &st)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status = %d", resp.StatusCode)
+	}
+	if st.ID == "" || st.State != "running" || st.Health != "healthy" {
+		t.Fatalf("created status = %+v", st)
+	}
+
+	var step StepResult
+	for i := 0; i < 100 && !step.Done; i++ {
+		resp = doJSON(t, "POST", srv.URL+"/api/v1/sessions/"+st.ID+"/step",
+			stepRequest{Seconds: 5}, &step)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("step status = %d", resp.StatusCode)
+		}
+	}
+	if !step.Done || step.Result == nil || step.Result.RuntimeS <= 0 {
+		t.Fatalf("final step = %+v", step)
+	}
+	if len(step.Decisions) == 0 && step.DecisionsDropped == 0 {
+		t.Fatal("magus session surfaced no decisions")
+	}
+
+	var got Status
+	doJSON(t, "GET", srv.URL+"/api/v1/sessions/"+st.ID, nil, &got)
+	if got.State != "done" || got.Waste == nil || got.Stats == nil {
+		t.Fatalf("status = %+v", got)
+	}
+
+	var list []SessionSummary
+	doJSON(t, "GET", srv.URL+"/api/v1/sessions", nil, &list)
+	if len(list) != 1 || list[0].ID != st.ID {
+		t.Fatalf("list = %+v", list)
+	}
+
+	resp = doJSON(t, "DELETE", srv.URL+"/api/v1/sessions/"+st.ID, nil, nil)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status = %d", resp.StatusCode)
+	}
+	resp = doJSON(t, "GET", srv.URL+"/api/v1/sessions/"+st.ID, nil, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("get after delete = %d", resp.StatusCode)
+	}
+}
+
+// TestHTTPAdmission429 pins the session limit on the wire: 429 with
+// Retry-After.
+func TestHTTPAdmission429(t *testing.T) {
+	_, srv := newTestServer(t, Config{MaxSessions: 1})
+	resp := doJSON(t, "POST", srv.URL+"/api/v1/sessions", Spec{Tenant: "a", Workload: "bfs"}, nil)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("first create = %d", resp.StatusCode)
+	}
+	var e errorBody
+	resp = doJSON(t, "POST", srv.URL+"/api/v1/sessions", Spec{Tenant: "b", Workload: "bfs"}, &e)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second create = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if !strings.Contains(e.Error, "session limit") {
+		t.Fatalf("error body = %+v", e)
+	}
+}
+
+// TestHTTPOverload503 pins queue shed on the wire: 503 with
+// Retry-After.
+func TestHTTPOverload503(t *testing.T) {
+	mg, srv := newTestServer(t, Config{MaxInflight: 1, MaxQueue: 1})
+	var st Status
+	doJSON(t, "POST", srv.URL+"/api/v1/sessions", Spec{Tenant: "t", Workload: "bfs"}, &st)
+	s, err := mg.lookup(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := make(chan struct{})
+	entered := make(chan struct{})
+	s.stepHook = func() {
+		close(entered)
+		<-block
+	}
+	defer close(block)
+
+	go func() {
+		resp, err := http.Post(srv.URL+"/api/v1/sessions/"+st.ID+"/step",
+			"application/json", strings.NewReader(`{"seconds": 1}`))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-entered
+	go mg.Step(st.ID, time.Second) // fills the queue slot
+	waitFor(t, func() bool { return mg.queued.Load() == 1 })
+
+	resp := doJSON(t, "POST", srv.URL+"/api/v1/sessions/"+st.ID+"/step", stepRequest{Seconds: 1}, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow step = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+
+	// /healthz and /metrics stay responsive while the gate is wedged.
+	resp = doJSON(t, "GET", srv.URL+"/healthz", nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz under load = %d", resp.StatusCode)
+	}
+	resp = doJSON(t, "GET", srv.URL+"/metrics", nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics under load = %d", resp.StatusCode)
+	}
+	s.stepHook = nil
+}
+
+// TestHTTPBadRequests pins the strict decoding: unknown fields,
+// malformed JSON and oversized bodies are 400s.
+func TestHTTPBadRequests(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	post := func(body string) int {
+		resp, err := http.Post(srv.URL+"/api/v1/sessions", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post(`{"tenant": "t", "workload": "bfs", "sudo": true}`); code != http.StatusBadRequest {
+		t.Fatalf("unknown field = %d, want 400", code)
+	}
+	if code := post(`{"tenant": `); code != http.StatusBadRequest {
+		t.Fatalf("malformed JSON = %d, want 400", code)
+	}
+	if code := post(fmt.Sprintf(`{"tenant": %q, "workload": "bfs"}`, strings.Repeat("x", maxBodyBytes))); code != http.StatusBadRequest {
+		t.Fatalf("oversized body = %d, want 400", code)
+	}
+}
+
+// TestHTTPHealthz pins the aggregated body and the draining 503.
+func TestHTTPHealthz(t *testing.T) {
+	mg, srv := newTestServer(t, Config{})
+	doJSON(t, "POST", srv.URL+"/api/v1/sessions", Spec{Tenant: "t", Workload: "bfs"}, nil)
+
+	var h ServiceHealth
+	resp := doJSON(t, "GET", srv.URL+"/healthz", nil, &h)
+	if resp.StatusCode != http.StatusOK || h.Status != "ok" || h.Sessions != 1 || h.Healthy != 1 {
+		t.Fatalf("healthz = %d %+v", resp.StatusCode, h)
+	}
+
+	if err := mg.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp = doJSON(t, "GET", srv.URL+"/healthz", nil, &h)
+	if resp.StatusCode != http.StatusServiceUnavailable || h.Status != "draining" {
+		t.Fatalf("draining healthz = %d %+v", resp.StatusCode, h)
+	}
+	// API requests during drain get a 503 too.
+	resp = doJSON(t, "POST", srv.URL+"/api/v1/sessions", Spec{Tenant: "late", Workload: "bfs"}, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("create while draining = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestHTTPMetricsExposition pins that the serve families appear in the
+// Prometheus text output.
+func TestHTTPMetricsExposition(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	doJSON(t, "POST", srv.URL+"/api/v1/sessions", Spec{Tenant: "t", Workload: "bfs"}, nil)
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(b)
+	for _, fam := range []string{
+		"magus_serve_sessions_live 1",
+		"magus_serve_sessions_created_total 1",
+		"magus_serve_max_sessions",
+		"magus_build_info",
+	} {
+		if !strings.Contains(text, fam) {
+			t.Errorf("exposition missing %q", fam)
+		}
+	}
+}
+
+// TestHTTPServerHardened pins the slowloris guards on the shared
+// server constructor.
+func TestHTTPServerHardened(t *testing.T) {
+	srv := NewServer(":0", http.NewServeMux())
+	if srv.ReadHeaderTimeout <= 0 || srv.IdleTimeout <= 0 || srv.MaxHeaderBytes <= 0 {
+		t.Fatalf("unhardened server: %+v", srv)
+	}
+}

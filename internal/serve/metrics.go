@@ -1,0 +1,61 @@
+package serve
+
+import "github.com/spear-repro/magus/internal/obs"
+
+// metrics is the serve layer's own magus_serve_* metric families. They
+// live in a dedicated observer so tenant simulations (which must stay
+// byte-identical to unobserved runs) never share a registry with the
+// service plane.
+type metrics struct {
+	obs *obs.Observer
+
+	created      *obs.Counter
+	closed       *obs.Counter
+	completed    *obs.Counter
+	failed       *obs.Counter
+	reaped       *obs.Counter
+	steps        *obs.Counter
+	badSpec      *obs.Counter
+	rejectedFull *obs.Counter
+	shed         *obs.Counter
+
+	live       *obs.Gauge
+	queueDepth *obs.Gauge
+	healthy    *obs.Gauge
+	degraded   *obs.Gauge
+	lost       *obs.Gauge
+}
+
+func newMetrics(cfg Config) *metrics {
+	o := obs.New(obs.NewRegistry(), nil)
+	r := o.Registry()
+	m := &metrics{
+		obs:          o,
+		created:      r.Counter("magus_serve_sessions_created_total", "Sessions admitted."),
+		closed:       r.Counter("magus_serve_sessions_closed_total", "Sessions closed by clients."),
+		completed:    r.Counter("magus_serve_sessions_completed_total", "Sessions whose workload finished."),
+		failed:       r.Counter("magus_serve_sessions_failed_total", "Step requests that failed a session (panic or horizon)."),
+		reaped:       r.Counter("magus_serve_sessions_reaped_total", "Idle sessions closed by the reaper."),
+		steps:        r.Counter("magus_serve_steps_total", "Step requests executed."),
+		badSpec:      r.Counter("magus_serve_bad_spec_total", "Session specs rejected as malformed."),
+		rejectedFull: r.Counter("magus_serve_rejected_session_limit_total", "Creates rejected at the admission limit (HTTP 429)."),
+		shed:         r.Counter("magus_serve_shed_total", "Requests shed by the bounded work queue (HTTP 503)."),
+		live:         r.Gauge("magus_serve_sessions_live", "Live sessions."),
+		queueDepth:   r.Gauge("magus_serve_queue_depth", "Requests waiting for an inflight slot."),
+		healthy:      r.Gauge("magus_serve_sessions_healthy", "Live sessions currently healthy."),
+		degraded:     r.Gauge("magus_serve_sessions_degraded", "Live sessions currently degraded."),
+		lost:         r.Gauge("magus_serve_sessions_lost", "Live sessions currently lost."),
+	}
+	r.Gauge("magus_serve_max_sessions", "Configured admission limit.").Set(float64(cfg.MaxSessions))
+	r.Gauge("magus_serve_max_inflight", "Configured inflight bound.").Set(float64(cfg.MaxInflight))
+	r.Gauge("magus_serve_max_queue", "Configured queue bound.").Set(float64(cfg.MaxQueue))
+	return m
+}
+
+// healthGauges republishes the per-health session counts whenever the
+// aggregate is computed.
+func (m *metrics) healthGauges(h ServiceHealth) {
+	m.healthy.Set(float64(h.Healthy))
+	m.degraded.Set(float64(h.Degraded))
+	m.lost.Set(float64(h.Lost))
+}

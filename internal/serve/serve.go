@@ -1,0 +1,485 @@
+// Package serve is the multi-tenant governor service behind
+// `magusd serve`: a session manager that runs one deterministic
+// MAGUS/UPS/DUF simulation per tenant, advanced step-by-step over an
+// HTTP API. Its job is robustness under load, so every resource is
+// bounded and every failure mode is explicit:
+//
+//   - Admission control: at most MaxSessions live sessions; a create
+//     beyond that is rejected with ErrSessionLimit (HTTP 429), never
+//     queued.
+//   - Backpressure: at most MaxInflight requests execute simulation
+//     work concurrently, with at most MaxQueue more waiting; the rest
+//     shed with ErrOverloaded (HTTP 503 + Retry-After) instead of
+//     piling up goroutines until the daemon dies.
+//   - Isolation: a panicking tenant session is marked lost and keeps
+//     failing loudly, while every other tenant keeps running.
+//   - Reaping: sessions idle past IdleExpiry are closed by a
+//     background reaper, so abandoned tenants cannot pin the
+//     admission limit forever.
+//   - Graceful shutdown: Close stops admission immediately, drains
+//     in-flight work up to a deadline, then tears the sessions down.
+//
+// Determinism is preserved per tenant: a session stepped to completion
+// over any request pattern produces the byte-identical result of the
+// equivalent single-shot harness.Run (see internal/harness.Steppable).
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/spear-repro/magus/internal/resilient"
+)
+
+// Sentinel errors; the HTTP layer maps them onto status codes.
+var (
+	// ErrBadSpec rejects a malformed session spec (HTTP 400).
+	ErrBadSpec = errors.New("serve: bad session spec")
+	// ErrSessionLimit rejects a create beyond MaxSessions (HTTP 429).
+	ErrSessionLimit = errors.New("serve: session limit reached")
+	// ErrOverloaded sheds a request the work gate cannot absorb
+	// (HTTP 503 + Retry-After).
+	ErrOverloaded = errors.New("serve: overloaded")
+	// ErrDraining rejects everything once shutdown began (HTTP 503).
+	ErrDraining = errors.New("serve: draining")
+	// ErrNotFound reports an unknown session ID (HTTP 404).
+	ErrNotFound = errors.New("serve: no such session")
+	// ErrSessionFailed reports a session killed by a panic or stuck at
+	// its horizon (HTTP 409); the session stays queryable until closed.
+	ErrSessionFailed = errors.New("serve: session failed")
+)
+
+// Config bounds the manager. The zero value selects the defaults.
+type Config struct {
+	// MaxSessions is the admission limit on live sessions (default 64).
+	MaxSessions int
+	// MaxInflight bounds concurrently executing simulation requests
+	// (default 8).
+	MaxInflight int
+	// MaxQueue bounds requests waiting for an inflight slot; beyond
+	// it requests shed immediately (default 4× MaxInflight).
+	MaxQueue int
+	// MaxStep caps the virtual time one step request may advance
+	// (default 30 s virtual; larger requests are clamped, not failed).
+	MaxStep time.Duration
+	// StepWallBudget arms the per-step wall-clock watchdog: a session
+	// whose steps repeatedly take longer is marked degraded
+	// (default 2 s wall; <= 0 disables).
+	StepWallBudget time.Duration
+	// IdleExpiry reaps sessions with no requests for this long
+	// (default 10 min; negative disables reaping).
+	IdleExpiry time.Duration
+	// ReapInterval is the reaper's period (default 30 s).
+	ReapInterval time.Duration
+	// Clock supplies wall time (tests inject a fake; nil = time.Now).
+	Clock func() time.Time
+	// Logf receives lifecycle log lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 8
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxInflight
+	}
+	if c.MaxStep <= 0 {
+		c.MaxStep = 30 * time.Second
+	}
+	if c.StepWallBudget == 0 {
+		c.StepWallBudget = 2 * time.Second
+	}
+	if c.IdleExpiry == 0 {
+		c.IdleExpiry = 10 * time.Minute
+	}
+	if c.ReapInterval <= 0 {
+		c.ReapInterval = 30 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Manager owns the tenant sessions and enforces the bounds.
+type Manager struct {
+	cfg Config
+	m   *metrics
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	nextID   uint64
+	draining bool
+
+	// gate bounds concurrently executing simulation work; queued
+	// tracks waiters so the queue itself stays bounded.
+	gate    chan struct{}
+	queued  atomic.Int64
+	drainCh chan struct{} // closed when draining starts
+
+	reapStop chan struct{}
+	reapDone chan struct{}
+}
+
+// NewManager builds a manager and starts its reaper (when IdleExpiry
+// is set).
+func NewManager(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	m := &Manager{
+		cfg:      cfg,
+		m:        newMetrics(cfg),
+		sessions: make(map[string]*Session),
+		gate:     make(chan struct{}, cfg.MaxInflight),
+		drainCh:  make(chan struct{}),
+		reapStop: make(chan struct{}),
+		reapDone: make(chan struct{}),
+	}
+	if cfg.IdleExpiry > 0 {
+		go m.reapLoop()
+	} else {
+		close(m.reapDone)
+	}
+	return m
+}
+
+// Metrics exposes the manager's obs registry for the HTTP layer.
+func (mg *Manager) Metrics() *metrics { return mg.m }
+
+// acquire takes an inflight slot, shedding when the bounded queue is
+// full or the manager is draining. Returns a release func.
+func (mg *Manager) acquire() (func(), error) {
+	select {
+	case <-mg.drainCh:
+		return nil, ErrDraining
+	default:
+	}
+	// Fast path: free slot, no queueing.
+	select {
+	case mg.gate <- struct{}{}:
+		return mg.release, nil
+	default:
+	}
+	if n := mg.queued.Add(1); n > int64(mg.cfg.MaxQueue) {
+		mg.queued.Add(-1)
+		mg.m.shed.Inc()
+		return nil, ErrOverloaded
+	}
+	mg.m.queueDepth.Set(float64(mg.queued.Load()))
+	defer func() {
+		mg.queued.Add(-1)
+		mg.m.queueDepth.Set(float64(mg.queued.Load()))
+	}()
+	select {
+	case mg.gate <- struct{}{}:
+		return mg.release, nil
+	case <-mg.drainCh:
+		return nil, ErrDraining
+	}
+}
+
+func (mg *Manager) release() { <-mg.gate }
+
+// Create admits a new tenant session. The build (governor attach, node
+// wiring) runs under the work gate like any other simulation request.
+func (mg *Manager) Create(spec Spec) (Status, error) {
+	if err := spec.validate(); err != nil {
+		mg.m.badSpec.Inc()
+		return Status{}, err
+	}
+	rel, err := mg.acquire()
+	if err != nil {
+		return Status{}, err
+	}
+	defer rel()
+
+	now := mg.cfg.Clock()
+	mg.mu.Lock()
+	if mg.draining {
+		mg.mu.Unlock()
+		return Status{}, ErrDraining
+	}
+	if len(mg.sessions) >= mg.cfg.MaxSessions {
+		mg.mu.Unlock()
+		mg.m.rejectedFull.Inc()
+		return Status{}, fmt.Errorf("%w (%d live)", ErrSessionLimit, mg.cfg.MaxSessions)
+	}
+	mg.nextID++
+	id := fmt.Sprintf("s-%06d", mg.nextID)
+	// Reserve the slot before the (comparatively expensive) wiring so
+	// a concurrent create burst cannot overshoot MaxSessions.
+	mg.sessions[id] = nil
+	mg.mu.Unlock()
+
+	s, err := newSession(id, spec, now)
+
+	mg.mu.Lock()
+	if err != nil || mg.draining {
+		delete(mg.sessions, id)
+	} else {
+		mg.sessions[id] = s
+	}
+	live := len(mg.sessions)
+	draining := mg.draining
+	mg.mu.Unlock()
+
+	if err != nil {
+		mg.m.badSpec.Inc()
+		return Status{}, err
+	}
+	if draining {
+		return Status{}, ErrDraining
+	}
+	mg.m.created.Inc()
+	mg.m.live.Set(float64(live))
+	mg.cfg.Logf("serve: created %s tenant=%s workload=%s governor=%s", id, spec.Tenant, spec.Workload, s.gov.Name())
+	return s.status(now), nil
+}
+
+// lookup resolves id; nil placeholder entries (mid-create) read as
+// not-found rather than blocking.
+func (mg *Manager) lookup(id string) (*Session, error) {
+	mg.mu.Lock()
+	s, ok := mg.sessions[id]
+	mg.mu.Unlock()
+	if !ok || s == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return s, nil
+}
+
+// Step advances session id by up to d of virtual time (clamped to
+// MaxStep) under the work gate.
+func (mg *Manager) Step(id string, d time.Duration) (StepResult, error) {
+	if d <= 0 {
+		return StepResult{}, fmt.Errorf("%w: non-positive step", ErrBadSpec)
+	}
+	if d > mg.cfg.MaxStep {
+		d = mg.cfg.MaxStep
+	}
+	s, err := mg.lookup(id)
+	if err != nil {
+		return StepResult{}, err
+	}
+	rel, err := mg.acquire()
+	if err != nil {
+		return StepResult{}, err
+	}
+	defer rel()
+
+	res, err := s.step(d, mg.cfg.StepWallBudget, mg.cfg.Clock())
+	mg.m.steps.Inc()
+	if err != nil {
+		mg.m.failed.Inc()
+		mg.cfg.Logf("serve: %s failed: %v", id, err)
+		return StepResult{}, err
+	}
+	if res.Done {
+		mg.m.completed.Inc()
+	}
+	return res, nil
+}
+
+// Get returns session id's status without touching the work gate:
+// reads must stay responsive under full load.
+func (mg *Manager) Get(id string) (Status, error) {
+	s, err := mg.lookup(id)
+	if err != nil {
+		return Status{}, err
+	}
+	return s.status(mg.cfg.Clock()), nil
+}
+
+// CloseSession removes session id.
+func (mg *Manager) CloseSession(id string) error {
+	mg.mu.Lock()
+	s, ok := mg.sessions[id]
+	if ok && s != nil {
+		delete(mg.sessions, id)
+	}
+	live := len(mg.sessions)
+	mg.mu.Unlock()
+	if !ok || s == nil {
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	mg.m.closed.Inc()
+	mg.m.live.Set(float64(live))
+	mg.cfg.Logf("serve: closed %s", id)
+	return nil
+}
+
+// List snapshots every live session, ordered by ID. It uses the
+// published atomics, not the session locks, so a stepping tenant never
+// stalls the listing.
+func (mg *Manager) List() []SessionSummary {
+	mg.mu.Lock()
+	out := make([]SessionSummary, 0, len(mg.sessions))
+	for id, s := range mg.sessions {
+		if s == nil {
+			continue
+		}
+		out = append(out, SessionSummary{
+			ID:     id,
+			Tenant: s.Spec.Tenant,
+			State:  sessionState(s.pubState.Load()).String(),
+			Health: resilient.Health(s.pubHealth.Load()).String(),
+			NowS:   (time.Duration(s.pubNow.Load())).Seconds(),
+		})
+	}
+	mg.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// SessionSummary is one row of List.
+type SessionSummary struct {
+	ID     string  `json:"id"`
+	Tenant string  `json:"tenant"`
+	State  string  `json:"state"`
+	Health string  `json:"health"`
+	NowS   float64 `json:"now_s"`
+}
+
+// ServiceHealth is the aggregated /healthz body.
+type ServiceHealth struct {
+	// Status is "ok" or "draining". A lost tenant does not change it:
+	// no single misbehaving session takes the service down.
+	Status   string `json:"status"`
+	Sessions int    `json:"sessions"`
+	Healthy  int    `json:"healthy"`
+	Degraded int    `json:"degraded"`
+	Lost     int    `json:"lost"`
+	// Worst is the most severe tenant health (resilient.Worst).
+	Worst    string `json:"worst"`
+	Inflight int    `json:"inflight"`
+	Queued   int    `json:"queued"`
+	Draining bool   `json:"draining"`
+}
+
+// Health aggregates tenant health lock-free via the published atomics.
+func (mg *Manager) Health() ServiceHealth {
+	mg.mu.Lock()
+	hs := make([]resilient.Health, 0, len(mg.sessions))
+	for _, s := range mg.sessions {
+		if s != nil {
+			hs = append(hs, resilient.Health(s.pubHealth.Load()))
+		}
+	}
+	draining := mg.draining
+	mg.mu.Unlock()
+
+	h := ServiceHealth{
+		Status:   "ok",
+		Sessions: len(hs),
+		Worst:    resilient.Worst(hs...).String(),
+		Inflight: len(mg.gate),
+		Queued:   int(mg.queued.Load()),
+		Draining: draining,
+	}
+	for _, x := range hs {
+		switch x {
+		case resilient.Lost:
+			h.Lost++
+		case resilient.Degraded:
+			h.Degraded++
+		default:
+			h.Healthy++
+		}
+	}
+	if draining {
+		h.Status = "draining"
+	}
+	mg.m.healthGauges(h)
+	return h
+}
+
+// reapLoop closes sessions idle past IdleExpiry. TryLock skips
+// sessions mid-step: an active session is by definition not idle.
+func (mg *Manager) reapLoop() {
+	defer close(mg.reapDone)
+	t := time.NewTicker(mg.cfg.ReapInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-mg.reapStop:
+			return
+		case <-t.C:
+			mg.reapOnce()
+		}
+	}
+}
+
+// reapOnce sweeps once; split out so tests can drive it directly with
+// an injected clock.
+func (mg *Manager) reapOnce() {
+	now := mg.cfg.Clock()
+	mg.mu.Lock()
+	var expired []string
+	for id, s := range mg.sessions {
+		if s == nil || !s.mu.TryLock() {
+			continue
+		}
+		idle := now.Sub(time.Unix(0, s.lastActive.Load()))
+		s.mu.Unlock()
+		if idle >= mg.cfg.IdleExpiry && mg.cfg.IdleExpiry > 0 {
+			expired = append(expired, id)
+		}
+	}
+	for _, id := range expired {
+		delete(mg.sessions, id)
+		mg.m.reaped.Inc()
+		mg.cfg.Logf("serve: reaped idle %s", id)
+	}
+	live := len(mg.sessions)
+	mg.mu.Unlock()
+	if len(expired) > 0 {
+		mg.m.live.Set(float64(live))
+	}
+}
+
+// Close drains the manager: new work is rejected immediately with
+// ErrDraining, in-flight requests get until ctx's deadline to finish,
+// then the sessions are dropped. Safe to call once.
+func (mg *Manager) Close(ctx context.Context) error {
+	mg.mu.Lock()
+	if mg.draining {
+		mg.mu.Unlock()
+		return nil
+	}
+	mg.draining = true
+	mg.mu.Unlock()
+	close(mg.drainCh) // unblocks queued waiters with ErrDraining
+	close(mg.reapStop)
+	<-mg.reapDone
+
+	// Drain: acquiring every inflight slot proves no simulation work
+	// is still executing.
+	var err error
+	for i := 0; i < mg.cfg.MaxInflight; i++ {
+		select {
+		case mg.gate <- struct{}{}:
+		case <-ctx.Done():
+			err = fmt.Errorf("serve: drain: %w", ctx.Err())
+			i = mg.cfg.MaxInflight // abandon politeness, shutdown wins
+		}
+	}
+
+	mg.mu.Lock()
+	n := len(mg.sessions)
+	mg.sessions = make(map[string]*Session)
+	mg.mu.Unlock()
+	mg.m.live.Set(0)
+	mg.cfg.Logf("serve: drained, dropped %d sessions", n)
+	return err
+}

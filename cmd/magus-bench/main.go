@@ -16,6 +16,9 @@
 //	magus-bench -ext noise -app unet
 //	magus-bench -ext faults -app srad  # fault-injection robustness sweep
 //	magus-bench -waste -app srad       # power-waste attribution ledger
+//	magus-bench -tournament -app srad  # governor tournament, MAGUS
+//	                                   # variants forked from shared
+//	                                   # prefixes (-scratch to disable)
 //
 // Output is aligned ASCII tables with sparkline trace previews.
 package main
@@ -39,6 +42,8 @@ func main() {
 		tab     = flag.String("tab", "", "table to regenerate: 1, 2")
 		ext     = flag.String("ext", "", "extension study: ablation, cluster, numa, noise, faults")
 		waste   = flag.Bool("waste", false, "power-waste attribution ledger for -app under each governor")
+		tourn   = flag.Bool("tournament", false, "governor tournament for -app: default/UPS/DUF/MAGUS and\nMAGUS parameter variants, variants forked from shared prefixes")
+		scratch = flag.Bool("scratch", false, "with -tournament: disable fork-from-prefix sharing\n(reference mode; output is byte-identical either way)")
 		reps    = flag.Int("reps", 5, "repeats per experiment cell")
 		seed    = flag.Int64("seed", 1, "base seed")
 		jobs    = flag.Int("jobs", 0, "parallel experiment cells (0 = GOMAXPROCS);\noutput is byte-identical for any value")
@@ -120,6 +125,10 @@ func main() {
 	if *all || *waste {
 		ran = true
 		wasteStudy(*app, opt)
+	}
+	if *all || *tourn {
+		ran = true
+		tournament(*app, *seed, *jobs, *scratch)
 	}
 	if !ran {
 		flag.Usage()
@@ -352,4 +361,28 @@ func fatalIf(err error) {
 		fmt.Fprintln(os.Stderr, "magus-bench:", err)
 		os.Exit(1)
 	}
+}
+
+func tournament(app string, seed int64, jobs int, scratch bool) {
+	res, err := magus.RunTournament(magus.TournamentOptions{
+		Apps: []string{app}, Seed: seed, Jobs: jobs, Scratch: scratch,
+	})
+	fatalIf(err)
+	mode := "fork-from-prefix"
+	if scratch {
+		mode = "from scratch"
+	}
+	fmt.Printf("== Governor tournament (%s, %s) ==\n", app, mode)
+	fmt.Print(res.Table())
+	forked, shared := 0, 0
+	for _, c := range res.Cells {
+		if c.Forked {
+			forked++
+		}
+		if c.SharedPrefix {
+			shared++
+		}
+	}
+	fmt.Printf("%d cells: %d forked from a shared prefix, %d reused the base run outright; %.1f virtual seconds not re-executed\n\n",
+		len(res.Cells), forked, shared, res.SharedSeconds())
 }

@@ -221,3 +221,34 @@ type FaultPoint = experiments.FaultPoint
 func RunFaultSweep(app string, plans []string, opt ExperimentOptions) (FaultSweepResult, error) {
 	return experiments.FaultSweep(app, plans, opt)
 }
+
+// ---- Governor tournament (fork-from-prefix checkpoint sharing) ----
+
+// TournamentOptions selects the tournament grid: systems × apps ×
+// fault presets, with a bracket of MAGUS parameter variants.
+type TournamentOptions = experiments.TournamentOptions
+
+// TournamentEntry is one MAGUS parameter variant in the bracket.
+type TournamentEntry = experiments.TournamentEntry
+
+// TournamentResult is the tournament grid in canonical order.
+type TournamentResult = experiments.TournamentResult
+
+// TournamentCell is one entry's outcome in one grid cell.
+type TournamentCell = experiments.TournamentCell
+
+// DefaultTournamentVariants returns the stock parameter bracket.
+func DefaultTournamentVariants() []TournamentEntry {
+	return experiments.DefaultTournamentVariants()
+}
+
+// RunTournament races the vendor default, UPS, DUF, base MAGUS and
+// each MAGUS parameter variant in every grid cell, reporting per-entry
+// power-waste attribution. Unless opt.Scratch is set, MAGUS variants
+// resume from a checkpoint of the base run taken just before their
+// first divergent decision cycle instead of re-executing the shared
+// prefix; the output is byte-identical either way (see
+// docs/CHECKPOINT.md).
+func RunTournament(opt TournamentOptions) (TournamentResult, error) {
+	return experiments.Tournament(opt)
+}

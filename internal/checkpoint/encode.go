@@ -1,0 +1,99 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+)
+
+// Envelope layout, all integers big-endian:
+//
+//	offset  size  field
+//	0       8     magic "MAGUSCKP"
+//	8       4     format version
+//	12      8     payload length
+//	20      4     CRC-32 (IEEE) of the payload
+//	24      n     payload: gob-encoded Data
+//
+// The version covers the payload schema: any change to the Data struct
+// or to a package's State type that alters the wire bytes is a version
+// bump, never a silent re-interpretation. Decode rejects unknown
+// versions, truncation, trailing garbage and CRC mismatches with an
+// error — a hostile or corrupted blob must never restore partially.
+
+const (
+	// Version is the current checkpoint format version.
+	Version = 1
+
+	magic      = "MAGUSCKP"
+	headerSize = len(magic) + 4 + 8 + 4
+
+	// MaxPayload caps the decoded payload size; a header advertising
+	// more is corrupt by definition (real checkpoints are a few MB).
+	MaxPayload = 64 << 20
+)
+
+// Encode serialises the checkpoint into the versioned envelope.
+func Encode(d *Data) ([]byte, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(d); err != nil {
+		return nil, fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	if payload.Len() > MaxPayload {
+		return nil, fmt.Errorf("checkpoint: payload %d bytes exceeds cap %d", payload.Len(), MaxPayload)
+	}
+	out := make([]byte, headerSize+payload.Len())
+	copy(out, magic)
+	binary.BigEndian.PutUint32(out[8:], Version)
+	binary.BigEndian.PutUint64(out[12:], uint64(payload.Len()))
+	binary.BigEndian.PutUint32(out[20:], crc32.ChecksumIEEE(payload.Bytes()))
+	copy(out[headerSize:], payload.Bytes())
+	return out, nil
+}
+
+// Decode parses and validates an envelope. Every failure mode —
+// truncation, bad magic, unknown version, length or CRC mismatch,
+// malformed gob, structurally invalid state — returns an error; Decode
+// never panics and never returns partially restored data.
+func Decode(b []byte) (d *Data, err error) {
+	if len(b) < headerSize {
+		return nil, fmt.Errorf("checkpoint: %d bytes, need at least the %d-byte header", len(b), headerSize)
+	}
+	if string(b[:len(magic)]) != magic {
+		return nil, fmt.Errorf("checkpoint: bad magic")
+	}
+	if v := binary.BigEndian.Uint32(b[8:]); v != Version {
+		return nil, fmt.Errorf("checkpoint: unsupported format version %d (this build reads %d)", v, Version)
+	}
+	n := binary.BigEndian.Uint64(b[12:])
+	if n > MaxPayload {
+		return nil, fmt.Errorf("checkpoint: advertised payload %d exceeds cap %d", n, MaxPayload)
+	}
+	payload := b[headerSize:]
+	if uint64(len(payload)) != n {
+		return nil, fmt.Errorf("checkpoint: payload is %d bytes, header says %d", len(payload), n)
+	}
+	if crc := crc32.ChecksumIEEE(payload); crc != binary.BigEndian.Uint32(b[20:]) {
+		return nil, fmt.Errorf("checkpoint: CRC mismatch")
+	}
+	// gob panics on some malformed inputs instead of returning an
+	// error; convert any panic into a decode error.
+	defer func() {
+		if r := recover(); r != nil {
+			d, err = nil, fmt.Errorf("checkpoint: decode: %v", r)
+		}
+	}()
+	var data Data
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&data); err != nil {
+		return nil, fmt.Errorf("checkpoint: decode: %w", err)
+	}
+	if err := data.Validate(); err != nil {
+		return nil, err
+	}
+	return &data, nil
+}

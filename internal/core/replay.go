@@ -1,0 +1,277 @@
+// Decision replay: a pure re-execution of the MDFS automaton over a
+// recorded sensor-input stream, used by the experiment tournament to
+// find the first cycle at which a parameter variant would diverge from
+// an already-executed base run.
+//
+// The tournament's fork-from-prefix planner records the base run's
+// Decision stream and simulates two replays over the inferred inputs:
+// one with the base configuration (validating the replay model against
+// what the real runtime actually did, cycle by cycle) and one per
+// variant. Until the variant's decision or internal state first
+// differs from the base's, the variant's hypothetical run is
+// bit-identical to the base run — same sensor reads at the same times,
+// same MSR writes, same overhead charges — so the planner may fork it
+// from a checkpoint taken just before the divergent cycle. Whenever
+// the base replay itself fails validation (for example because an
+// injected MSR-write fault made setUncore fail, which a pure replay
+// cannot model), the planner forks conservatively at that cycle: the
+// replay decides only *where* live execution starts, never what any
+// run computes, so a modelling gap costs wall-clock, not correctness.
+package core
+
+import (
+	"github.com/spear-repro/magus/internal/resilient"
+	"github.com/spear-repro/magus/internal/ring"
+)
+
+// ReplayInput is one decision cycle's sensor-layer outcome, the only
+// external information the MDFS automaton consumes. It is identical
+// for a base run and a parameter variant as long as both use the same
+// resilience configuration and have not yet diverged, because the
+// sensor and fault-injection state evolve from read times alone.
+type ReplayInput struct {
+	// ThroughputGBs is the sampled memory throughput (valid when the
+	// cycle was not missed).
+	ThroughputGBs float64
+	// Missed marks a cycle with no usable sample; Lost refines it with
+	// whether the sensor had been declared lost.
+	Missed bool
+	Lost   bool
+	// Recovered marks a successful read that ended a full sensor
+	// outage (Reading.RecoveredFromLost), which restarts warm-up.
+	Recovered bool
+}
+
+// Replay is the pure MDFS automaton: MAGUS's per-cycle state and
+// transition function with the environment (sensor, MSR device,
+// overhead charging) stripped away. Cycle mirrors MAGUS.Invoke
+// branch for branch; TestReplayMatchesMAGUS pins the two equal over
+// randomized configurations, workloads and fault schedules.
+type Replay struct {
+	cfg            Config
+	minGHz, maxGHz float64
+
+	memHist   *ring.Buffer[float64]
+	tuneLog   *ring.Buffer[int]
+	tuneCount int
+
+	warmupLeft int
+	highFreq   bool
+	targetGHz  float64
+	lastTrend  Trend
+}
+
+// NewReplay builds a replay automaton for cfg on an uncore range, in
+// the same initial state Attach leaves the real runtime in.
+func NewReplay(cfg Config, minGHz, maxGHz float64) *Replay {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	r := &Replay{
+		cfg:        cfg,
+		minGHz:     minGHz,
+		maxGHz:     maxGHz,
+		memHist:    ring.New[float64](cfg.Window),
+		tuneLog:    ring.Filled(cfg.Window, 0),
+		warmupLeft: cfg.WarmupCycles,
+		targetGHz:  minGHz,
+	}
+	if cfg.WarmupAtMax {
+		r.targetGHz = maxGHz
+	}
+	return r
+}
+
+// Cycle advances the automaton by one decision cycle and returns the
+// decision it implies. Decision.At and Decision.SensorHealth are left
+// zero: the replay has no clock and no sensor; compare against real
+// decisions with SameOutcome, which ignores both.
+func (r *Replay) Cycle(in ReplayInput) Decision {
+	if in.Missed {
+		inWarmup := r.warmupLeft > 0
+		prevGHz := r.targetGHz
+		acted := false
+		reason := ReasonHoldDegraded
+		if inWarmup || in.Lost {
+			acted = r.setUncore(r.maxGHz)
+			reason = ReasonPinLost
+			if inWarmup {
+				reason = ReasonPinWarmupBlind
+			}
+		}
+		return Decision{
+			Warmup: inWarmup, TargetGHz: r.targetGHz, Acted: acted, Missed: true,
+			PrevGHz: prevGHz, RingFill: r.memHist.Len(), Reason: reason,
+		}
+	}
+	if in.Recovered {
+		r.warmupLeft = r.cfg.WarmupCycles
+		r.memHist.Reset()
+		r.tuneLog.Fill(0)
+		r.tuneCount = 0
+		r.lastTrend = TrendFlat
+		r.highFreq = false
+	}
+
+	thr := in.ThroughputGBs
+	prevGHz := r.targetGHz
+	r.memHist.Push(thr)
+	deriv := r.deriv1()
+
+	if r.warmupLeft > 0 {
+		r.warmupLeft--
+		r.pushTune(0)
+		reason := ReasonWarmup
+		if r.warmupLeft == 0 {
+			r.setUncore(r.maxGHz)
+			r.lastTrend = TrendUp
+			reason = ReasonWarmupExit
+		}
+		return Decision{
+			ThroughputGBs: thr, Warmup: true, TargetGHz: r.targetGHz,
+			PrevGHz: prevGHz, DerivGBs: deriv, RingFill: r.memHist.Len(), Reason: reason,
+		}
+	}
+
+	hi := !r.cfg.DisableHighFreq &&
+		float64(r.tuneCount)/float64(r.tuneLog.Len()) >= r.cfg.HighFreqThreshold
+	r.highFreq = hi
+	acted := false
+	if hi {
+		acted = r.setUncore(r.maxGHz)
+	}
+
+	trend := predictTrendRing(r.memHist, r.cfg.DerivLen, r.cfg.IncThresholdGBs, r.cfg.DecThresholdGBs)
+	if trend != TrendFlat {
+		if trend != r.lastTrend {
+			r.pushTune(1)
+		} else {
+			r.pushTune(0)
+		}
+		r.lastTrend = trend
+		if !hi {
+			level := r.maxGHz
+			if trend == TrendDown {
+				level = r.minGHz
+			}
+			acted = r.setUncore(level) || acted
+		}
+	} else {
+		r.pushTune(0)
+	}
+
+	reason := ReasonFlatHold
+	switch {
+	case hi:
+		reason = ReasonHighFreqPin
+	case trend == TrendUp:
+		reason = ReasonTrendUp
+	case trend == TrendDown:
+		reason = ReasonTrendDown
+	}
+	return Decision{
+		ThroughputGBs: thr, Trend: trend, HighFreq: hi,
+		TargetGHz: r.targetGHz, Acted: acted,
+		PrevGHz: prevGHz, DerivGBs: deriv, RingFill: r.memHist.Len(), Reason: reason,
+	}
+}
+
+// WarmupLeft returns the remaining warm-up cycles (input inference).
+func (r *Replay) WarmupLeft() int { return r.warmupLeft }
+
+// HistLen returns the trend window's current fill (input inference).
+func (r *Replay) HistLen() int { return r.memHist.Len() }
+
+// TargetGHz returns the uncore limit the automaton currently holds.
+func (r *Replay) TargetGHz() float64 { return r.targetGHz }
+
+// StateEqual reports whether two replays are in exactly the same
+// automaton state: same history, tune log, warm-up position, trend
+// memory and uncore target. Two replays fed identical inputs stay
+// state-equal until the first configuration-driven divergence.
+func (r *Replay) StateEqual(o *Replay) bool {
+	if r.warmupLeft != o.warmupLeft || r.highFreq != o.highFreq ||
+		r.targetGHz != o.targetGHz || r.lastTrend != o.lastTrend ||
+		r.tuneCount != o.tuneCount ||
+		r.memHist.Len() != o.memHist.Len() || r.tuneLog.Len() != o.tuneLog.Len() {
+		return false
+	}
+	for i := 0; i < r.memHist.Len(); i++ {
+		if r.memHist.At(i) != o.memHist.At(i) {
+			return false
+		}
+	}
+	for i := 0; i < r.tuneLog.Len(); i++ {
+		if r.tuneLog.At(i) != o.tuneLog.At(i) {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Replay) deriv1() float64 {
+	n := r.memHist.Len() - 1
+	if n < 1 {
+		return 0
+	}
+	return r.memHist.At(n) - r.memHist.At(n-1)
+}
+
+func (r *Replay) pushTune(v int) {
+	evicted, wasFull := r.tuneLog.Push(v)
+	if wasFull && evicted != 0 {
+		r.tuneCount--
+	}
+	if v != 0 {
+		r.tuneCount++
+	}
+}
+
+// setUncore mirrors the real transition optimistically: a replay has
+// no MSR device, so it assumes the write succeeds. An injected MSR
+// fault in the real run makes the recorded decision disagree here,
+// which the planner's per-cycle validation turns into a conservative
+// fork — never a wrong result.
+func (r *Replay) setUncore(ghz float64) bool {
+	if ghz == r.targetGHz {
+		return false
+	}
+	r.targetGHz = ghz
+	return true
+}
+
+// SameOutcome reports whether two decisions describe the same
+// externally visible cycle outcome. At is ignored (replays are
+// clockless); SensorHealth is ignored (sensor-layer detail, already
+// folded into the inferred input).
+func (d Decision) SameOutcome(o Decision) bool {
+	return d.ThroughputGBs == o.ThroughputGBs &&
+		d.Trend == o.Trend &&
+		d.HighFreq == o.HighFreq &&
+		d.Warmup == o.Warmup &&
+		d.TargetGHz == o.TargetGHz &&
+		d.PrevGHz == o.PrevGHz &&
+		d.Acted == o.Acted &&
+		d.Missed == o.Missed &&
+		d.DerivGBs == o.DerivGBs &&
+		d.RingFill == o.RingFill &&
+		d.Reason == o.Reason
+}
+
+// InferReplayInput reconstructs the sensor-layer input behind a
+// recorded decision, given the base replay's state *before* that
+// cycle. Warm-up re-entry (RecoveredFromLost is not recorded directly)
+// is inferred from the decision re-entering warm-up or the trend
+// window restarting; an inference miss surfaces as a validation
+// mismatch on a later cycle and costs a conservative fork, not
+// correctness.
+func InferReplayInput(d Decision, base *Replay) ReplayInput {
+	if d.Missed {
+		return ReplayInput{Missed: true, Lost: d.SensorHealth == resilient.Lost}
+	}
+	in := ReplayInput{ThroughputGBs: d.ThroughputGBs}
+	if (d.Warmup && base.WarmupLeft() == 0) || (d.RingFill == 1 && base.HistLen() != 0) {
+		in.Recovered = true
+	}
+	return in
+}

@@ -1,0 +1,160 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/spear-repro/magus/internal/core"
+	"github.com/spear-repro/magus/internal/faults"
+	"github.com/spear-repro/magus/internal/harness"
+	"github.com/spear-repro/magus/internal/node"
+	"github.com/spear-repro/magus/internal/workload"
+)
+
+// TestReplayMatchesMAGUS is the randomized cross-validation behind the
+// tournament's fork planner: over random configurations, workloads,
+// seeds and (non-MSR) fault schedules, the pure Replay automaton fed
+// with inputs inferred from a real run's Decision stream must
+// reproduce every cycle's outcome exactly. MSR-write faults are
+// excluded because a replay cannot model a failed setUncore — the
+// planner handles that case by validated conservative forking, which
+// TestReplayConservativeOnMSRFaults exercises.
+func TestReplayMatchesMAGUS(t *testing.T) {
+	configs := []func() node.Config{node.IntelA100, node.IntelCPUOnly, node.Intel4A100}
+	progs := []string{"bfs", "gemm", "srad", "fdtd2d", "particlefilter_float", "unet"}
+	plans := []string{"", "", "pcm-flaky", "pcm-loss", "pcm-outage", "pcm-stale", "pcm-wild", "pcm-stall"}
+
+	trials := 20
+	if testing.Short() {
+		trials = 6
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < trials; trial++ {
+		cfg := core.DefaultConfig()
+		cfg.IncThresholdGBs = 2 + 18*rng.Float64()
+		cfg.DecThresholdGBs = 5 + 25*rng.Float64()
+		cfg.HighFreqThreshold = 0.2 + 0.6*rng.Float64()
+		cfg.Window = 6 + rng.Intn(9)
+		cfg.DerivLen = 1 + rng.Intn(cfg.Window-1)
+		cfg.WarmupCycles = 5 + rng.Intn(11)
+		cfg.WarmupAtMax = rng.Intn(2) == 0
+		cfg.DisableHighFreq = rng.Intn(4) == 0
+
+		sys := configs[rng.Intn(len(configs))]()
+		prog := progs[rng.Intn(len(progs))]
+		planName := plans[rng.Intn(len(plans))]
+		seed := rng.Int63n(1 << 32)
+
+		label := fmt.Sprintf("trial%d/%s/%s/faults=%q", trial, sys.Name, prog, planName)
+		t.Run(label, func(t *testing.T) {
+			ds := recordedRun(t, sys, prog, planName, seed, cfg)
+			rp := core.NewReplay(cfg, sys.UncoreMinGHz, sys.UncoreMaxGHz)
+			for i, d := range ds {
+				in := core.InferReplayInput(d, rp)
+				got := rp.Cycle(in)
+				if !got.SameOutcome(d) {
+					t.Fatalf("cycle %d diverged:\n replay  %+v\n runtime %+v", i, got, d)
+				}
+			}
+			if len(ds) == 0 {
+				t.Fatal("run produced no decisions")
+			}
+		})
+	}
+}
+
+// recordedRun executes prog on sys under a MAGUS with cfg and returns
+// the recorded Decision stream.
+func recordedRun(t *testing.T, sys node.Config, prog, planName string, seed int64, cfg core.Config) []core.Decision {
+	t.Helper()
+	p, ok := workload.ByName(prog)
+	if !ok {
+		t.Fatalf("no workload %q", prog)
+	}
+	opt := harness.Options{Seed: seed}
+	if planName != "" {
+		plan, ok := faults.Preset(planName)
+		if !ok {
+			t.Fatalf("no fault preset %q", planName)
+		}
+		plan.Seed = seed
+		opt.Faults = plan
+	}
+	gov := core.New(cfg)
+	var ds []core.Decision
+	gov.OnDecision(func(d core.Decision) { ds = append(ds, d) })
+	if _, err := harness.Run(sys, p, gov, opt); err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestReplayConservativeOnMSRFaults pins the safety property behind
+// fork-on-mismatch: with MSR-write faults injected, the replay may
+// disagree with the real runtime (it cannot model a failed uncore
+// write), but the disagreement is always *detected* by the per-cycle
+// validation — the replay never silently tracks past the first
+// un-modelled effect, because every later target evolves from the
+// mismatched state.
+func TestReplayConservativeOnMSRFaults(t *testing.T) {
+	sys := node.IntelA100()
+	cfg := core.DefaultConfig()
+	// MAGUS writes the uncore limit only on decision edges, so whether
+	// a given schedule's MSR faults intersect a write is seed-dependent;
+	// scan seeds until one does.
+	for seed := int64(1); seed <= 40; seed++ {
+		ds := recordedRun(t, sys, "srad", "msr-flaky", seed, cfg)
+		rp := core.NewReplay(cfg, sys.UncoreMinGHz, sys.UncoreMaxGHz)
+		for i, d := range ds {
+			in := core.InferReplayInput(d, rp)
+			got := rp.Cycle(in)
+			if !got.SameOutcome(d) {
+				t.Logf("seed %d: validation mismatch detected at cycle %d (replay %s→%.2f, runtime %s→%.2f)",
+					seed, i, got.Reason, got.TargetGHz, d.Reason, d.TargetGHz)
+				return
+			}
+		}
+	}
+	t.Fatal("no msr-flaky schedule produced a validation mismatch in 40 seeds; the preset no longer exercises the conservative path")
+}
+
+// TestReplayVariantDivergence drives a base and a variant automaton
+// over one recorded input stream and checks the planner's divergence
+// criterion: state equality holds cycle after cycle until the first
+// differing outcome, and once the variant diverges it stays its own
+// run (the planner forks exactly once).
+func TestReplayVariantDivergence(t *testing.T) {
+	sys := node.IntelA100()
+	base := core.DefaultConfig()
+	ds := recordedRun(t, sys, "srad", "", 3, base)
+
+	variant := base
+	variant.DecThresholdGBs = 4 // much twitchier falls: must diverge
+
+	baseSim := core.NewReplay(base, sys.UncoreMinGHz, sys.UncoreMaxGHz)
+	varSim := core.NewReplay(variant, sys.UncoreMinGHz, sys.UncoreMaxGHz)
+	if !baseSim.StateEqual(varSim) {
+		t.Fatal("identically initialised automata report unequal state")
+	}
+	diverged := -1
+	for i, d := range ds {
+		in := core.InferReplayInput(d, baseSim)
+		bd := baseSim.Cycle(in)
+		if !bd.SameOutcome(d) {
+			t.Fatalf("base replay failed validation at cycle %d", i)
+		}
+		vd := varSim.Cycle(in)
+		if !vd.SameOutcome(bd) || !varSim.StateEqual(baseSim) {
+			diverged = i
+			break
+		}
+	}
+	if diverged < 0 {
+		t.Fatal("variant with DecThresholdGBs=4 never diverged from the base on srad")
+	}
+	if diverged == 0 {
+		t.Fatal("variant diverged at cycle 0; expected a shared warm-up prefix")
+	}
+	t.Logf("variant diverged at cycle %d of %d", diverged, len(ds))
+}

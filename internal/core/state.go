@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/spear-repro/magus/internal/governor"
+	"github.com/spear-repro/magus/internal/resilient"
+)
+
+// State is a MAGUS runtime's full mutable state: the MDFS automaton
+// (history rings, warm-up countdown, high-frequency flag, current
+// target), the runtime counters, the resilient sensor layer, and the
+// attached env's limit-shadow cache. The configuration and env wiring
+// are construction inputs; a restore target must be a freshly attached
+// runtime with the same Config over equivalent wiring.
+type State struct {
+	MemHist []float64
+	TuneLog []int
+
+	TuneCount  int
+	WarmupLeft int
+	HighFreq   bool
+	TargetGHz  float64
+	LastTrend  Trend
+
+	Stats  Stats
+	Sensor resilient.SensorState
+
+	Shadow []governor.ShadowEntry
+}
+
+// State captures the runtime. Call only after Attach.
+func (m *MAGUS) State() State {
+	return State{
+		MemHist:    m.memHist.Snapshot(),
+		TuneLog:    m.tuneLog.Snapshot(),
+		TuneCount:  m.tuneCount,
+		WarmupLeft: m.warmupLeft,
+		HighFreq:   m.highFreq,
+		TargetGHz:  m.targetGHz,
+		LastTrend:  m.lastTrend,
+		Stats:      m.stats,
+		Sensor:     m.sensor.State(),
+		Shadow:     m.env.ShadowState(),
+	}
+}
+
+// Restore overwrites an attached runtime with the captured state. The
+// window sizes are cross-checked against the runtime's configuration.
+func (m *MAGUS) Restore(st State) error {
+	if m.env == nil || m.sensor == nil {
+		return fmt.Errorf("magus: restore on a detached runtime")
+	}
+	if len(st.MemHist) > m.cfg.Window {
+		return fmt.Errorf("magus: restore history %d exceeds window %d", len(st.MemHist), m.cfg.Window)
+	}
+	// The tune log is initialised at full capacity and stays full.
+	if len(st.TuneLog) != m.cfg.Window {
+		return fmt.Errorf("magus: restore tune log %d, window is %d", len(st.TuneLog), m.cfg.Window)
+	}
+	m.memHist.Reset()
+	for _, v := range st.MemHist {
+		m.memHist.Push(v)
+	}
+	m.tuneLog.Reset()
+	for _, v := range st.TuneLog {
+		m.tuneLog.Push(v)
+	}
+	m.tuneCount = st.TuneCount
+	m.warmupLeft = st.WarmupLeft
+	m.highFreq = st.HighFreq
+	m.targetGHz = st.TargetGHz
+	m.lastTrend = st.LastTrend
+	m.stats = st.Stats
+	m.sensor.Restore(st.Sensor)
+	m.env.RestoreShadow(st.Shadow)
+	return nil
+}
+
+// PerSocketState captures every per-socket instance in socket order.
+type PerSocketState struct {
+	Instances []State
+}
+
+// State captures the per-socket runtime. Call only after Attach.
+func (p *PerSocket) State() PerSocketState {
+	st := PerSocketState{Instances: make([]State, 0, len(p.instances))}
+	for _, m := range p.instances {
+		st.Instances = append(st.Instances, m.State())
+	}
+	return st
+}
+
+// Restore overwrites every attached instance.
+func (p *PerSocket) Restore(st PerSocketState) error {
+	if len(st.Instances) != len(p.instances) {
+		return fmt.Errorf("magus: restore %d socket instances, runtime has %d",
+			len(st.Instances), len(p.instances))
+	}
+	for i, m := range p.instances {
+		if err := m.Restore(st.Instances[i]); err != nil {
+			return fmt.Errorf("magus: socket %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -74,5 +74,9 @@ func (p *PState) StepAlpha(util, alpha float64) float64 {
 // Current returns the operating frequency in GHz.
 func (p *PState) Current() float64 { return p.cur }
 
+// SetCurrent overwrites the operating frequency — the checkpoint
+// restore path; normal operation goes through Step.
+func (p *PState) SetCurrent(ghz float64) { p.cur = ghz }
+
 // Reset forces the controller back to the minimum frequency.
 func (p *PState) Reset() { p.cur = p.MinGHz }

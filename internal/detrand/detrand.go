@@ -1,0 +1,65 @@
+// Package detrand wraps math/rand sources with a draw counter so a
+// generator's position in its stream can be captured and restored.
+//
+// The checkpoint layer (internal/checkpoint, docs/CHECKPOINT.md) needs
+// to snapshot every RNG a run consumes — the workload runner's jitter
+// and burst generator, the fault injectors' rate rolls — and resume
+// them mid-stream. math/rand exposes no way to read a generator's
+// internal state, but every consumer in this repo funnels through
+// Int63 (Float64, Intn and Int63n all reduce to it for a non-Source64
+// source), so counting Int63 calls pins the stream position exactly:
+// restoring is re-seeding and discarding that many draws.
+//
+// Source deliberately does NOT implement rand.Source64. rand.Rand
+// only takes the Uint64 shortcut for Source64 sources, and nothing in
+// this repo calls Uint64, so hiding the interface keeps the emitted
+// Float64/Intn streams bit-identical to a bare rand.NewSource — the
+// swap into workload and faults is invisible to every committed
+// golden.
+package detrand
+
+import "math/rand"
+
+// Source is a counting math/rand source. It is not safe for
+// concurrent use, matching rand.NewSource.
+type Source struct {
+	src   rand.Source
+	seed  int64
+	draws uint64
+}
+
+// NewSource returns a counting source seeded like rand.NewSource(seed).
+func NewSource(seed int64) *Source {
+	return &Source{src: rand.NewSource(seed), seed: seed}
+}
+
+// Int63 implements rand.Source.
+func (s *Source) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+// Seed implements rand.Source, resetting the draw count.
+func (s *Source) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.seed = seed
+	s.draws = 0
+}
+
+// Seed0 returns the seed the source was created (or last re-seeded)
+// with.
+func (s *Source) Seed0() int64 { return s.seed }
+
+// Draws returns how many Int63 values have been drawn since seeding.
+func (s *Source) Draws() uint64 { return s.draws }
+
+// Restore re-seeds the source and fast-forwards it by draws values,
+// leaving it in exactly the state a fresh source reaches after that
+// many Int63 calls.
+func (s *Source) Restore(seed int64, draws uint64) {
+	s.Seed(seed)
+	for i := uint64(0); i < draws; i++ {
+		s.src.Int63()
+	}
+	s.draws = draws
+}

@@ -1,0 +1,89 @@
+package detrand
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The whole point of the package: a rand.Rand over a counting Source
+// emits the exact same Float64/Intn/Int63 stream as one over a bare
+// rand.NewSource. If this ever breaks (for instance because Source
+// starts implementing Source64, switching rand.Rand onto the Uint64
+// shortcut), every committed golden in the repo would shift.
+func TestStreamIdenticalToBareSource(t *testing.T) {
+	for _, seed := range []int64{1, 2, 7919, -3} {
+		bare := rand.New(rand.NewSource(seed))
+		counted := rand.New(NewSource(seed))
+		for i := 0; i < 2000; i++ {
+			switch i % 3 {
+			case 0:
+				if a, b := bare.Float64(), counted.Float64(); a != b {
+					t.Fatalf("seed %d draw %d: Float64 %v != %v", seed, i, a, b)
+				}
+			case 1:
+				if a, b := bare.Intn(32), counted.Intn(32); a != b {
+					t.Fatalf("seed %d draw %d: Intn %v != %v", seed, i, a, b)
+				}
+			case 2:
+				if a, b := bare.Int63(), counted.Int63(); a != b {
+					t.Fatalf("seed %d draw %d: Int63 %v != %v", seed, i, a, b)
+				}
+			}
+		}
+	}
+}
+
+// Source must not satisfy rand.Source64: that is what keeps rand.Rand
+// off the Uint64 fast path and the stream equal to the bare source.
+func TestNotSource64(t *testing.T) {
+	var s interface{} = NewSource(1)
+	if _, ok := s.(rand.Source64); ok {
+		t.Fatal("detrand.Source implements rand.Source64; rand.Rand would change its draw pattern")
+	}
+}
+
+func TestRestoreResumesMidStream(t *testing.T) {
+	const seed, prefix = int64(42), 137
+	ref := rand.New(NewSource(seed))
+	var want []float64
+	for i := 0; i < prefix+50; i++ {
+		want = append(want, ref.Float64())
+	}
+
+	src := NewSource(seed)
+	r := rand.New(src)
+	for i := 0; i < prefix; i++ {
+		r.Float64()
+	}
+	if src.Draws() != prefix {
+		t.Fatalf("draws = %d, want %d", src.Draws(), prefix)
+	}
+
+	// Restore a *fresh* source to the captured position, as a resumed
+	// run would, and check the continuation matches.
+	resumed := NewSource(0)
+	resumed.Restore(seed, src.Draws())
+	if resumed.Draws() != prefix || resumed.Seed0() != seed {
+		t.Fatalf("restored draws/seed = %d/%d", resumed.Draws(), resumed.Seed0())
+	}
+	rr := rand.New(resumed)
+	for i := prefix; i < prefix+50; i++ {
+		if got := rr.Float64(); got != want[i] {
+			t.Fatalf("draw %d after restore: %v != %v", i, got, want[i])
+		}
+	}
+}
+
+func TestSeedResetsCount(t *testing.T) {
+	s := NewSource(5)
+	r := rand.New(s)
+	r.Float64()
+	r.Float64()
+	if s.Draws() != 2 {
+		t.Fatalf("draws = %d, want 2", s.Draws())
+	}
+	s.Seed(9)
+	if s.Draws() != 0 || s.Seed0() != 9 {
+		t.Fatalf("after Seed: draws=%d seed=%d", s.Draws(), s.Seed0())
+	}
+}

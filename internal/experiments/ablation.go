@@ -99,7 +99,10 @@ func ablationVariants(system string) (names []string, factories []harness.Govern
 // Ablation runs the variant × application matrix on Intel+A100 and
 // reports each cell against the vendor-default baseline.
 func Ablation(opt Options) (AblationResult, error) {
-	opt = opt.withDefaults()
+	opt, err := opt.normalize()
+	if err != nil {
+		return AblationResult{}, err
+	}
 	cfg, err := SystemByName("Intel+A100")
 	if err != nil {
 		return AblationResult{}, err

@@ -36,14 +36,21 @@ type Options struct {
 	Jobs int
 }
 
-func (o Options) withDefaults() Options {
-	if o.Repeats <= 0 {
+// normalize applies the documented defaults and validates the knobs.
+// Repeats == 0 selects the paper's default of 5; a negative value is
+// rejected loudly — the grid drivers used to clamp it silently, which
+// made a mis-typed flag run a different methodology than requested.
+func (o Options) normalize() (Options, error) {
+	if o.Repeats < 0 {
+		return o, fmt.Errorf("experiments: negative Repeats %d (0 selects the default of 5)", o.Repeats)
+	}
+	if o.Repeats == 0 {
 		o.Repeats = 5
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
-	return o
+	return o, nil
 }
 
 // Quick returns options for fast smoke runs (single repeat).
@@ -154,7 +161,7 @@ type runGroup struct {
 // serial sweep for any jobs value.
 func runGroups(groups []runGroup, reps, jobs int) ([]harness.Result, error) {
 	if reps < 1 {
-		reps = 1
+		return nil, fmt.Errorf("experiments: %d repeats requested; need at least 1", reps)
 	}
 	specs := make([]harness.RunSpec, 0, len(groups)*reps)
 	for _, g := range groups {
@@ -189,7 +196,10 @@ type Figure4Result struct {
 // UPS versus the vendor default, on the named system ("Intel+A100",
 // "Intel+Max1550" or "Intel+4A100").
 func Figure4(system string, opt Options) (Figure4Result, error) {
-	opt = opt.withDefaults()
+	opt, err := opt.normalize()
+	if err != nil {
+		return Figure4Result{}, err
+	}
 	cfg, err := SystemByName(system)
 	if err != nil {
 		return Figure4Result{}, err

@@ -42,7 +42,10 @@ type FaultSweepResult struct {
 // plan. An empty plans slice sweeps every built-in preset. Plans are
 // resolved via faults.Load, so file paths work alongside preset names.
 func FaultSweep(app string, plans []string, opt Options) (FaultSweepResult, error) {
-	opt = opt.withDefaults()
+	opt, err := opt.normalize()
+	if err != nil {
+		return FaultSweepResult{}, err
+	}
 	cfg, err := SystemByName("Intel+A100")
 	if err != nil {
 		return FaultSweepResult{}, err

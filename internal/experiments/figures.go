@@ -27,7 +27,10 @@ type Figure1Result struct {
 
 // Figure1 profiles UNet on Intel+A100 under the vendor default.
 func Figure1(opt Options) (Figure1Result, error) {
-	opt = opt.withDefaults()
+	opt, err := opt.normalize()
+	if err != nil {
+		return Figure1Result{}, err
+	}
 	res, err := traceRun(node.IntelA100(), "unet", defaultFactory(), opt)
 	if err != nil {
 		return Figure1Result{}, err
@@ -60,7 +63,10 @@ type Figure2Result struct {
 // Figure2 runs UNet on Intel+A100 pinned at the maximum and minimum
 // uncore frequencies.
 func Figure2(opt Options) (Figure2Result, error) {
-	opt = opt.withDefaults()
+	opt, err := opt.normalize()
+	if err != nil {
+		return Figure2Result{}, err
+	}
 	cfg := node.IntelA100()
 	res, err := harness.RunBatch([]harness.RunSpec{
 		traceSpec(cfg, "unet", func() governor.Governor { return governor.NewStatic(cfg.UncoreMaxGHz) }, opt),
@@ -100,7 +106,10 @@ type Figure5Result struct {
 // Figure5 traces SRAD memory throughput under four policies on
 // Intel+A100.
 func Figure5(opt Options) (Figure5Result, error) {
-	opt = opt.withDefaults()
+	opt, err := opt.normalize()
+	if err != nil {
+		return Figure5Result{}, err
+	}
 	cfg := node.IntelA100()
 	res, err := harness.RunBatch([]harness.RunSpec{
 		traceSpec(cfg, "srad", defaultFactory, opt),
@@ -136,7 +145,10 @@ type Figure6Result struct {
 
 // Figure6 traces the SRAD uncore frequency under the three policies.
 func Figure6(opt Options) (Figure6Result, error) {
-	opt = opt.withDefaults()
+	opt, err := opt.normalize()
+	if err != nil {
+		return Figure6Result{}, err
+	}
 	cfg := node.IntelA100()
 	// The MAGUS factory runs once inside its cell; the pool's barrier
 	// (all workers joined before RunBatch returns) makes reading m here
@@ -210,7 +222,10 @@ func figure7Grid() []core.Config {
 // paper shows SRAD-like and UNet-like cases) and marks the Pareto
 // frontier of (runtime, energy).
 func Figure7(app string, opt Options) (Figure7Result, error) {
-	opt = opt.withDefaults()
+	opt, err := opt.normalize()
+	if err != nil {
+		return Figure7Result{}, err
+	}
 	cfg := node.IntelA100()
 	prog := mustProgram(app)
 	grid := figure7Grid()

@@ -50,7 +50,10 @@ func noiseFn(amplitude float64, seed int64) func(float64) float64 {
 // parallel engine needs. Repeat 0 still sees the exact stream the old
 // code started with.)
 func NoiseStudy(app string, opt Options) (NoiseStudyResult, error) {
-	opt = opt.withDefaults()
+	opt, err := opt.normalize()
+	if err != nil {
+		return NoiseStudyResult{}, err
+	}
 	cfg, err := SystemByName("Intel+A100")
 	if err != nil {
 		return NoiseStudyResult{}, err

@@ -19,7 +19,10 @@ type NUMAStudyResult struct {
 
 // NUMAStudy runs the comparison on Intel+A100.
 func NUMAStudy(opt Options) (NUMAStudyResult, error) {
-	opt = opt.withDefaults()
+	opt, err := opt.normalize()
+	if err != nil {
+		return NUMAStudyResult{}, err
+	}
 	cfg, err := SystemByName("Intel+A100")
 	if err != nil {
 		return NUMAStudyResult{}, err

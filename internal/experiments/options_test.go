@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestNegativeRepeatsRejected is the regression for the silent-clamp
+// bug: every grid driver used to accept Repeats < 0 and quietly run a
+// different methodology (withDefaults mapped it to 5, runGroups to 1).
+// A negative count must now surface as an explicit error from every
+// driver entry point.
+func TestNegativeRepeatsRejected(t *testing.T) {
+	bad := Options{Repeats: -3, Seed: 1}
+	drivers := map[string]func() error{
+		"Figure4":    func() error { _, err := Figure4("Intel+A100", bad); return err },
+		"Figure7":    func() error { _, err := Figure7("srad", bad); return err },
+		"Ablation":   func() error { _, err := Ablation(bad); return err },
+		"NUMAStudy":  func() error { _, err := NUMAStudy(bad); return err },
+		"NoiseStudy": func() error { _, err := NoiseStudy("srad", bad); return err },
+		"FaultSweep": func() error { _, err := FaultSweep("srad", []string{"pcm-flaky"}, bad); return err },
+		"Table1":     func() error { _, err := Table1(bad); return err },
+		"Table2":     func() error { _, err := Table2(0, bad); return err },
+		"WasteStudy": func() error { _, err := WasteStudy("Intel+A100", "srad", bad); return err },
+	}
+	for name, run := range drivers {
+		err := run()
+		if err == nil {
+			t.Errorf("%s accepted Repeats=-3", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "negative Repeats") {
+			t.Errorf("%s: error %q does not name the negative repeat count", name, err)
+		}
+	}
+
+	// Zero still selects the documented default of 5.
+	opt, err := Options{}.normalize()
+	if err != nil {
+		t.Fatalf("zero options rejected: %v", err)
+	}
+	if opt.Repeats != 5 || opt.Seed != 1 {
+		t.Fatalf("normalize(zero) = %+v, want Repeats 5 Seed 1", opt)
+	}
+
+	// The pool layer refuses a sub-1 count instead of clamping, so a
+	// future driver bypassing normalize still cannot run the wrong grid.
+	if _, err := runGroups(nil, 0, 1); err == nil {
+		t.Error("runGroups accepted reps=0")
+	}
+}

@@ -34,7 +34,10 @@ type Table1Result struct {
 // burst patterns of the max-uncore baseline and MAGUS for every Table 1
 // application, on Intel+A100.
 func Table1(opt Options) (Table1Result, error) {
-	opt = opt.withDefaults()
+	opt, err := opt.normalize()
+	if err != nil {
+		return Table1Result{}, err
+	}
 	cfg := node.IntelA100()
 	out := Table1Result{Bins: 200, ThresholdFrac: 0.5}
 	apps := workload.Table1Apps()
@@ -130,7 +133,10 @@ func (d discardWrites) Write(cpu int, reg uint32, val uint64) error {
 // the daemon busy time per decision cycle. idleWindow <= 0 selects the
 // paper's 10 minutes.
 func Table2(idleWindow time.Duration, opt Options) (Table2Result, error) {
-	opt = opt.withDefaults()
+	opt, err := opt.normalize()
+	if err != nil {
+		return Table2Result{}, err
+	}
 	if idleWindow <= 0 {
 		idleWindow = 10 * time.Minute
 	}

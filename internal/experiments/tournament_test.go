@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/spear-repro/magus/internal/core"
+)
+
+// tournamentTestVariants covers every planner path: an identity
+// variant (never diverges — full prefix share), a twitchy threshold
+// (diverges mid-run — fork-from-checkpoint), a warm-up flip (initial
+// automaton state differs — scratch), and a window change (ring
+// buffers incompatible with the checkpoint — scratch).
+func tournamentTestVariants() []TournamentEntry {
+	return []TournamentEntry{
+		{Name: "same", Mutate: func(c core.Config) core.Config { return c }},
+		{Name: "dec4", Mutate: func(c core.Config) core.Config { c.DecThresholdGBs = 4; return c }},
+		{Name: "warmmax", Mutate: func(c core.Config) core.Config { c.WarmupAtMax = true; return c }},
+		{Name: "win12", Mutate: func(c core.Config) core.Config { c.Window = 12; return c }},
+	}
+}
+
+// TestTournamentForkedMatchesScratch is the tournament's pinned
+// differential: the fork-from-prefix planner (parallel, checkpoint
+// sharing) must produce output byte-identical to the serial
+// from-scratch sweep — same table text, same rows, same per-cell
+// results. Execution diagnostics are the only permitted difference.
+func TestTournamentForkedMatchesScratch(t *testing.T) {
+	opt := TournamentOptions{
+		Apps:         []string{"srad"},
+		FaultPresets: []string{"", "msr-flaky"},
+		Variants:     tournamentTestVariants(),
+		Seed:         3,
+		Jobs:         4,
+	}
+	forked, err := Tournament(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sOpt := opt
+	sOpt.Scratch = true
+	sOpt.Jobs = 1
+	scratch, err := Tournament(sOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := forked.Table().String(), scratch.Table().String(); got != want {
+		t.Errorf("forked table differs from scratch table:\nforked:\n%s\nscratch:\n%s", got, want)
+	}
+	if !reflect.DeepEqual(forked.Rows(), scratch.Rows()) {
+		t.Error("forked Rows() differ from scratch Rows()")
+	}
+	if len(forked.Cells) != len(scratch.Cells) {
+		t.Fatalf("cell count: forked %d, scratch %d", len(forked.Cells), len(scratch.Cells))
+	}
+	for i := range forked.Cells {
+		f, s := forked.Cells[i], scratch.Cells[i]
+		f.Forked, f.ForkedAtS, f.SharedPrefix = false, 0, false
+		s.Forked, s.ForkedAtS, s.SharedPrefix = false, 0, false
+		if !reflect.DeepEqual(f, s) {
+			t.Errorf("cell %d (%s %s %q %s) differs:\nforked  %+v\nscratch %+v",
+				i, f.System, f.App, f.Fault, f.Entry, f, s)
+		}
+	}
+
+	// The planner must actually have exercised its sharing paths on
+	// the fault-free cell: the identity variant shares the whole base
+	// run, the twitchy threshold forks mid-run, and the two
+	// incompatible variants fall back to scratch.
+	byEntry := map[string]TournamentCell{}
+	for _, c := range forked.Cells {
+		if c.Fault == "" {
+			byEntry[c.Entry] = c
+		}
+	}
+	if c := byEntry["magus+same"]; !c.SharedPrefix || c.ForkedAtS <= 0 {
+		t.Errorf("identity variant did not share the full prefix: %+v", c)
+	}
+	if c := byEntry["magus+dec4"]; !c.Forked || c.ForkedAtS <= 0 {
+		t.Errorf("dec4 variant did not fork mid-run: %+v", c)
+	}
+	for _, name := range []string{"magus+warmmax", "magus+win12"} {
+		if c := byEntry[name]; c.Forked || c.SharedPrefix {
+			t.Errorf("%s should have run from scratch: %+v", name, c)
+		}
+	}
+	if forked.SharedSeconds() <= 0 {
+		t.Error("SharedSeconds reports no shared prefix")
+	}
+
+	// Scratch mode must not claim any sharing.
+	for _, c := range scratch.Cells {
+		if c.Forked || c.SharedPrefix || c.ForkedAtS != 0 {
+			t.Errorf("scratch cell carries fork diagnostics: %+v", c)
+		}
+	}
+}
+
+// TestTournamentValidation pins the option errors.
+func TestTournamentValidation(t *testing.T) {
+	if _, err := Tournament(TournamentOptions{Systems: []string{"nope"}}); err == nil {
+		t.Error("unknown system accepted")
+	}
+	if _, err := Tournament(TournamentOptions{Apps: []string{"nope"}}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := Tournament(TournamentOptions{FaultPresets: []string{"nope"}}); err == nil {
+		t.Error("unknown fault preset accepted")
+	}
+	if _, err := Tournament(TournamentOptions{Variants: []TournamentEntry{{}}}); err == nil {
+		t.Error("unnamed variant accepted")
+	}
+	bad := []TournamentEntry{{Name: "w0", Mutate: func(c core.Config) core.Config { c.Window = 0; return c }}}
+	if _, err := Tournament(TournamentOptions{Apps: []string{"bfs"}, Variants: bad}); err == nil {
+		t.Error("invalid variant config accepted")
+	}
+}

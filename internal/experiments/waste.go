@@ -42,7 +42,10 @@ type WasteStudyResult struct {
 // attribution rows. Tracers are single-run objects, so the study runs
 // its cells serially — it is a diagnostic surface, not a sweep.
 func WasteStudy(system, app string, opt Options) (WasteStudyResult, error) {
-	opt = opt.withDefaults()
+	opt, err := opt.normalize()
+	if err != nil {
+		return WasteStudyResult{}, err
+	}
 	cfg, err := SystemByName(system)
 	if err != nil {
 		return WasteStudyResult{}, err

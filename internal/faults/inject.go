@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"github.com/spear-repro/magus/internal/detrand"
 	"github.com/spear-repro/magus/internal/msr"
 	"github.com/spear-repro/magus/internal/nvml"
 	"github.com/spear-repro/magus/internal/pcm"
@@ -43,6 +44,8 @@ type action struct {
 // other devices the plan also wraps.
 type injector struct {
 	faults []Fault
+	seed   int64
+	src    *detrand.Source
 	rng    *rand.Rand
 	tally  Tally
 }
@@ -60,7 +63,12 @@ func newInjector(p *Plan, target Target, salt int64) *injector {
 			fs = append(fs, f)
 		}
 	}
-	return &injector{faults: fs, rng: rand.New(rand.NewSource(p.seed() + salt))}
+	// The generator rides on a counting source so checkpoints can
+	// capture the stream position; values are bit-identical to a bare
+	// rand.NewSource (see internal/detrand).
+	seed := p.seed() + salt
+	src := detrand.NewSource(seed)
+	return &injector{faults: fs, seed: seed, src: src, rng: rand.New(src)}
 }
 
 // decide rolls the schedule at virtual time now. The generator is
@@ -108,6 +116,12 @@ type Set struct {
 
 	injectors []*injector
 	nextSalt  int64
+
+	// Handed-out wrappers, in creation order, so a checkpoint can
+	// capture their hold-last caches alongside the injector streams.
+	pcms    []*PCM
+	devices []*Device
+	boards  []*Board
 }
 
 // NewSet builds a wrapper factory for plan. now supplies the node's
@@ -161,7 +175,9 @@ func (s *Set) WrapPCM(inner pcm.Reader) pcm.Reader {
 	if in == nil {
 		return inner
 	}
-	return &PCM{inner: inner, inj: in, now: s.now}
+	w := &PCM{inner: inner, inj: in, now: s.now}
+	s.pcms = append(s.pcms, w)
+	return w
 }
 
 // WrapDevice wraps an MSR device with the plan's msr and rapl faults.
@@ -174,11 +190,13 @@ func (s *Set) WrapDevice(inner msr.Device) msr.Device {
 	if msrInj == nil && raplInj == nil {
 		return inner
 	}
-	return &Device{
+	w := &Device{
 		inner: inner, now: s.now,
 		msrInj: msrInj, raplInj: raplInj,
 		stale: make(map[staleKey]uint64),
 	}
+	s.devices = append(s.devices, w)
+	return w
 }
 
 // WrapBoard wraps an NVML board with the plan's nvml faults.
@@ -190,7 +208,9 @@ func (s *Set) WrapBoard(inner nvml.Board) nvml.Board {
 	if in == nil {
 		return inner
 	}
-	return &Board{inner: inner, inj: in, now: s.now}
+	w := &Board{inner: inner, inj: in, now: s.now}
+	s.boards = append(s.boards, w)
+	return w
 }
 
 // ---- PCM wrapper ----

@@ -1,0 +1,156 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// InjectorState is one injector's generator position and tally.
+type InjectorState struct {
+	Seed  int64
+	Draws uint64
+	Tally Tally
+}
+
+// PCMState is the pcm wrapper's hold-last cache.
+type PCMState struct {
+	LastGood float64
+	LastLat  time.Duration
+}
+
+// StaleEntry is one remembered register value in a device wrapper.
+type StaleEntry struct {
+	CPU int
+	Reg uint32
+	Val uint64
+}
+
+// DeviceState is the msr device wrapper's stale cache.
+type DeviceState struct {
+	Stale   []StaleEntry
+	LastLat time.Duration
+}
+
+// BoardEntry is one remembered per-GPU sample in a board wrapper.
+type BoardEntry struct {
+	Index    int
+	PowerW   float64
+	ClockMHz float64
+	SM       float64
+	Mem      float64
+	EnergyJ  float64
+}
+
+// BoardState is the nvml board wrapper's hold-last cache.
+type BoardState struct {
+	Last []BoardEntry
+}
+
+// SetState is a wrapper set's full mutable state. Wrappers and
+// injectors are listed in creation order, which is deterministic: the
+// harness wires devices in a fixed sequence, so a set rebuilt from the
+// same plan over the same wiring produces matching lists.
+type SetState struct {
+	Injectors []InjectorState
+	PCMs      []PCMState
+	Devices   []DeviceState
+	Boards    []BoardState
+}
+
+// State captures every injector stream and wrapper cache the set
+// handed out. Nil for a nil or unarmed set.
+func (s *Set) State() *SetState {
+	if s == nil || len(s.injectors) == 0 && len(s.pcms) == 0 && len(s.devices) == 0 && len(s.boards) == 0 {
+		return nil
+	}
+	st := &SetState{}
+	for _, in := range s.injectors {
+		st.Injectors = append(st.Injectors, InjectorState{
+			Seed:  in.seed,
+			Draws: in.src.Draws(),
+			Tally: in.tally,
+		})
+	}
+	for _, p := range s.pcms {
+		st.PCMs = append(st.PCMs, PCMState{LastGood: p.lastGood, LastLat: p.lastLat})
+	}
+	for _, d := range s.devices {
+		ds := DeviceState{LastLat: d.lastLat}
+		for k, v := range d.stale {
+			ds.Stale = append(ds.Stale, StaleEntry{CPU: k.cpu, Reg: k.reg, Val: v})
+		}
+		sort.Slice(ds.Stale, func(i, j int) bool {
+			a, b := ds.Stale[i], ds.Stale[j]
+			if a.CPU != b.CPU {
+				return a.CPU < b.CPU
+			}
+			return a.Reg < b.Reg
+		})
+		st.Devices = append(st.Devices, ds)
+	}
+	for _, b := range s.boards {
+		bs := BoardState{}
+		for i, smp := range b.last {
+			bs.Last = append(bs.Last, BoardEntry{
+				Index: i, PowerW: smp.powerW, ClockMHz: smp.clockMHz,
+				SM: smp.sm, Mem: smp.mem, EnergyJ: smp.energyJ,
+			})
+		}
+		sort.Slice(bs.Last, func(i, j int) bool { return bs.Last[i].Index < bs.Last[j].Index })
+		st.Boards = append(st.Boards, bs)
+	}
+	return st
+}
+
+// Restore fast-forwards every injector and overwrites every wrapper
+// cache. The set must have been rebuilt from the same plan with the
+// same wrapping sequence; seeds are cross-checked to catch drift.
+func (s *Set) Restore(st *SetState) error {
+	if st == nil {
+		if s != nil && len(s.injectors) > 0 {
+			return fmt.Errorf("faults: restore has no state but set has %d injectors", len(s.injectors))
+		}
+		return nil
+	}
+	if s == nil {
+		return fmt.Errorf("faults: restore state for a nil set")
+	}
+	if len(st.Injectors) != len(s.injectors) || len(st.PCMs) != len(s.pcms) ||
+		len(st.Devices) != len(s.devices) || len(st.Boards) != len(s.boards) {
+		return fmt.Errorf("faults: restore shape %d/%d/%d/%d, set has %d/%d/%d/%d",
+			len(st.Injectors), len(st.PCMs), len(st.Devices), len(st.Boards),
+			len(s.injectors), len(s.pcms), len(s.devices), len(s.boards))
+	}
+	for i, in := range s.injectors {
+		isp := st.Injectors[i]
+		if isp.Seed != in.seed {
+			return fmt.Errorf("faults: restore injector %d seed %d, set built with %d", i, isp.Seed, in.seed)
+		}
+		in.src.Restore(isp.Seed, isp.Draws)
+		in.tally = isp.Tally
+	}
+	for i, p := range s.pcms {
+		p.lastGood = st.PCMs[i].LastGood
+		p.lastLat = st.PCMs[i].LastLat
+	}
+	for i, d := range s.devices {
+		ds := st.Devices[i]
+		d.stale = make(map[staleKey]uint64, len(ds.Stale))
+		for _, e := range ds.Stale {
+			d.stale[staleKey{cpu: e.CPU, reg: e.Reg}] = e.Val
+		}
+		d.lastLat = ds.LastLat
+	}
+	for i, b := range s.boards {
+		bs := st.Boards[i]
+		b.last = nil
+		for _, e := range bs.Last {
+			b.remember(e.Index, boardSample{
+				powerW: e.PowerW, clockMHz: e.ClockMHz,
+				sm: e.SM, mem: e.Mem, energyJ: e.EnergyJ,
+			})
+		}
+	}
+	return nil
+}

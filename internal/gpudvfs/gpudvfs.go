@@ -57,6 +57,10 @@ func (c *Clock) Step(smUtil float64, dt time.Duration) float64 {
 // Current returns the operating SM clock in MHz.
 func (c *Clock) Current() float64 { return c.cur }
 
+// SetCurrent overwrites the operating clock — the checkpoint restore
+// path; normal operation goes through Step.
+func (c *Clock) SetCurrent(mhz float64) { c.cur = mhz }
+
 // Rel returns the clock relative to the maximum, in [0,1].
 func (c *Clock) Rel() float64 { return c.cur / c.MaxMHz }
 

@@ -119,7 +119,16 @@ type healthReporter interface {
 // device, a PCM monitor over its IMC traffic counter, a RAPL reader,
 // and the overhead-charging hook.
 func BuildEnv(n *node.Node) (*governor.Env, error) {
-	return buildEnv(n, nil, nil)
+	env, _, err := buildEnv(n, nil, nil)
+	return env, err
+}
+
+// envMonitors exposes the concrete PCM monitors underneath the fault
+// wrappers, so the checkpoint layer can capture and restore their
+// sampling baselines directly.
+type envMonitors struct {
+	sys  *pcm.Monitor
+	sock []*pcm.Monitor
 }
 
 // buildEnv is BuildEnv plus an optional fault-wrapper set and PCM
@@ -127,13 +136,13 @@ func BuildEnv(n *node.Node) (*governor.Env, error) {
 // is constructed over it, so rapl-target faults reach the energy
 // counters; noise applies to the concrete monitors before fault
 // wrapping, so an injected stale/wild value is never re-noised.
-func buildEnv(n *node.Node, fset *faults.Set, noise func(gbs float64) float64) (*governor.Env, error) {
+func buildEnv(n *node.Node, fset *faults.Set, noise func(gbs float64) float64) (*governor.Env, *envMonitors, error) {
 	cfg := n.Config()
 	dev := fset.WrapDevice(n.MSRDevice())
 	raplReader, err := rapl.New(dev, cfg.Sockets, n.Space().FirstCPUOf)
 	if err != nil {
 		if !fset.Armed() {
-			return nil, fmt.Errorf("harness: rapl: %w", err)
+			return nil, nil, fmt.Errorf("harness: rapl: %w", err)
 		}
 		// An injected fault hit the one-time unit-register read; run
 		// without RAPL, as a daemon losing the energy interface would.
@@ -143,6 +152,7 @@ func buildEnv(n *node.Node, fset *faults.Set, noise func(gbs float64) float64) (
 	if noise != nil {
 		mon.SetNoise(noise)
 	}
+	mons := &envMonitors{sys: mon}
 	sockPCM := make([]pcm.Reader, cfg.Sockets)
 	for s := 0; s < cfg.Sockets; s++ {
 		sock := s
@@ -150,6 +160,7 @@ func buildEnv(n *node.Node, fset *faults.Set, noise func(gbs float64) float64) (
 		if noise != nil {
 			m.SetNoise(noise)
 		}
+		mons.sock = append(mons.sock, m)
 		sockPCM[s] = fset.WrapPCM(m)
 	}
 	return &governor.Env{
@@ -163,7 +174,7 @@ func buildEnv(n *node.Node, fset *faults.Set, noise func(gbs float64) float64) (
 		UncoreMinGHz: cfg.UncoreMinGHz,
 		UncoreMaxGHz: cfg.UncoreMaxGHz,
 		Charge:       n.AddDaemonBusy,
-	}, nil
+	}, mons, nil
 }
 
 // NewNodeRecorder builds the standard telemetry set used by the trace

@@ -28,7 +28,7 @@ func TestSteadyStateTickZeroAlloc(t *testing.T) {
 	runner.SetAttained(n.AttainedGBs)
 
 	gov := core.New(core.DefaultConfig())
-	env, envErr := buildEnv(n, nil, nil)
+	env, _, envErr := buildEnv(n, nil, nil)
 	if envErr != nil {
 		t.Fatal(envErr)
 	}

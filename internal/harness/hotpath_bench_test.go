@@ -27,7 +27,7 @@ func BenchmarkHotPathSpansDisabledTick(b *testing.B) {
 	runner.SetAttained(n.AttainedGBs)
 
 	gov := core.New(core.DefaultConfig())
-	env, err := buildEnv(n, nil, nil)
+	env, _, err := buildEnv(n, nil, nil)
 	if err != nil {
 		b.Fatal(err)
 	}

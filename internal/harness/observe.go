@@ -137,6 +137,11 @@ type runObserver struct {
 
 	faultCtr  map[string]*obs.Counter
 	lastTally faults.Tally
+
+	// do is the decision hook installed alongside this sampler (nil
+	// when the governor exposes no decision stream); retained so the
+	// checkpoint layer can capture its edge-trigger state.
+	do *decisionObserver
 }
 
 // newRunObserver registers the run's metric families on o's registry
@@ -445,7 +450,7 @@ func (do *decisionObserver) observe(d core.Decision) {
 // installObservability wires the observer into a run: the sampling
 // component, the decision hook (when the governor exposes one) and the
 // run_start event. It returns the sampler so Run can finish it.
-func installObservability(o *obs.Observer, n *node.Node, fset *faults.Set, gov governor.Governor, interval time.Duration, opt Options, cfgName, progName string) *runObserver {
+func installObservability(o *obs.Observer, n *node.Node, fset *faults.Set, gov governor.Governor, interval time.Duration, opt Options, cfgName, progName string, resuming bool) *runObserver {
 	if interval <= 0 {
 		interval = DefaultObsInterval
 	}
@@ -462,12 +467,18 @@ func installObservability(o *obs.Observer, n *node.Node, fset *faults.Set, gov g
 		hookTarget = pc.Inner()
 	}
 	if src, ok := hookTarget.(interface{ OnDecision(func(core.Decision)) }); ok {
-		src.OnDecision(newDecisionObserver(o).observe)
+		ro.do = newDecisionObserver(o)
+		src.OnDecision(ro.do.observe)
 	}
 
-	o.Events().Event(0, "run_start").
-		S("system", cfgName).S("workload", progName).S("governor", gov.Name()).
-		F("seed", float64(opt.Seed)).
-		B("faults", fset != nil).End()
+	if !resuming {
+		// A resumed run continues the original's event stream; its
+		// run_start was already emitted (registry values are overwritten
+		// wholesale by the restore, so the counters above need no guard).
+		o.Events().Event(0, "run_start").
+			S("system", cfgName).S("workload", progName).S("governor", gov.Name()).
+			F("seed", float64(opt.Seed)).
+			B("faults", fset != nil).End()
+	}
 	return ro
 }

@@ -34,6 +34,14 @@ type Steppable struct {
 	rec    *telemetry.Recorder
 	ro     *runObserver
 
+	// env, mons and ss are retained for the checkpoint layer: the
+	// governor environment (RAPL reader, limit shadow), the concrete
+	// PCM monitors beneath the fault wrappers, and the span sampler's
+	// phase cursor.
+	env  *governor.Env
+	mons *envMonitors
+	ss   *spanSampler
+
 	horizon time.Duration
 	done    bool
 	res     Result
@@ -42,6 +50,15 @@ type Steppable struct {
 // NewSteppable wires a run without starting it. The governor is
 // attached fresh; governors are stateful and must not be reused.
 func NewSteppable(cfg node.Config, prog *workload.Program, gov governor.Governor, opt Options) (*Steppable, error) {
+	return newSteppable(cfg, prog, gov, opt, false)
+}
+
+// newSteppable is NewSteppable plus the resume flag: a resuming run is
+// constructed identically (construction-time side effects — Attach MSR
+// writes, RAPL unit reads, injector creation — must replay exactly) but
+// suppresses the run_start event, since the original run already
+// emitted it into the caller's event stream.
+func newSteppable(cfg node.Config, prog *workload.Program, gov governor.Governor, opt Options, resuming bool) (*Steppable, error) {
 	eng := sim.NewEngine(opt.Step)
 	n := node.New(cfg)
 	runner := workload.NewRunner(prog, cfg.SystemBWGBs(), opt.Seed)
@@ -54,7 +71,7 @@ func NewSteppable(cfg node.Config, prog *workload.Program, gov governor.Governor
 		}
 		fset = faults.NewSet(opt.Faults, eng.Clock().Now)
 	}
-	env, err := buildEnv(n, fset, opt.PCMNoise)
+	env, mons, err := buildEnv(n, fset, opt.PCMNoise)
 	if err != nil {
 		return nil, err
 	}
@@ -101,16 +118,18 @@ func NewSteppable(cfg node.Config, prog *workload.Program, gov governor.Governor
 
 	var ro *runObserver
 	if opt.Obs != nil {
-		ro = installObservability(opt.Obs, n, fset, gov, opt.ObsInterval, opt, cfg.Name, prog.Name)
+		ro = installObservability(opt.Obs, n, fset, gov, opt.ObsInterval, opt, cfg.Name, prog.Name, resuming)
 		eng.AddComponent(ro)
 	}
 
 	govFn := gov.Invoke
+	var ss *spanSampler
 	if opt.Spans != nil {
 		// The sampler reads state the node just computed, so it is
 		// added after the node component; the tick wrapper opens a
 		// tick span around every scheduled invocation.
-		eng.AddComponent(installSpans(opt.Spans, n, runner, gov, opt.Obs, opt, horizon))
+		ss = installSpans(opt.Spans, n, runner, gov, opt.Obs, opt, horizon)
+		eng.AddComponent(ss)
 		govFn = tickFn(opt.Spans, gov.Invoke)
 	}
 
@@ -123,7 +142,9 @@ func NewSteppable(cfg node.Config, prog *workload.Program, gov governor.Governor
 	return &Steppable{
 		eng: eng, n: n, runner: runner, gov: gov,
 		cfg: cfg, prog: prog, opt: opt,
-		fset: fset, rec: rec, ro: ro, horizon: horizon,
+		fset: fset, rec: rec, ro: ro,
+		env: env, mons: mons, ss: ss,
+		horizon: horizon,
 	}, nil
 }
 
@@ -141,6 +162,15 @@ func (s *Steppable) Node() *node.Node { return s.n }
 // Horizon returns the safety horizon beyond which Advance refuses to
 // run (4× nominal duration + 10 s unless Options.Horizon was set).
 func (s *Steppable) Horizon() time.Duration { return s.horizon }
+
+// NextInvocation returns the virtual time of the next scheduled
+// governor invocation. Advancing exactly to it leaves the invocation
+// pending but unfired — the pre-invoke checkpoint boundary the
+// fork-from-prefix planner captures at.
+func (s *Steppable) NextInvocation() time.Duration {
+	next, _ := s.eng.NextTask()
+	return next
+}
 
 // Result returns the finalised metrics; valid only once Done reports
 // true.

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// InstrumentState is one instrument's value inside a registry dump.
+// Counters and gauges use Value; histograms use the Hist* fields
+// (HistCounts holds the per-bucket — non-cumulative — counts including
+// the +Inf catch-all).
+type InstrumentState struct {
+	Family string
+	Labels []string
+	Kind   string
+
+	Value float64
+
+	HistCounts []uint64
+	HistSum    float64
+	HistCount  uint64
+}
+
+// StateDump captures every instrument's current value in canonical
+// order (families sorted by name, children by label values). Family
+// schemas are registration wiring, not state: a restore target must
+// re-register the same families before RestoreState.
+func (r *Registry) StateDump() []InstrumentState {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, 0, len(names))
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.RUnlock()
+
+	var out []InstrumentState
+	for _, f := range fams {
+		f.mu.RLock()
+		keys := make([]string, 0, len(f.children))
+		for k := range f.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			c := f.children[k]
+			st := InstrumentState{
+				Family: f.name,
+				Labels: append([]string(nil), c.labelValues...),
+				Kind:   f.kind.String(),
+			}
+			switch inst := c.inst.(type) {
+			case *Counter:
+				st.Value = inst.Value()
+			case *Gauge:
+				st.Value = inst.Value()
+			case *Histogram:
+				st.HistCounts = make([]uint64, len(inst.counts))
+				for i := range inst.counts {
+					st.HistCounts[i] = inst.counts[i].Load()
+				}
+				st.HistSum = inst.Sum()
+				st.HistCount = inst.Count()
+			}
+			out = append(out, st)
+		}
+		f.mu.RUnlock()
+	}
+	return out
+}
+
+// RestoreState overwrites instrument values from a dump. Every dumped
+// family must already be registered with a matching kind; children not
+// yet materialised are created on the fly (first-use creation order is
+// unobservable — exposition output is canonically sorted).
+func (r *Registry) RestoreState(states []InstrumentState) error {
+	if r == nil {
+		if len(states) > 0 {
+			return fmt.Errorf("obs: restore %d instruments into a nil registry", len(states))
+		}
+		return nil
+	}
+	for _, st := range states {
+		r.mu.RLock()
+		f := r.families[st.Family]
+		r.mu.RUnlock()
+		if f == nil {
+			return fmt.Errorf("obs: restore references unregistered family %q", st.Family)
+		}
+		if f.kind.String() != st.Kind {
+			return fmt.Errorf("obs: restore family %q kind %s, registered as %s", st.Family, st.Kind, f.kind)
+		}
+		if len(st.Labels) != len(f.labels) {
+			return fmt.Errorf("obs: restore family %q with %d label values, schema has %d",
+				st.Family, len(st.Labels), len(f.labels))
+		}
+		for _, lv := range st.Labels {
+			if strings.ContainsRune(lv, 0) {
+				return fmt.Errorf("obs: restore family %q label value contains NUL", st.Family)
+			}
+		}
+		switch inst := f.get(st.Labels).(type) {
+		case *Counter:
+			inst.v.Store(st.Value)
+		case *Gauge:
+			inst.v.Store(st.Value)
+		case *Histogram:
+			if len(st.HistCounts) != len(inst.counts) {
+				return fmt.Errorf("obs: restore family %q with %d buckets, schema has %d",
+					st.Family, len(st.HistCounts), len(inst.counts))
+			}
+			for i := range inst.counts {
+				inst.counts[i].Store(st.HistCounts[i])
+			}
+			inst.sum.Store(st.HistSum)
+			inst.count.Store(st.HistCount)
+		}
+	}
+	return nil
+}
+
+// RestoreCount overwrites the emitted-event counter; the restore path
+// uses it so a resumed run's event numbering continues from the
+// checkpoint instead of restarting at zero.
+func (l *EventLog) RestoreCount(n uint64) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.count = n
+	l.mu.Unlock()
+}

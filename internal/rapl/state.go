@@ -1,0 +1,45 @@
+package rapl
+
+import (
+	"fmt"
+	"time"
+)
+
+// State is a reader's mutable state. The joule units are read from the
+// device at construction and reproduced by rebuilding the reader over
+// the same register file, so they are not part of the snapshot.
+type State struct {
+	LastPkg    []uint64
+	LastDram   []uint64
+	LastAt     time.Duration
+	Started    bool
+	TotalPkgJ  []float64
+	TotalDramJ []float64
+}
+
+// State captures the reader's sampling baselines and energy totals.
+func (r *Reader) State() State {
+	return State{
+		LastPkg:    append([]uint64(nil), r.lastPkg...),
+		LastDram:   append([]uint64(nil), r.lastDram...),
+		LastAt:     r.lastAt,
+		Started:    r.started,
+		TotalPkgJ:  append([]float64(nil), r.totalPkgJ...),
+		TotalDramJ: append([]float64(nil), r.totalDramJ...),
+	}
+}
+
+// Restore overwrites the reader's baselines and totals.
+func (r *Reader) Restore(st State) error {
+	if len(st.LastPkg) != r.sockets || len(st.LastDram) != r.sockets ||
+		len(st.TotalPkgJ) != r.sockets || len(st.TotalDramJ) != r.sockets {
+		return fmt.Errorf("rapl: restore arrays do not match %d sockets", r.sockets)
+	}
+	copy(r.lastPkg, st.LastPkg)
+	copy(r.lastDram, st.LastDram)
+	r.lastAt = st.LastAt
+	r.started = st.Started
+	copy(r.totalPkgJ, st.TotalPkgJ)
+	copy(r.totalDramJ, st.TotalDramJ)
+	return nil
+}

@@ -1,0 +1,61 @@
+package resilient
+
+// TrackerState is the health state machine's mutable state.
+type TrackerState struct {
+	Health   Health
+	Consec   int
+	Counters Counters
+}
+
+// State captures the tracker.
+func (t *Tracker) State() TrackerState {
+	return TrackerState{Health: t.health, Consec: t.consec, Counters: t.c}
+}
+
+// Restore overwrites the tracker. The loss threshold is construction
+// input and is not touched.
+func (t *Tracker) Restore(st TrackerState) {
+	t.health = st.Health
+	t.consec = st.Consec
+	t.c = st.Counters
+}
+
+// SensorState is a memory sensor's mutable state, embedding its
+// tracker's.
+type SensorState struct {
+	Tracker  TrackerState
+	LastGood float64
+	StaleRun int
+	Retries  uint64
+	Timeouts uint64
+	Wild     uint64
+	Stale    uint64
+	Reads    uint64
+}
+
+// State captures the sensor.
+func (s *MemSensor) State() SensorState {
+	return SensorState{
+		Tracker:  s.tracker.State(),
+		LastGood: s.lastGood,
+		StaleRun: s.staleRun,
+		Retries:  s.retries,
+		Timeouts: s.timeouts,
+		Wild:     s.wild,
+		Stale:    s.stale,
+		Reads:    s.reads,
+	}
+}
+
+// Restore overwrites the sensor. The inner reader and config are
+// construction inputs and are not touched.
+func (s *MemSensor) Restore(st SensorState) {
+	s.tracker.Restore(st.Tracker)
+	s.lastGood = st.LastGood
+	s.staleRun = st.StaleRun
+	s.retries = st.Retries
+	s.timeouts = st.Timeouts
+	s.wild = st.Wild
+	s.stale = st.Stale
+	s.reads = st.Reads
+}

@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// State is the engine's mutable state: the virtual clock and each
+// task's next wakeup, in registration order. Components own their own
+// state and checkpoint themselves; the engine only schedules them.
+type State struct {
+	Now      time.Duration
+	TaskNext []time.Duration
+}
+
+// State captures the engine's clock and task schedule.
+func (e *Engine) State() State {
+	st := State{Now: e.clock.Now(), TaskNext: make([]time.Duration, len(e.tasks))}
+	for i, t := range e.tasks {
+		st.TaskNext[i] = t.next
+	}
+	return st
+}
+
+// Restore overwrites the clock and task schedule. The engine must have
+// been rebuilt with the same tasks in the same order as the captured
+// one.
+func (e *Engine) Restore(st State) error {
+	if len(st.TaskNext) != len(e.tasks) {
+		return fmt.Errorf("sim: restore has %d task wakeups, engine has %d tasks",
+			len(st.TaskNext), len(e.tasks))
+	}
+	if st.Now < 0 {
+		return fmt.Errorf("sim: restore has negative clock %v", st.Now)
+	}
+	e.clock.now = st.Now
+	for i, t := range e.tasks {
+		t.next = st.TaskNext[i]
+	}
+	return nil
+}
+
+// NextTask returns the earliest pending task wakeup time. It lets a
+// caller that steps a run invoke-by-invoke (the fork-from-prefix
+// planner) advance exactly to — but not through — the next governor
+// invocation: a task with next == T has not fired yet when the clock
+// reads T. Returns 0, false when no tasks are registered.
+func (e *Engine) NextTask() (time.Duration, bool) {
+	if len(e.tasks) == 0 {
+		return 0, false
+	}
+	min := e.tasks[0].next
+	for _, t := range e.tasks[1:] {
+		if t.next < min {
+			min = t.next
+		}
+	}
+	return min, true
+}

@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"fmt"
+	"time"
+)
+
+// SeriesState is one tracked series' points, keyed by probe name so a
+// restore can cross-check registration order.
+type SeriesState struct {
+	Name   string
+	Times  []float64
+	Values []float64
+}
+
+// State is a recorder's mutable state: the next sample deadline plus
+// every series' points, in registration order. Probes themselves are
+// construction wiring and must be re-registered identically before
+// Restore.
+type State struct {
+	Next   time.Duration
+	Series []SeriesState
+}
+
+// State captures the recorder.
+func (r *Recorder) State() State {
+	st := State{Next: r.next, Series: make([]SeriesState, 0, len(r.names))}
+	for _, name := range r.names {
+		s := r.series[name]
+		st.Series = append(st.Series, SeriesState{
+			Name:   name,
+			Times:  append([]float64(nil), s.Times...),
+			Values: append([]float64(nil), s.Values...),
+		})
+	}
+	return st
+}
+
+// Restore overwrites a recorder with the same probes registered in the
+// same order.
+func (r *Recorder) Restore(st State) error {
+	if len(st.Series) != len(r.names) {
+		return fmt.Errorf("telemetry: restore has %d series, recorder tracks %d", len(st.Series), len(r.names))
+	}
+	for i, name := range r.names {
+		if st.Series[i].Name != name {
+			return fmt.Errorf("telemetry: restore series %d is %q, recorder tracks %q", i, st.Series[i].Name, name)
+		}
+	}
+	r.next = st.Next
+	for _, ss := range st.Series {
+		s := r.series[ss.Name]
+		s.Times = append(s.Times[:0], ss.Times...)
+		s.Values = append(s.Values[:0], ss.Values...)
+	}
+	return nil
+}

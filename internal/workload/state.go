@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+)
+
+// RunnerState is a runner's mutable state: the execution cursor plus
+// the generator's stream position. The program and system bandwidth are
+// construction inputs; a restore target must be built from the same
+// (program, bandwidth, seed) triple — the seed is recorded so Restore
+// can verify it.
+type RunnerState struct {
+	Seed  int64
+	Draws uint64
+
+	PhaseIdx   int
+	Progress   time.Duration
+	BurstOn    bool
+	BurstSeen  time.Duration
+	Noise      float64
+	Done       bool
+	Demand     Demand
+	PrevDemand float64
+	Elapsed    time.Duration
+}
+
+// State captures the runner.
+func (r *Runner) State() RunnerState {
+	return RunnerState{
+		Seed:       r.src.Seed0(),
+		Draws:      r.src.Draws(),
+		PhaseIdx:   r.phaseIdx,
+		Progress:   r.progress,
+		BurstOn:    r.burstOn,
+		BurstSeen:  r.burstSeen,
+		Noise:      r.noise,
+		Done:       r.done,
+		Demand:     r.demand,
+		PrevDemand: r.prevDemand,
+		Elapsed:    r.elapsed,
+	}
+}
+
+// Restore overwrites the runner's cursor and fast-forwards its
+// generator to the captured stream position.
+func (r *Runner) Restore(st RunnerState) error {
+	if st.Seed != r.src.Seed0() {
+		return fmt.Errorf("workload: restore seed %d, runner built with %d", st.Seed, r.src.Seed0())
+	}
+	if st.PhaseIdx < 0 || st.PhaseIdx > r.numPhases {
+		return fmt.Errorf("workload: restore phase index %d outside [0,%d]", st.PhaseIdx, r.numPhases)
+	}
+	r.src.Restore(st.Seed, st.Draws)
+	r.phaseIdx = st.PhaseIdx
+	if st.PhaseIdx < r.numPhases {
+		r.cur = r.prog.phaseAt(st.PhaseIdx)
+	}
+	r.progress = st.Progress
+	r.burstOn = st.BurstOn
+	r.burstSeen = st.BurstSeen
+	r.noise = st.Noise
+	r.done = st.Done
+	r.demand = st.Demand
+	r.prevDemand = st.PrevDemand
+	r.elapsed = st.Elapsed
+	return nil
+}

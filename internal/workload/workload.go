@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"github.com/spear-repro/magus/internal/detrand"
 )
 
 // Demand is the instantaneous resource request an application places on
@@ -243,6 +245,7 @@ func (p *Program) validatePhase(i int, ph *Phase) error {
 type Runner struct {
 	prog     *Program
 	sysBWGBs float64
+	src      *detrand.Source
 	rng      *rand.Rand
 	attained func() float64
 
@@ -274,12 +277,17 @@ func NewRunner(prog *Program, sysBWGBs float64, seed int64) *Runner {
 	if sysBWGBs <= 0 {
 		panic(fmt.Sprintf("workload: non-positive system bandwidth %v", sysBWGBs))
 	}
+	// The generator rides on a counting source so a checkpoint can
+	// capture the stream position; the emitted values are bit-identical
+	// to a bare rand.NewSource (see internal/detrand).
+	src := detrand.NewSource(seed)
 	return &Runner{
 		prog:      prog,
 		cur:       prog.phaseAt(0),
 		numPhases: prog.phaseCount(),
 		sysBWGBs:  sysBWGBs,
-		rng:       rand.New(rand.NewSource(seed)),
+		src:       src,
+		rng:       rand.New(src),
 		attained:  func() float64 { return 0 },
 		burstSeen: -1,
 	}

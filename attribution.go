@@ -1,0 +1,73 @@
+package magus
+
+import (
+	"github.com/spear-repro/magus/internal/attrib"
+	"github.com/spear-repro/magus/internal/experiments"
+	"github.com/spear-repro/magus/internal/workload"
+)
+
+// This file exposes co-located (multi-tenant) workloads and per-tenant
+// energy attribution: a time-slicing or fractional-GPU multiplexer runs
+// several phase programs on one node (Options.Tenants), and
+// the harness splits the node's measured energy across them — exactly
+// when one tenant holds the device alone, by utilisation share
+// otherwise, each sample labelled like the DCGM estimated fallback.
+// See docs/ATTRIBUTION.md.
+
+// TenantSpec binds one tenant's program into a colocation.
+type TenantSpec = workload.TenantSpec
+
+// ColocationSpec describes a multi-tenant run: tenants, sharing policy
+// and round-robin quantum. Pass it through Options.Tenants with a
+// nil program.
+type ColocationSpec = workload.MuxSpec
+
+// ColocationPolicy selects how tenants share the node.
+type ColocationPolicy = workload.MuxPolicy
+
+// Colocation policies.
+const (
+	// ColocateRoundRobin time-slices: each tenant owns the whole node
+	// for one quantum, so every joule is attributed exactly.
+	ColocateRoundRobin = workload.RoundRobin
+	// ColocateFractional runs tenants concurrently under MPS-style GPU
+	// fractions; attribution falls back to utilisation-share estimation
+	// while more than one tenant is live.
+	ColocateFractional = workload.Fractional
+)
+
+// TenantEnergy is one tenant's energy bill, split into the exact
+// (exclusive-ownership) and estimated (utilisation-share) regimes.
+type TenantEnergy = attrib.TenantEnergy
+
+// TenantReport is a run's per-tenant attribution plus the
+// independently integrated total it provably balances against
+// (Result.Tenants on co-located runs).
+type TenantReport = attrib.Report
+
+// Colocation presets — the TenantStudy scenario matrix.
+var (
+	// NoisyNeighborColocation time-slices a steady memory-bound victim
+	// against a bursty aggressor.
+	NoisyNeighborColocation = workload.NoisyNeighbor
+	// FractionalGPUColocation shares the GPU 70/30 between two
+	// concurrent tenants.
+	FractionalGPUColocation = workload.FractionalGPU
+	// BurstColocation time-slices two burst-heavy applications on a
+	// coarse quantum.
+	BurstColocation = workload.BurstColocation
+)
+
+// TenantStudyResult is the co-located attribution study: per scenario
+// and governor, who pays for the joules when workloads share a node.
+type TenantStudyResult = experiments.TenantStudyResult
+
+// TenantStudyCell is one (scenario, governor) cell of the study.
+type TenantStudyCell = experiments.TenantCell
+
+// RunTenantStudy runs every colocation scenario (noisy neighbor,
+// fractional GPU, burst) under the vendor default and MAGUS with the
+// waste ledger attached — the `magus-bench -tenants` surface.
+func RunTenantStudy(system string, opt ExperimentOptions) (TenantStudyResult, error) {
+	return experiments.TenantStudy(system, opt)
+}

@@ -1,0 +1,52 @@
+package magus_test
+
+import (
+	"testing"
+
+	magus "github.com/spear-repro/magus"
+)
+
+// TestColocationPublicAPI drives a co-located run and the tenant study
+// through the root facade.
+func TestColocationPublicAPI(t *testing.T) {
+	spec := magus.NoisyNeighborColocation()
+	if spec.Policy != magus.ColocateRoundRobin {
+		t.Fatalf("noisy-neighbor policy = %v", spec.Policy)
+	}
+	res, err := magus.Run(magus.IntelA100(), nil, magus.NewDefaultGovernor(),
+		magus.Options{Seed: 1, Tenants: &spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Tenants
+	if rep == nil || len(rep.Tenants) != 2 {
+		t.Fatalf("tenant report = %+v", rep)
+	}
+	if !rep.Balanced(rep.BalanceTol()) {
+		t.Fatal("attribution imbalanced through the facade")
+	}
+	var bills []magus.TenantEnergy = rep.Tenants
+	for _, te := range bills {
+		if te.TotalJ() <= 0 {
+			t.Fatalf("tenant %s billed nothing", te.Tenant)
+		}
+	}
+}
+
+func TestTenantStudyPublicAPI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full scenario matrix")
+	}
+	res, err := magus.RunTenantStudy("a100", magus.QuickExperiments())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) == 0 {
+		t.Fatal("study produced no cells")
+	}
+	for _, c := range res.Cells {
+		if !c.Balanced {
+			t.Errorf("%s/%s imbalanced", c.Scenario, c.Governor)
+		}
+	}
+}

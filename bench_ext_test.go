@@ -43,12 +43,20 @@ func BenchmarkClusterBudget(b *testing.B) {
 		apps = append(apps, p)
 	}
 	for i := 0; i < b.N; i++ {
-		base, err := magus.RunCluster(magus.UniformCluster(magus.IntelA100(), apps, 6, nil, 1), 100*time.Millisecond)
+		baseSpecs, err := magus.UniformCluster(magus.IntelA100(), apps, 6, nil, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
-		tuned, err := magus.RunCluster(magus.UniformCluster(magus.IntelA100(), apps, 6,
-			func() magus.Governor { return magus.NewRuntime(magus.DefaultConfig()) }, 1), 100*time.Millisecond)
+		base, err := magus.RunCluster(baseSpecs, 100*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tunedSpecs, err := magus.UniformCluster(magus.IntelA100(), apps, 6,
+			func() magus.Governor { return magus.NewRuntime(magus.DefaultConfig()) }, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tuned, err := magus.RunCluster(tunedSpecs, 100*time.Millisecond)
 		if err != nil {
 			b.Fatal(err)
 		}

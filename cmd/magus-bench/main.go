@@ -42,6 +42,7 @@ func main() {
 		tab     = flag.String("tab", "", "table to regenerate: 1, 2")
 		ext     = flag.String("ext", "", "extension study: ablation, cluster, numa, noise, faults")
 		waste   = flag.Bool("waste", false, "power-waste attribution ledger for -app under each governor")
+		tenants = flag.Bool("tenants", false, "co-located tenant study: per-tenant energy attribution across\nnoisy-neighbor, fractional-GPU and burst colocations")
 		tourn   = flag.Bool("tournament", false, "governor tournament for -app: default/UPS/DUF/MAGUS and\nMAGUS parameter variants, variants forked from shared prefixes")
 		scratch = flag.Bool("scratch", false, "with -tournament: disable fork-from-prefix sharing\n(reference mode; output is byte-identical either way)")
 		reps    = flag.Int("reps", 5, "repeats per experiment cell")
@@ -126,6 +127,10 @@ func main() {
 		ran = true
 		wasteStudy(*app, opt)
 	}
+	if *all || *tenants {
+		ran = true
+		tenantStudy(opt)
+	}
 	if *all || *tourn {
 		ran = true
 		tournament(*app, *seed, *jobs, *scratch)
@@ -196,6 +201,23 @@ func wasteStudy(app string, opt magus.ExperimentOptions) {
 	fmt.Println()
 }
 
+func tenantStudy(opt magus.ExperimentOptions) {
+	res, err := magus.RunTenantStudy("a100", opt)
+	fatalIf(err)
+	fmt.Printf("== Per-tenant energy attribution for co-located workloads (%s) ==\n", res.System)
+	fmt.Print(res.Table())
+	for _, c := range res.Cells {
+		r := c.Report
+		fmt.Printf("%-14s %-8s policy=%-11s balanced=%v ledger_balanced=%v total=%.1f J runtime %.2f s\n",
+			c.Scenario, c.Governor, c.Policy, c.Balanced, c.LedgerBalanced, r.TotalJ, c.Result.RuntimeS)
+		for _, t := range r.Tenants {
+			fmt.Printf("  tenant %-10s estimated=%-5v exact=%.1f J estimated=%.1f J (%.2f s exact, %.2f s estimated)\n",
+				t.Tenant, t.Estimated(), t.ExactJ, t.EstimatedJ, t.ExactS, t.EstimatedS)
+		}
+	}
+	fmt.Println()
+}
+
 func noiseStudy(app string, opt magus.ExperimentOptions) {
 	res, err := magus.RunNoiseStudy(app, opt)
 	fatalIf(err)
@@ -217,10 +239,14 @@ func clusterStudy() {
 		}
 		apps = append(apps, p)
 	}
-	base, err := magus.RunCluster(magus.UniformCluster(magus.IntelA100(), apps, 6, nil, 1), 100*time.Millisecond)
+	baseSpecs, err := magus.UniformCluster(magus.IntelA100(), apps, 6, nil, 1)
 	fatalIf(err)
-	tuned, err := magus.RunCluster(magus.UniformCluster(magus.IntelA100(), apps, 6,
-		func() magus.Governor { return magus.NewRuntime(magus.DefaultConfig()) }, 1), 100*time.Millisecond)
+	base, err := magus.RunCluster(baseSpecs, 100*time.Millisecond)
+	fatalIf(err)
+	tunedSpecs, err := magus.UniformCluster(magus.IntelA100(), apps, 6,
+		func() magus.Governor { return magus.NewRuntime(magus.DefaultConfig()) }, 1)
+	fatalIf(err)
+	tuned, err := magus.RunCluster(tunedSpecs, 100*time.Millisecond)
 	fatalIf(err)
 	budget := base.PeakW * 0.92
 	fmt.Println("== Extension: six-node batch under a cluster power budget (§6.1) ==")

@@ -95,8 +95,9 @@ func RunCluster(specs []ClusterNodeSpec, sampleEvery time.Duration) (ClusterResu
 }
 
 // UniformCluster builds count identical nodes running apps round-robin
-// under governors from factory (nil = vendor default).
-func UniformCluster(cfg NodeConfig, apps []*Workload, count int, factory GovernorFactory, baseSeed int64) []ClusterNodeSpec {
+// under governors from factory (nil = vendor default). Empty apps or a
+// non-positive count is an error.
+func UniformCluster(cfg NodeConfig, apps []*Workload, count int, factory GovernorFactory, baseSeed int64) ([]ClusterNodeSpec, error) {
 	return cluster.Uniform(cfg, apps, count, factory, baseSeed)
 }
 

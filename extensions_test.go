@@ -44,8 +44,11 @@ func TestClusterPublicAPI(t *testing.T) {
 		p, _ := magus.WorkloadByName(name)
 		apps = append(apps, p)
 	}
-	specs := magus.UniformCluster(magus.IntelA100(), apps, 4,
+	specs, err := magus.UniformCluster(magus.IntelA100(), apps, 4,
 		func() magus.Governor { return magus.NewRuntime(magus.DefaultConfig()) }, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := magus.RunCluster(specs, 100*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)

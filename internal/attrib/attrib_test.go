@@ -1,0 +1,190 @@
+package attrib
+
+import (
+	"math"
+	"testing"
+
+	"github.com/spear-repro/magus/internal/workload"
+)
+
+func TestNewMeterValidation(t *testing.T) {
+	for name, names := range map[string][]string{
+		"empty":     nil,
+		"anonymous": {"a", ""},
+		"duplicate": {"a", "a"},
+	} {
+		if _, err := NewMeter(names); err == nil {
+			t.Errorf("NewMeter accepted %s tenant list", name)
+		}
+	}
+	if _, err := NewMeter([]string{"a", "b"}); err != nil {
+		t.Fatalf("valid names rejected: %v", err)
+	}
+}
+
+// TestMeterExactRegime: with an exclusive owner every joule lands in
+// the owner's exact bucket, bit-identical to the independent total.
+func TestMeterExactRegime(t *testing.T) {
+	m, err := NewMeter([]string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := []workload.TenantShare{
+		{Tenant: "a", SMShare: 0.5, MemShare: 30, Exclusive: true},
+		{Tenant: "b"},
+	}
+	for i := 0; i < 1000; i++ {
+		m.Accumulate(0.001, 137.5, 212.25, shares)
+	}
+	r := m.Report()
+	a, b := r.Tenants[0], r.Tenants[1]
+	if a.EstimatedJ != 0 || a.EstimatedS != 0 {
+		t.Fatalf("exclusive owner has estimated energy: %+v", a)
+	}
+	if a.Estimated() {
+		t.Fatal("exclusive owner labelled estimated")
+	}
+	if b.TotalJ() != 0 {
+		t.Fatalf("idle tenant billed %v J", b.TotalJ())
+	}
+	// Exact attribution uses the same expression as the total
+	// accumulator, so the balance here is bit-exact, not just ulp-close.
+	if a.ExactJ != r.TotalJ {
+		t.Fatalf("exact joules %v != total %v", a.ExactJ, r.TotalJ)
+	}
+	if !r.Balanced(0) {
+		t.Fatal("exact regime not balanced at zero tolerance")
+	}
+}
+
+// TestMeterEstimatedRegime: concurrent tenants split socket energy by
+// memory share and GPU energy by SM share, labelled estimated, and the
+// split balances within the report's own ulp tolerance.
+func TestMeterEstimatedRegime(t *testing.T) {
+	m, err := NewMeter([]string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := []workload.TenantShare{
+		{Tenant: "a", SMShare: 0.6, MemShare: 30},
+		{Tenant: "b", SMShare: 0.2, MemShare: 10},
+	}
+	const cpuW, gpuW, dt = 100.0, 200.0, 0.001
+	steps := 5000
+	for i := 0; i < steps; i++ {
+		m.Accumulate(dt, cpuW, gpuW, shares)
+	}
+	r := m.Report()
+	a, b := r.Tenants[0], r.Tenants[1]
+	if !a.Estimated() || !b.Estimated() {
+		t.Fatal("concurrent tenants not labelled estimated")
+	}
+	if a.ExactJ != 0 || b.ExactJ != 0 {
+		t.Fatal("concurrent step charged exact energy")
+	}
+	// a has 3/4 of memory traffic and 3/4 of SM: expect 3/4 of both.
+	wantA := (cpuW*0.75 + gpuW*0.75) * dt * float64(steps)
+	if math.Abs(a.TotalJ()-wantA) > 1e-9*wantA {
+		t.Fatalf("tenant a billed %v J, want %v", a.TotalJ(), wantA)
+	}
+	if !r.Balanced(r.BalanceTol()) {
+		t.Fatalf("estimated regime imbalance %v beyond tol", math.Abs(r.SumJ()-r.TotalJ))
+	}
+}
+
+// TestMeterEvenSplit: all-zero weights (both tenants idle but jointly
+// keeping the node awake) split evenly rather than dividing by zero.
+func TestMeterEvenSplit(t *testing.T) {
+	m, err := NewMeter([]string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := []workload.TenantShare{{Tenant: "a"}, {Tenant: "b"}}
+	m.Accumulate(1.0, 40, 60, shares)
+	r := m.Report()
+	if r.Tenants[0].EstimatedJ != 50 || r.Tenants[1].EstimatedJ != 50 {
+		t.Fatalf("idle split = %v / %v, want 50/50",
+			r.Tenants[0].EstimatedJ, r.Tenants[1].EstimatedJ)
+	}
+	if !r.Balanced(r.BalanceTol()) {
+		t.Fatal("even split not balanced")
+	}
+}
+
+// TestMeterMixedRegimes: alternating exclusive and shared steps keep
+// the invariant and count seconds into the right regime buckets.
+func TestMeterMixedRegimes(t *testing.T) {
+	m, err := NewMeter([]string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	excl := []workload.TenantShare{
+		{Tenant: "a", MemShare: 10, SMShare: 0.5, Exclusive: true},
+		{Tenant: "b"},
+	}
+	shared := []workload.TenantShare{
+		{Tenant: "a", MemShare: 10, SMShare: 0.5},
+		{Tenant: "b", MemShare: 10, SMShare: 0.5},
+	}
+	for i := 0; i < 2000; i++ {
+		if i%2 == 0 {
+			m.Accumulate(0.001, 120, 80, excl)
+		} else {
+			m.Accumulate(0.001, 120, 80, shared)
+		}
+	}
+	r := m.Report()
+	a := r.Tenants[0]
+	if math.Abs(a.ExactS-1.0) > 1e-9 || math.Abs(a.EstimatedS-1.0) > 1e-9 {
+		t.Fatalf("regime seconds = exact %v / est %v, want 1.0 each", a.ExactS, a.EstimatedS)
+	}
+	if !r.Balanced(r.BalanceTol()) {
+		t.Fatalf("mixed regimes imbalance %v beyond tol %v ulps",
+			math.Abs(r.SumJ()-r.TotalJ), r.BalanceTol())
+	}
+}
+
+// TestMeterZeroDt: non-positive steps are ignored entirely.
+func TestMeterZeroDt(t *testing.T) {
+	m, err := NewMeter([]string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := []workload.TenantShare{{Tenant: "a", Exclusive: true}, {Tenant: "b"}}
+	m.Accumulate(0, 100, 100, shares)
+	m.Accumulate(-1, 100, 100, shares)
+	if m.Samples() != 0 || m.TotalJ() != 0 {
+		t.Fatalf("non-positive dt accumulated: samples=%d totalJ=%v", m.Samples(), m.TotalJ())
+	}
+}
+
+// TestMeterAccumulateNoAlloc pins the per-step attribution cost.
+func TestMeterAccumulateNoAlloc(t *testing.T) {
+	m, err := NewMeter([]string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := []workload.TenantShare{
+		{Tenant: "a", MemShare: 10, SMShare: 0.5},
+		{Tenant: "b", MemShare: 5, SMShare: 0.3},
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		m.Accumulate(0.001, 100, 200, shares)
+	})
+	if avg != 0 {
+		t.Fatalf("Accumulate allocates %.1f times per step", avg)
+	}
+}
+
+func TestMeterUnknownTenantPanics(t *testing.T) {
+	m, err := NewMeter([]string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown tenant label did not panic")
+		}
+	}()
+	m.Accumulate(0.001, 1, 1, []workload.TenantShare{{Tenant: "ghost", Exclusive: true}})
+}

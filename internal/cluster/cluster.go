@@ -176,6 +176,8 @@ func RunObserved(specs []NodeSpec, sampleEvery time.Duration, o *obs.Observer) (
 			"Total power per cluster member (CPU + GPU) in watts.", "node")
 		aggW := reg.Gauge("magus_cluster_power_watts", "Aggregate cluster power in watts.")
 		energyG := reg.Gauge("magus_cluster_energy_joules", "Cumulative cluster energy to completion.")
+		samplesC := reg.Counter("magus_cluster_observer_samples_total",
+			"Observer sampling ticks; tracks the telemetry recorder's fixed sample grid.")
 		doneG := reg.Gauge("magus_cluster_nodes_done", "Cluster members whose application finished.")
 		reg.Gauge("magus_cluster_nodes", "Cluster member count.").Set(float64(len(members)))
 		memberInfo := reg.GaugeVec("magus_cluster_member_info",
@@ -191,7 +193,15 @@ func RunObserved(specs []NodeSpec, sampleEvery time.Duration, o *obs.Observer) (
 			if now < next {
 				return
 			}
-			next = now + sampleEvery
+			// Advance on the fixed grid rather than re-anchoring on the
+			// observed tick (next = now + sampleEvery): if the engine
+			// step does not divide sampleEvery, re-anchoring stretches
+			// the cadence and the observer drifts out of alignment with
+			// the telemetry recorder sampling the same interval.
+			for next <= now {
+				next += sampleEvery
+			}
+			samplesC.Inc()
 			var agg, energy float64
 			finished := 0
 			for i, m := range members {
@@ -264,8 +274,23 @@ func RunObserved(specs []NodeSpec, sampleEvery time.Duration, o *obs.Observer) (
 }
 
 // Uniform builds a homogeneous spec list: count nodes of cfg, one
-// workload each taken round-robin from apps, all under factory.
-func Uniform(cfg node.Config, apps []*workload.Program, count int, factory harness.GovernorFactory, baseSeed int64) []NodeSpec {
+// workload each taken round-robin from apps, all under factory. Empty
+// apps and non-positive count are rejected loudly: the former used to
+// panic with an integer divide by zero at apps[i%len(apps)], and the
+// latter returned an empty spec list that Run then rejected with an
+// unrelated "empty spec list" error far from the mistake.
+func Uniform(cfg node.Config, apps []*workload.Program, count int, factory harness.GovernorFactory, baseSeed int64) ([]NodeSpec, error) {
+	if len(apps) == 0 {
+		return nil, fmt.Errorf("cluster: Uniform needs at least one workload")
+	}
+	if count <= 0 {
+		return nil, fmt.Errorf("cluster: Uniform node count %d; need at least 1", count)
+	}
+	for i, a := range apps {
+		if a == nil {
+			return nil, fmt.Errorf("cluster: Uniform workload %d is nil", i)
+		}
+	}
 	specs := make([]NodeSpec, count)
 	for i := range specs {
 		specs[i] = NodeSpec{
@@ -276,5 +301,5 @@ func Uniform(cfg node.Config, apps []*workload.Program, count int, factory harne
 			Seed:     baseSeed + int64(i)*131,
 		}
 	}
-	return specs
+	return specs, nil
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -8,6 +9,7 @@ import (
 
 	"github.com/spear-repro/magus/internal/core"
 	"github.com/spear-repro/magus/internal/governor"
+	"github.com/spear-repro/magus/internal/harness"
 	"github.com/spear-repro/magus/internal/node"
 	"github.com/spear-repro/magus/internal/obs"
 	"github.com/spear-repro/magus/internal/telemetry"
@@ -29,6 +31,16 @@ func batchApps(t *testing.T) []*workload.Program {
 
 func magusFactory() governor.Governor { return core.New(core.DefaultConfig()) }
 
+// mustUniform builds a uniform spec list or fails the test.
+func mustUniform(t *testing.T, cfg node.Config, apps []*workload.Program, count int, factory harness.GovernorFactory, baseSeed int64) []NodeSpec {
+	t.Helper()
+	specs, err := Uniform(cfg, apps, count, factory, baseSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return specs
+}
+
 func TestRunValidation(t *testing.T) {
 	if _, err := Run(nil, 0); err == nil {
 		t.Fatal("empty spec list accepted")
@@ -40,7 +52,7 @@ func TestRunValidation(t *testing.T) {
 
 func TestUniformSpecs(t *testing.T) {
 	apps := batchApps(t)
-	specs := Uniform(node.IntelA100(), apps, 6, magusFactory, 1)
+	specs := mustUniform(t, node.IntelA100(), apps, 6, magusFactory, 1)
 	if len(specs) != 6 {
 		t.Fatalf("specs = %d", len(specs))
 	}
@@ -58,7 +70,7 @@ func TestUniformSpecs(t *testing.T) {
 
 func TestClusterRunAggregates(t *testing.T) {
 	apps := batchApps(t)
-	specs := Uniform(node.IntelA100(), apps, 4, nil, 1)
+	specs := mustUniform(t, node.IntelA100(), apps, 4, nil, 1)
 	res, err := Run(specs, 100*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
@@ -93,11 +105,11 @@ func TestClusterRunAggregates(t *testing.T) {
 // at a small makespan cost.
 func TestClusterBudgetClaim(t *testing.T) {
 	apps := batchApps(t)
-	base, err := Run(Uniform(node.IntelA100(), apps, 6, nil, 1), 100*time.Millisecond)
+	base, err := Run(mustUniform(t, node.IntelA100(), apps, 6, nil, 1), 100*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tuned, err := Run(Uniform(node.IntelA100(), apps, 6, magusFactory, 1), 100*time.Millisecond)
+	tuned, err := Run(mustUniform(t, node.IntelA100(), apps, 6, magusFactory, 1), 100*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +140,7 @@ func TestClusterBudgetClaim(t *testing.T) {
 // a nil observer is exactly Run — observation never perturbs the batch.
 func TestClusterObservedMemberInfo(t *testing.T) {
 	apps := batchApps(t)
-	specs := Uniform(node.IntelA100(), apps, 2, magusFactory, 1)
+	specs := mustUniform(t, node.IntelA100(), apps, 2, magusFactory, 1)
 	specs[1].Factory = nil // one vendor-default member
 
 	o := obs.New(nil, nil)
@@ -161,11 +173,11 @@ func summary(r Result) [4]float64 { return [4]float64{r.EnergyJ, r.MakespanS, r.
 
 func TestClusterDeterminism(t *testing.T) {
 	apps := batchApps(t)
-	a, err := Run(Uniform(node.IntelA100(), apps, 3, magusFactory, 9), 100*time.Millisecond)
+	a, err := Run(mustUniform(t, node.IntelA100(), apps, 3, magusFactory, 9), 100*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(Uniform(node.IntelA100(), apps, 3, magusFactory, 9), 100*time.Millisecond)
+	b, err := Run(mustUniform(t, node.IntelA100(), apps, 3, magusFactory, 9), 100*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,6 +253,105 @@ func TestClusterStuckMemberExplicitError(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "stuck") || !strings.Contains(err.Error(), "unfinished") {
 		t.Fatalf("error must name the unfinished member: %v", err)
+	}
+}
+
+// TestUniformValidation: empty apps used to panic with an integer
+// divide by zero (apps[i%len(apps)]); count <= 0 used to return an
+// empty spec list that Run rejected with a misleading error. Both must
+// now fail loudly at the call site.
+func TestUniformValidation(t *testing.T) {
+	if _, err := Uniform(node.IntelA100(), nil, 4, nil, 1); err == nil {
+		t.Fatal("empty apps accepted")
+	}
+	if _, err := Uniform(node.IntelA100(), []*workload.Program{}, 4, nil, 1); err == nil {
+		t.Fatal("zero-length apps accepted")
+	}
+	apps := batchApps(t)
+	if _, err := Uniform(node.IntelA100(), apps, 0, nil, 1); err == nil {
+		t.Fatal("count 0 accepted")
+	}
+	if _, err := Uniform(node.IntelA100(), apps, -3, nil, 1); err == nil {
+		t.Fatal("negative count accepted")
+	}
+	if _, err := Uniform(node.IntelA100(), []*workload.Program{apps[0], nil}, 2, nil, 1); err == nil {
+		t.Fatal("nil workload accepted")
+	}
+}
+
+// TestObserverRecorderAlignment: with a sampling interval the engine
+// step does not divide, the observer must fire on the same fixed grid
+// as the telemetry recorder. The pre-fix observer re-anchored its next
+// sample on the observed tick (next = now + sampleEvery), stretching
+// its cadence relative to the recorder's and drifting the sample
+// counts apart.
+func TestObserverRecorderAlignment(t *testing.T) {
+	prog := &workload.Program{
+		Name: "short",
+		Phases: []workload.Phase{{
+			Name:     "burst",
+			Duration: 300 * time.Millisecond,
+			Mem:      0.5,
+			Shape:    workload.Constant,
+		}},
+	}
+	spec := NodeSpec{Name: "n0", Config: node.IntelA100(), Workload: prog, Seed: 1}
+	o := obs.New(nil, nil)
+	// 2.5 ms does not divide the 1 ms engine step: grid samples land at
+	// 0, 3, 5, 8, 10, ... ms; the re-anchoring cadence drifts to
+	// 0, 3, 6, 9, ... ms and falls behind the recorder.
+	res, err := RunObserved([]NodeSpec{spec}, 2500*time.Microsecond, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recSamples := res.Aggregate.Len()
+	text := o.Registry().Text()
+	want := fmt.Sprintf("magus_cluster_observer_samples_total %d", recSamples)
+	if !strings.Contains(text, want) {
+		t.Fatalf("observer sample count misaligned with recorder (%d samples): metrics lack %q\ngot:\n%s",
+			recSamples, want, text)
+	}
+}
+
+// TestTimeOverBudgetEdgeCases: a trace whose last sample time exceeds
+// the makespan must not subtract the negative hold interval, and a
+// single-sample trace holds its only value across the whole makespan.
+func TestTimeOverBudgetEdgeCases(t *testing.T) {
+	// Last sample at t=12 s beyond the 10 s makespan: its hold interval
+	// is negative and must contribute nothing (not subtract from the
+	// over-budget time accumulated earlier).
+	r := Result{
+		Aggregate: &telemetry.Series{
+			Times:  []float64{0, 5, 12},
+			Values: []float64{150, 50, 150},
+		},
+		MakespanS: 10,
+	}
+	if got := r.TimeOverBudget(100); got != 0.5 {
+		t.Fatalf("trailing sample beyond makespan: TimeOverBudget = %v, want 0.5", got)
+	}
+	// Single over-budget sample: held until the makespan → fraction 1.
+	single := Result{
+		Aggregate: &telemetry.Series{Times: []float64{0}, Values: []float64{200}},
+		MakespanS: 4,
+	}
+	if got := single.TimeOverBudget(100); got != 1 {
+		t.Fatalf("single-sample over trace: %v, want 1", got)
+	}
+	// Single under-budget sample: never over.
+	if got := (Result{
+		Aggregate: &telemetry.Series{Times: []float64{0}, Values: []float64{50}},
+		MakespanS: 4,
+	}).TimeOverBudget(100); got != 0 {
+		t.Fatalf("single-sample under trace: %v, want 0", got)
+	}
+	// Single over-budget sample recorded after the makespan: negative
+	// hold, nothing over.
+	if got := (Result{
+		Aggregate: &telemetry.Series{Times: []float64{5}, Values: []float64{200}},
+		MakespanS: 4,
+	}).TimeOverBudget(100); got != 0 {
+		t.Fatalf("late single sample: %v, want 0", got)
 	}
 }
 

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTenantStudyBalance enforces the attribution invariant on every
+// study cell: per-tenant joules sum to the independently integrated
+// total (node energy and uncore ledger alike), with regime labels
+// matching the scheduling policy.
+func TestTenantStudyBalance(t *testing.T) {
+	res, err := TenantStudy("a100", Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != len(TenantScenarios())*2 {
+		t.Fatalf("%d cells, want %d", len(res.Cells), len(TenantScenarios())*2)
+	}
+	for _, c := range res.Cells {
+		id := c.Scenario + "/" + c.Governor
+		if !c.Balanced {
+			r := c.Report
+			t.Errorf("%s: attribution imbalance %v J beyond %v ulps",
+				id, math.Abs(r.SumJ()-r.TotalJ), r.BalanceTol())
+		}
+		if !c.LedgerBalanced {
+			t.Errorf("%s: waste ledger imbalanced", id)
+		}
+		if len(c.Report.Tenants) < 2 {
+			t.Errorf("%s: %d tenant rows", id, len(c.Report.Tenants))
+		}
+		for _, te := range c.Report.Tenants {
+			if te.TotalJ() <= 0 {
+				t.Errorf("%s: tenant %s billed nothing", id, te.Tenant)
+			}
+			switch c.Policy {
+			case "round-robin":
+				if te.Estimated() {
+					t.Errorf("%s: tenant %s estimated under time-slicing", id, te.Tenant)
+				}
+			case "fractional":
+				if te.EstimatedS <= 0 {
+					t.Errorf("%s: tenant %s never estimated under fractional sharing", id, te.Tenant)
+				}
+			}
+		}
+		if len(c.Tenants) != len(c.Report.Tenants) {
+			t.Errorf("%s: ledger tenant rows %d != report tenants %d",
+				id, len(c.Tenants), len(c.Report.Tenants))
+		}
+	}
+	if res.Table().String() == "" {
+		t.Fatal("study renders an empty table")
+	}
+}

@@ -43,8 +43,14 @@ func (c *Clock) Target(smUtil float64) float64 {
 }
 
 // Step advances the controller by dt under the given SM utilisation and
-// returns the new clock in MHz.
+// returns the new clock in MHz. A non-positive dt leaves the clock
+// unchanged: time did not advance, so the first-order response must not
+// move (a negative dt would flip the sign of alpha and push the clock
+// *away* from its target).
 func (c *Clock) Step(smUtil float64, dt time.Duration) float64 {
+	if dt <= 0 {
+		return c.cur
+	}
 	target := c.Target(smUtil)
 	alpha := float64(dt) / float64(c.Tau)
 	if alpha > 1 {

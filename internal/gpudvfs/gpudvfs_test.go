@@ -62,6 +62,42 @@ func TestNewValidation(t *testing.T) {
 	}
 }
 
+// TestStepDtClamp is the regression table for degenerate dt values: a
+// zero or negative dt must leave the clock unchanged (the pre-fix code
+// flipped alpha's sign on negative dt and pushed the clock *away* from
+// its target), and dt > Tau must clamp alpha to 1 (land exactly on the
+// target, never overshoot).
+func TestStepDtClamp(t *testing.T) {
+	tests := []struct {
+		name   string
+		dt     time.Duration
+		start  float64
+		smUtil float64
+		want   float64
+	}{
+		{"zero dt holds", 0, 700, 0.9, 700},
+		{"negative dt holds", -5 * time.Millisecond, 700, 0.9, 700},
+		{"negative dt holds at idle", -time.Second, 700, 0, 700},
+		{"dt == Tau lands on target", 20 * time.Millisecond, 700, 0.9, 1410},
+		{"dt > Tau clamps to target", time.Second, 700, 0.9, 1410},
+		{"dt > Tau decays to idle", time.Second, 1410, 0, 210},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			c := newA100()
+			c.SetCurrent(tc.start)
+			got := c.Step(tc.smUtil, tc.dt)
+			if got != tc.want {
+				t.Fatalf("Step(%v, %v) from %v = %v, want %v",
+					tc.smUtil, tc.dt, tc.start, got, tc.want)
+			}
+			if c.Current() != got {
+				t.Fatalf("Current() = %v after Step returned %v", c.Current(), got)
+			}
+		})
+	}
+}
+
 func TestClockBounds(t *testing.T) {
 	prop := func(utils []uint8) bool {
 		c := newA100()

@@ -31,6 +31,9 @@ func (s *Steppable) Checkpoint() (*checkpoint.Data, error) {
 	if s.opt.PCMNoise != nil {
 		return nil, fmt.Errorf("harness: runs with a PCMNoise closure are not checkpointable")
 	}
+	if s.mux != nil {
+		return nil, fmt.Errorf("harness: co-located runs are not checkpointable")
+	}
 	if p, ok := workload.ByName(s.prog.Name); !ok || p != s.prog {
 		return nil, fmt.Errorf("harness: program %q is not the catalog program of that name", s.prog.Name)
 	}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/spear-repro/magus/internal/attrib"
 	"github.com/spear-repro/magus/internal/faults"
 	"github.com/spear-repro/magus/internal/governor"
 	"github.com/spear-repro/magus/internal/node"
@@ -64,6 +65,12 @@ type Options struct {
 	// the seed). Tracers are single-run objects: like governors, they
 	// must not be shared across runs, and RepeatSpecs nils them out.
 	Spans *spans.Tracer
+	// Tenants co-locates several workloads on the node through a
+	// time-slicing multiplexer and attributes measured energy across
+	// them (Result.Tenants). It replaces the program argument: callers
+	// pass a nil program when set. Nil = single-tenant, the unchanged
+	// seed path.
+	Tenants *workload.MuxSpec
 }
 
 // Result is one run's outcome.
@@ -87,6 +94,10 @@ type Result struct {
 	// FaultsInjected tallies device-fault injections when a plan was
 	// armed (zero otherwise).
 	FaultsInjected faults.Tally
+
+	// Tenants is the per-tenant energy attribution of a co-located run
+	// (nil for single-tenant runs).
+	Tenants *attrib.Report `json:",omitempty"`
 }
 
 // TotalEnergyJ is the paper's energy metric: CPU package + DRAM + GPU
@@ -103,8 +114,8 @@ func Run(cfg node.Config, prog *workload.Program, gov governor.Governor, opt Opt
 	if err != nil {
 		return Result{}, err
 	}
-	if _, err := st.eng.RunUntil(st.runner.Done, st.horizon); err != nil {
-		return Result{}, fmt.Errorf("harness: %s/%s/%s: %w", cfg.Name, prog.Name, gov.Name(), err)
+	if _, err := st.eng.RunUntil(st.src.Done, st.horizon); err != nil {
+		return Result{}, fmt.Errorf("harness: %s/%s/%s: %w", cfg.Name, st.wname, gov.Name(), err)
 	}
 	return st.finish(), nil
 }

@@ -9,7 +9,6 @@ import (
 	"github.com/spear-repro/magus/internal/node"
 	"github.com/spear-repro/magus/internal/obs"
 	"github.com/spear-repro/magus/internal/spans"
-	"github.com/spear-repro/magus/internal/workload"
 )
 
 // Everything in this file is wired only when Options.Spans is set. A
@@ -47,7 +46,7 @@ func (d *spanMSRDevice) Write(cpu int, reg uint32, val uint64) error {
 type spanSampler struct {
 	tr     *spans.Tracer
 	n      *node.Node
-	runner *workload.Runner
+	src    interface{ PhaseName() string }
 	maxGHz float64
 
 	lastPhase string
@@ -60,7 +59,7 @@ type spanSampler struct {
 
 // Step implements sim.Component.
 func (ss *spanSampler) Step(now, dt time.Duration) {
-	if name := ss.runner.PhaseName(); name != ss.lastPhase {
+	if name := ss.src.PhaseName(); name != ss.lastPhase {
 		ss.tr.SetPhase(name)
 		ss.lastPhase = name
 	}
@@ -86,7 +85,7 @@ func (ss *spanSampler) Step(now, dt time.Duration) {
 // reservation, run span, MSR-write interception (caller swaps env.Dev),
 // the decision hook, the ledger sampler and — when an observer is also
 // attached — the magus_waste_* / magus_span_* families.
-func installSpans(tr *spans.Tracer, n *node.Node, runner *workload.Runner, gov governor.Governor, o *obs.Observer, opt Options, horizon time.Duration) *spanSampler {
+func installSpans(tr *spans.Tracer, n *node.Node, src demandSource, wname string, gov governor.Governor, o *obs.Observer, opt Options, horizon time.Duration) *spanSampler {
 	cfg := n.Config()
 	tr.SetPowerModel(spans.PowerModel{
 		BaseWatts:          cfg.Uncore.BaseWatts,
@@ -102,7 +101,7 @@ func installSpans(tr *spans.Tracer, n *node.Node, runner *workload.Runner, gov g
 	ticks := int(horizon/gov.Interval()) + 2
 	tr.Reserve(ticks*(2+cfg.Sockets) + ticks/spans.DefaultWindowTicks + 16)
 	tr.BeginRun(spans.Meta{
-		System: cfg.Name, Workload: runner.Program().Name,
+		System: cfg.Name, Workload: wname,
 		Governor: gov.Name(), Seed: opt.Seed,
 	})
 
@@ -129,7 +128,7 @@ func installSpans(tr *spans.Tracer, n *node.Node, runner *workload.Runner, gov g
 		})
 	}
 
-	ss := &spanSampler{tr: tr, n: n, runner: runner, maxGHz: cfg.UncoreMaxGHz}
+	ss := &spanSampler{tr: tr, n: n, src: src, maxGHz: cfg.UncoreMaxGHz}
 	if o != nil {
 		reg := o.Registry()
 		wasteVec := reg.GaugeVec("magus_waste_joules",

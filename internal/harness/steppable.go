@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/spear-repro/magus/internal/attrib"
 	"github.com/spear-repro/magus/internal/faults"
 	"github.com/spear-repro/magus/internal/governor"
 	"github.com/spear-repro/magus/internal/node"
@@ -11,6 +12,17 @@ import (
 	"github.com/spear-repro/magus/internal/telemetry"
 	"github.com/spear-repro/magus/internal/workload"
 )
+
+// demandSource is the common surface of a single workload runner and a
+// co-located multiplexer: the harness drives whichever the run was
+// configured with and never needs to know which.
+type demandSource interface {
+	Step(now, dt time.Duration)
+	Demand() workload.Demand
+	Done() bool
+	Elapsed() time.Duration
+	PhaseName() string
+}
 
 // Steppable is a single harness run under external clock control: the
 // exact wiring Run performs — runner → node demand flow, fault set,
@@ -25,7 +37,11 @@ import (
 type Steppable struct {
 	eng    *sim.Engine
 	n      *node.Node
-	runner *workload.Runner
+	runner *workload.Runner // single-tenant runs only (nil when colocated)
+	mux    *workload.Mux    // co-located runs only (nil otherwise)
+	src    demandSource     // whichever of the two drives this run
+	meter  *attrib.Meter    // per-tenant energy split (nil unless colocated)
+	wname  string           // workload label for results and diagnostics
 	gov    governor.Governor
 	cfg    node.Config
 	prog   *workload.Program
@@ -61,8 +77,43 @@ func NewSteppable(cfg node.Config, prog *workload.Program, gov governor.Governor
 func newSteppable(cfg node.Config, prog *workload.Program, gov governor.Governor, opt Options, resuming bool) (*Steppable, error) {
 	eng := sim.NewEngine(opt.Step)
 	n := node.New(cfg)
-	runner := workload.NewRunner(prog, cfg.SystemBWGBs(), opt.Seed)
-	runner.SetAttained(n.AttainedGBs)
+
+	// A run is driven either by a single workload runner (prog) or by a
+	// co-located multiplexer (opt.Tenants), never both. The colocated
+	// branch is strictly additive: with opt.Tenants nil the wiring below
+	// is byte-for-byte the seed's single-tenant path.
+	var (
+		runner  *workload.Runner
+		mux     *workload.Mux
+		src     demandSource
+		meter   *attrib.Meter
+		wname   string
+		nominal time.Duration
+	)
+	if opt.Tenants != nil {
+		if prog != nil {
+			return nil, fmt.Errorf("harness: a program and Options.Tenants are mutually exclusive (the colocation supplies its own programs)")
+		}
+		var err error
+		mux, err = workload.NewMux(*opt.Tenants, cfg.SystemBWGBs())
+		if err != nil {
+			return nil, fmt.Errorf("harness: %w", err)
+		}
+		mux.SetAttained(n.AttainedGBs)
+		// The node retains the mux's live share slice; the mux mutates
+		// it in place each step, so the attribution sampler always sees
+		// the current split without per-tick allocation.
+		n.SetTenantShares(mux.Shares())
+		meter, err = attrib.NewMeter(mux.Tenants())
+		if err != nil {
+			return nil, fmt.Errorf("harness: %w", err)
+		}
+		src, wname, nominal = mux, mux.Name(), mux.NominalDuration()
+	} else {
+		runner = workload.NewRunner(prog, cfg.SystemBWGBs(), opt.Seed)
+		runner.SetAttained(n.AttainedGBs)
+		src, wname, nominal = runner, prog.Name, prog.NominalDuration()
+	}
 
 	var fset *faults.Set
 	if opt.Faults.Armed() {
@@ -90,23 +141,28 @@ func newSteppable(cfg node.Config, prog *workload.Program, gov governor.Governor
 
 	horizon := opt.Horizon
 	if horizon <= 0 {
-		horizon = prog.NominalDuration()*4 + 10*time.Second
+		horizon = nominal*4 + 10*time.Second
 	}
 
-	// Demand flows runner → node each step; the runner reads the
+	// Demand flows source → node each step; the source reads the
 	// node's service from the previous step.
 	eng.AddComponent(sim.ComponentFunc(func(now, dt time.Duration) {
-		runner.Step(now, dt)
-		n.SetDemand(runner.Demand())
+		src.Step(now, dt)
+		n.SetDemand(src.Demand())
 	}))
 	eng.AddComponent(n)
+	if meter != nil {
+		// The attribution sampler reads power the node just computed,
+		// so it is added after the node component.
+		eng.AddComponent(installAttrib(meter, n, mux.Tenants(), opt.Obs))
+	}
 
 	var rec *telemetry.Recorder
 	if opt.TraceInterval > 0 {
 		rec = NewNodeRecorder(n, opt.TraceInterval)
 		// The nominal horizon bounds the sample count; reserving up
 		// front keeps trace appends from reallocating mid run.
-		rec.Reserve(int(prog.NominalDuration()/opt.TraceInterval) + 2)
+		rec.Reserve(int(nominal/opt.TraceInterval) + 2)
 		if fset != nil {
 			rec.Track("faults_injected", func() float64 { return float64(fset.Tally().Total()) })
 		}
@@ -118,7 +174,7 @@ func newSteppable(cfg node.Config, prog *workload.Program, gov governor.Governor
 
 	var ro *runObserver
 	if opt.Obs != nil {
-		ro = installObservability(opt.Obs, n, fset, gov, opt.ObsInterval, opt, cfg.Name, prog.Name, resuming)
+		ro = installObservability(opt.Obs, n, fset, gov, opt.ObsInterval, opt, cfg.Name, wname, resuming)
 		eng.AddComponent(ro)
 	}
 
@@ -128,9 +184,17 @@ func newSteppable(cfg node.Config, prog *workload.Program, gov governor.Governor
 		// The sampler reads state the node just computed, so it is
 		// added after the node component; the tick wrapper opens a
 		// tick span around every scheduled invocation.
-		ss = installSpans(opt.Spans, n, runner, gov, opt.Obs, opt, horizon)
+		ss = installSpans(opt.Spans, n, src, wname, gov, opt.Obs, opt, horizon)
 		eng.AddComponent(ss)
 		govFn = tickFn(opt.Spans, gov.Invoke)
+		if mux != nil {
+			// Installed after SetPowerModel (installSpans) because
+			// SetPowerModel resets the ledger, which would drop the
+			// split. The weight slice is live: the mux rewrites it each
+			// step, so the ledger splits by the current memory-traffic
+			// shares.
+			opt.Spans.SetTenantSplit(mux.Tenants(), mux.MemWeights())
+		}
 	}
 
 	eng.AddTask(&sim.Task{
@@ -140,7 +204,8 @@ func newSteppable(cfg node.Config, prog *workload.Program, gov governor.Governor
 	}, 0)
 
 	return &Steppable{
-		eng: eng, n: n, runner: runner, gov: gov,
+		eng: eng, n: n, runner: runner, mux: mux, src: src,
+		meter: meter, wname: wname, gov: gov,
 		cfg: cfg, prog: prog, opt: opt,
 		fset: fset, rec: rec, ro: ro,
 		env: env, mons: mons, ss: ss,
@@ -176,6 +241,16 @@ func (s *Steppable) NextInvocation() time.Duration {
 // true.
 func (s *Steppable) Result() Result { return s.res }
 
+// TenantReport snapshots the live per-tenant energy attribution of a
+// co-located run; it may be read mid-run (magusd serve session status)
+// and returns nil for single-tenant runs.
+func (s *Steppable) TenantReport() *attrib.Report {
+	if s.meter == nil {
+		return nil
+	}
+	return s.meter.Report()
+}
+
 // Advance runs the simulation forward by up to d of virtual time,
 // stopping early when the workload completes — in which case the
 // result is finalised exactly as Run would have, and Advance returns
@@ -196,15 +271,15 @@ func (s *Steppable) Advance(d time.Duration) (bool, error) {
 	// The stop condition includes the target time, so this RunUntil
 	// always terminates well inside its own safety horizon.
 	s.eng.RunUntil(func() bool {
-		return s.runner.Done() || s.eng.Clock().Now() >= target
+		return s.src.Done() || s.eng.Clock().Now() >= target
 	}, d+time.Second)
-	if s.runner.Done() {
+	if s.src.Done() {
 		s.finish()
 		return true, nil
 	}
 	if s.eng.Clock().Now() >= s.horizon {
 		return false, fmt.Errorf("harness: %s/%s/%s: %w",
-			s.cfg.Name, s.prog.Name, s.gov.Name(), sim.ErrHorizon)
+			s.cfg.Name, s.wname, s.gov.Name(), sim.ErrHorizon)
 	}
 	return false, nil
 }
@@ -213,11 +288,11 @@ func (s *Steppable) Advance(d time.Duration) (bool, error) {
 func (s *Steppable) finish() Result {
 	s.opt.Spans.Finish(s.eng.Clock().Now())
 
-	runtime := s.runner.Elapsed().Seconds()
+	runtime := s.src.Elapsed().Seconds()
 	pkgJ, drmJ, gpuJ := s.n.EnergyJ()
 	res := Result{
 		System:      s.cfg.Name,
-		Workload:    s.prog.Name,
+		Workload:    s.wname,
 		Governor:    s.gov.Name(),
 		RuntimeS:    runtime,
 		PkgEnergyJ:  pkgJ,
@@ -230,6 +305,9 @@ func (s *Steppable) finish() Result {
 	}
 	if s.fset != nil {
 		res.FaultsInjected = s.fset.Tally()
+	}
+	if s.meter != nil {
+		res.Tenants = s.meter.Report()
 	}
 	if s.ro != nil {
 		s.ro.finish(s.eng.Clock().Now(), res)

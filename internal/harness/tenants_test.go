@@ -1,0 +1,186 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/spear-repro/magus/internal/governor"
+	"github.com/spear-repro/magus/internal/node"
+	"github.com/spear-repro/magus/internal/obs"
+	"github.com/spear-repro/magus/internal/spans"
+	"github.com/spear-repro/magus/internal/workload"
+)
+
+func colocSpec(t *testing.T, policy workload.MuxPolicy) *workload.MuxSpec {
+	t.Helper()
+	a, ok := workload.ByName("srad")
+	if !ok {
+		t.Fatal("srad not in catalog")
+	}
+	b, ok := workload.ByName("pathfinder")
+	if !ok {
+		t.Fatal("pathfinder not in catalog")
+	}
+	return &workload.MuxSpec{
+		Policy: policy,
+		Tenants: []workload.TenantSpec{
+			{Tenant: "a", Program: a, Seed: 1},
+			{Tenant: "b", Program: b, Seed: 2},
+		},
+	}
+}
+
+// TestRunColocated drives a full co-located run per policy and checks
+// the end-to-end attribution contract: a report for every tenant, the
+// balance invariant within the report's own tolerance, and the
+// policy-appropriate regime labels.
+func TestRunColocated(t *testing.T) {
+	cfg := node.IntelA100()
+	for _, policy := range []workload.MuxPolicy{workload.RoundRobin, workload.Fractional} {
+		spec := colocSpec(t, policy)
+		res, err := Run(cfg, nil, governor.NewDefault(), Options{Seed: 1, Tenants: spec})
+		if err != nil {
+			t.Fatalf("%v: %v", policy, err)
+		}
+		if res.Tenants == nil {
+			t.Fatalf("%v: colocated result has no tenant report", policy)
+		}
+		r := res.Tenants
+		if len(r.Tenants) != 2 {
+			t.Fatalf("%v: %d tenant rows, want 2", policy, len(r.Tenants))
+		}
+		if !r.Balanced(r.BalanceTol()) {
+			t.Fatalf("%v: attribution imbalance %v J beyond %v ulps",
+				policy, math.Abs(r.SumJ()-r.TotalJ), r.BalanceTol())
+		}
+		if r.TotalJ <= 0 {
+			t.Fatalf("%v: no energy attributed", policy)
+		}
+		for _, te := range r.Tenants {
+			if te.TotalJ() <= 0 {
+				t.Fatalf("%v: tenant %s billed nothing", policy, te.Tenant)
+			}
+			switch policy {
+			case workload.RoundRobin:
+				// Time-slicing always has an exclusive owner: every
+				// joule is measured, none estimated.
+				if te.Estimated() {
+					t.Fatalf("round-robin tenant %s carries estimated energy", te.Tenant)
+				}
+			case workload.Fractional:
+				if te.EstimatedS <= 0 {
+					t.Fatalf("fractional tenant %s never estimated", te.Tenant)
+				}
+			}
+		}
+		if !strings.HasPrefix(res.Workload, "colocated(") {
+			t.Fatalf("%v: workload label %q", policy, res.Workload)
+		}
+	}
+}
+
+// TestRunColocatedProgramConflict: a program and Options.Tenants are
+// mutually exclusive.
+func TestRunColocatedProgramConflict(t *testing.T) {
+	cfg := node.IntelA100()
+	prog, _ := workload.ByName("srad")
+	_, err := Run(cfg, prog, governor.NewDefault(), Options{Seed: 1, Tenants: colocSpec(t, workload.RoundRobin)})
+	if err == nil {
+		t.Fatal("Run accepted both a program and Options.Tenants")
+	}
+}
+
+// TestColocatedNotCheckpointable: the checkpoint layer refuses
+// co-located runs loudly instead of panicking on the nil program.
+func TestColocatedNotCheckpointable(t *testing.T) {
+	cfg := node.IntelA100()
+	st, err := NewSteppable(cfg, nil, governor.NewDefault(), Options{Seed: 1, Tenants: colocSpec(t, workload.RoundRobin)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Advance(50 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Checkpoint(); err == nil {
+		t.Fatal("Checkpoint accepted a co-located run")
+	}
+}
+
+// TestColocatedTenantMetrics: with an observer attached, the per-tenant
+// energy family is exported with the estimated label and its exact+
+// estimated series sum to the attribution report.
+func TestColocatedTenantMetrics(t *testing.T) {
+	cfg := node.IntelA100()
+	o := obs.New(nil, nil)
+	res, err := Run(cfg, nil, governor.NewDefault(), Options{
+		Seed: 1, Tenants: colocSpec(t, workload.Fractional), Obs: o,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := o.Registry().Text()
+	if !strings.Contains(text, `magus_tenant_energy_joules{estimated="true",tenant="a"}`) &&
+		!strings.Contains(text, `magus_tenant_energy_joules{tenant="a",estimated="true"}`) {
+		t.Fatalf("tenant energy metric missing estimated label:\n%s", text)
+	}
+	for _, te := range res.Tenants.Tenants {
+		if te.EstimatedJ <= 0 {
+			t.Fatalf("tenant %s has no estimated energy under fractional", te.Tenant)
+		}
+	}
+}
+
+// TestColocatedSpansTenantSplit: the waste ledger's per-tenant buckets
+// individually balance and jointly sum to the run attribution.
+func TestColocatedSpansTenantSplit(t *testing.T) {
+	cfg := node.IntelA100()
+	tr := spans.New(0)
+	res, err := Run(cfg, nil, governor.NewDefault(), Options{
+		Seed: 1, Tenants: colocSpec(t, workload.RoundRobin), Spans: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenants := tr.Ledger().Tenants()
+	if len(tenants) != 2 {
+		t.Fatalf("%d ledger tenant buckets, want 2", len(tenants))
+	}
+	run := tr.Ledger().Run()
+	steps := spans.StepsIn(time.Duration(res.RuntimeS*float64(time.Second)), time.Millisecond)
+	tol := spans.BalanceTolUlps(steps*cfg.Sockets) * 4
+	var sum, sumTotal float64
+	for _, te := range tenants {
+		if te.Energy.TotalJ <= 0 {
+			t.Fatalf("ledger tenant %s attributed nothing", te.Name)
+		}
+		if te.Energy.Imbalance() > spans.BalanceTolUlps(steps*cfg.Sockets)*ulpOf(te.Energy.TotalJ) {
+			t.Fatalf("ledger tenant %s bucket imbalanced by %v", te.Name, te.Energy.Imbalance())
+		}
+		sum += te.Energy.SumJ()
+		sumTotal += te.Energy.TotalJ
+	}
+	if math.Abs(sumTotal-run.TotalJ) > tol*ulpOf(run.TotalJ) {
+		t.Fatalf("tenant buckets total %v != run total %v", sumTotal, run.TotalJ)
+	}
+	_ = sum
+}
+
+// TestSingleTenantUnchanged: a nil Tenants option is the seed path —
+// same result as before the colocation layer existed, with no tenant
+// report attached.
+func TestSingleTenantUnchanged(t *testing.T) {
+	cfg := node.IntelA100()
+	prog, _ := workload.ByName("srad")
+	res, err := Run(cfg, prog, governor.NewDefault(), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tenants != nil {
+		t.Fatal("single-tenant run carries a tenant report")
+	}
+	if res.Workload != "srad" {
+		t.Fatalf("workload label %q", res.Workload)
+	}
+}

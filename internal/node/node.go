@@ -53,6 +53,7 @@ type Node struct {
 	gpus []*gpuState
 
 	demand           workload.Demand
+	tenantShares     []workload.TenantShare
 	attained         float64   // GB/s served last step
 	attainedSock     []float64 // per-socket GB/s served last step
 	servedGB         float64   // cumulative GB served
@@ -156,6 +157,18 @@ func (n *Node) MSRDevice() msr.Device { return nodeDevice{n} }
 
 // SetDemand installs the application demand for the next step.
 func (n *Node) SetDemand(d workload.Demand) { n.demand = d }
+
+// SetTenantShares installs the per-tenant utilisation share surface for
+// co-located workloads. The node retains the slice; the workload
+// multiplexer mutates it in place each step, so the node always exposes
+// the current step's shares — the simulated analogue of per-process
+// SM/memory accounting counters. Single-tenant runs never call this and
+// TenantShares returns nil.
+func (n *Node) SetTenantShares(ts []workload.TenantShare) { n.tenantShares = ts }
+
+// TenantShares returns the live per-tenant share slice (nil when the
+// node runs a single tenant). Callers must treat it as read-only.
+func (n *Node) TenantShares() []workload.TenantShare { return n.tenantShares }
 
 // Demand returns the demand currently applied.
 func (n *Node) Demand() workload.Demand { return n.demand }

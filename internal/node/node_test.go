@@ -381,3 +381,24 @@ func TestEnergyAndServiceProperties(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestTenantShares pins the pass-through share surface: the node
+// retains the caller's live slice (mutations are visible without
+// re-installation) and single-tenant nodes expose nil.
+func TestTenantShares(t *testing.T) {
+	n := New(IntelA100())
+	if n.TenantShares() != nil {
+		t.Fatal("fresh node exposes tenant shares")
+	}
+	shares := []workload.TenantShare{{Tenant: "a"}, {Tenant: "b"}}
+	n.SetTenantShares(shares)
+	got := n.TenantShares()
+	if len(got) != 2 || got[0].Tenant != "a" {
+		t.Fatalf("TenantShares = %+v", got)
+	}
+	shares[1].Exclusive = true
+	shares[1].MemShare = 12.5
+	if !n.TenantShares()[1].Exclusive || n.TenantShares()[1].MemShare != 12.5 {
+		t.Fatal("node copied the share slice instead of retaining it")
+	}
+}

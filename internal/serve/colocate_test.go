@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func colocateSpec(tenant string) Spec {
+	return Spec{
+		Tenant: tenant,
+		Colocate: []ColocateTenant{
+			{Tenant: "a", Workload: "srad", Seed: 1},
+			{Tenant: "b", Workload: "pathfinder", Seed: 2},
+		},
+	}
+}
+
+// TestColocatedSession drives a co-located session to completion and
+// checks the attribution surface: live per-tenant rows mid-run, the
+// balance invariant, exact labels under round-robin, and the colocated
+// workload label.
+func TestColocatedSession(t *testing.T) {
+	mg := newTestManager(t, Config{})
+	st, err := mg.Create(colocateSpec("t0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(st.Workload, "colocated(") {
+		t.Fatalf("workload label %q", st.Workload)
+	}
+
+	// Attribution is live before completion.
+	if _, err := mg.Step(st.ID, 100*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	mid, err := mg.Get(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid.Attribution == nil || len(mid.Attribution.Tenants) != 2 {
+		t.Fatalf("mid-run attribution = %+v", mid.Attribution)
+	}
+	if !mid.Attribution.Balanced {
+		t.Fatal("mid-run attribution imbalanced")
+	}
+
+	res := stepToDone(t, mg, st.ID)
+	if res.Result == nil {
+		t.Fatal("no result on final step")
+	}
+	fin, err := mg.Get(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := fin.Attribution
+	if a == nil || !a.Balanced || a.TotalJ <= 0 {
+		t.Fatalf("final attribution = %+v", a)
+	}
+	var sum float64
+	for _, row := range a.Tenants {
+		if row.TotalJ <= 0 {
+			t.Fatalf("tenant %s billed nothing", row.Tenant)
+		}
+		if row.Estimated {
+			t.Fatalf("tenant %s estimated under round-robin", row.Tenant)
+		}
+		sum += row.TotalJ
+	}
+	if sum <= 0 {
+		t.Fatal("tenant rows sum to zero")
+	}
+}
+
+// TestColocateSpecValidation pins the spec surface errors.
+func TestColocateSpecValidation(t *testing.T) {
+	mg := newTestManager(t, Config{})
+	cases := map[string]Spec{
+		"workload and colocate": func() Spec {
+			s := colocateSpec("t")
+			s.Workload = "bfs"
+			return s
+		}(),
+		"bad policy": func() Spec {
+			s := colocateSpec("t")
+			s.Policy = "lottery"
+			return s
+		}(),
+		"negative quantum": func() Spec {
+			s := colocateSpec("t")
+			s.QuantumMS = -5
+			return s
+		}(),
+		"policy without colocate": {Tenant: "t", Workload: "bfs", Policy: "fractional"},
+		"unknown tenant workload": {Tenant: "t", Colocate: []ColocateTenant{
+			{Tenant: "a", Workload: "nope"}, {Tenant: "b", Workload: "bfs"},
+		}},
+		"duplicate tenant": {Tenant: "t", Colocate: []ColocateTenant{
+			{Tenant: "a", Workload: "bfs"}, {Tenant: "a", Workload: "srad"},
+		}},
+		"single tenant": {Tenant: "t", Colocate: []ColocateTenant{
+			{Tenant: "a", Workload: "bfs"},
+		}},
+	}
+	for name, spec := range cases {
+		if _, err := mg.Create(spec); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("%s: Create = %v, want ErrBadSpec", name, err)
+		}
+	}
+}
+
+// TestColocatedFractionalSession: the fractional policy reaches Status
+// with estimated labels set.
+func TestColocatedFractionalSession(t *testing.T) {
+	mg := newTestManager(t, Config{})
+	spec := colocateSpec("t1")
+	spec.Policy = "fractional"
+	st, err := mg.Create(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepToDone(t, mg, st.ID)
+	fin, err := mg.Get(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.Attribution == nil || !fin.Attribution.Balanced {
+		t.Fatalf("attribution = %+v", fin.Attribution)
+	}
+	seen := false
+	for _, row := range fin.Attribution.Tenants {
+		if row.Estimated {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Fatal("no tenant carries the estimated label under fractional sharing")
+	}
+}

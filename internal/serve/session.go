@@ -39,6 +39,29 @@ type Spec struct {
 	// Waste arms the PR 5 attribution ledger; Status then carries the
 	// session's baseline/useful/waste joule decomposition.
 	Waste bool `json:"waste,omitempty"`
+	// Colocate runs several workloads in this session through the
+	// time-slicing multiplexer with per-tenant energy attribution;
+	// when set, Workload must be empty (each tenant names its own) and
+	// Status carries a per-tenant attribution row per entry.
+	Colocate []ColocateTenant `json:"colocate,omitempty"`
+	// Policy selects the colocation sharing policy: "round-robin"
+	// (default) or "fractional".
+	Policy string `json:"policy,omitempty"`
+	// QuantumMS is the round-robin slice in milliseconds (0 = 10 ms).
+	QuantumMS int `json:"quantum_ms,omitempty"`
+}
+
+// ColocateTenant is one tenant of a co-located session spec.
+type ColocateTenant struct {
+	// Tenant labels the attribution bucket; required and unique.
+	Tenant string `json:"tenant"`
+	// Workload is the tenant's catalog application name; required.
+	Workload string `json:"workload"`
+	// Seed drives the tenant's pseudo-random modulation (0 = session seed).
+	Seed int64 `json:"seed,omitempty"`
+	// GPUFrac is the tenant's fractional GPU allocation under the
+	// fractional policy (0 = equal share).
+	GPUFrac float64 `json:"gpu_frac,omitempty"`
 }
 
 // validate normalises and checks the spec.
@@ -47,8 +70,23 @@ func (sp *Spec) validate() error {
 	if sp.Tenant == "" {
 		return fmt.Errorf("%w: missing tenant", ErrBadSpec)
 	}
-	if sp.Workload == "" {
-		return fmt.Errorf("%w: missing workload", ErrBadSpec)
+	if len(sp.Colocate) > 0 {
+		if sp.Workload != "" {
+			return fmt.Errorf("%w: workload and colocate are mutually exclusive", ErrBadSpec)
+		}
+		if _, err := colocatePolicy(sp.Policy); err != nil {
+			return err
+		}
+		if sp.QuantumMS < 0 {
+			return fmt.Errorf("%w: negative colocation quantum", ErrBadSpec)
+		}
+	} else {
+		if sp.Workload == "" {
+			return fmt.Errorf("%w: missing workload", ErrBadSpec)
+		}
+		if sp.Policy != "" || sp.QuantumMS != 0 {
+			return fmt.Errorf("%w: policy/quantum_ms require colocate", ErrBadSpec)
+		}
 	}
 	if sp.Seed == 0 {
 		sp.Seed = 1
@@ -57,6 +95,17 @@ func (sp *Spec) validate() error {
 		return fmt.Errorf("%w: negative power cap", ErrBadSpec)
 	}
 	return nil
+}
+
+// colocatePolicy maps a spec's policy name onto the multiplexer's.
+func colocatePolicy(name string) (workload.MuxPolicy, error) {
+	switch name {
+	case "", "round-robin", "rr":
+		return workload.RoundRobin, nil
+	case "fractional":
+		return workload.Fractional, nil
+	}
+	return 0, fmt.Errorf("%w: unknown colocation policy %q", ErrBadSpec, name)
 }
 
 // systemByName maps a session spec's system name to a node preset.
@@ -130,6 +179,8 @@ type Session struct {
 	ID   string
 	Spec Spec
 
+	wlabel string // workload display label ("colocated(...)" for multi-tenant)
+
 	mu      sync.Mutex
 	st      *harness.Steppable
 	gov     governor.Governor
@@ -163,9 +214,41 @@ func newSession(id string, spec Spec, now time.Time) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	prog, ok := workload.ByName(spec.Workload)
-	if !ok {
-		return nil, fmt.Errorf("%w: unknown workload %q", ErrBadSpec, spec.Workload)
+	var prog *workload.Program
+	var muxSpec *workload.MuxSpec
+	wlabel := spec.Workload
+	if len(spec.Colocate) > 0 {
+		policy, perr := colocatePolicy(spec.Policy)
+		if perr != nil {
+			return nil, perr
+		}
+		ms := &workload.MuxSpec{
+			Policy:  policy,
+			Quantum: time.Duration(spec.QuantumMS) * time.Millisecond,
+		}
+		labels := make([]string, 0, len(spec.Colocate))
+		for _, t := range spec.Colocate {
+			p, ok := workload.ByName(t.Workload)
+			if !ok {
+				return nil, fmt.Errorf("%w: unknown workload %q", ErrBadSpec, t.Workload)
+			}
+			seed := t.Seed
+			if seed == 0 {
+				seed = spec.Seed
+			}
+			ms.Tenants = append(ms.Tenants, workload.TenantSpec{
+				Tenant: t.Tenant, Program: p, Seed: seed, GPUFrac: t.GPUFrac,
+			})
+			labels = append(labels, t.Tenant+":"+t.Workload)
+		}
+		muxSpec = ms
+		wlabel = "colocated(" + strings.Join(labels, "+") + ")"
+	} else {
+		p, ok := workload.ByName(spec.Workload)
+		if !ok {
+			return nil, fmt.Errorf("%w: unknown workload %q", ErrBadSpec, spec.Workload)
+		}
+		prog = p
 	}
 	gov, err := buildGovernor(spec.Governor, cfg)
 	if err != nil {
@@ -175,7 +258,7 @@ func newSession(id string, spec Spec, now time.Time) (*Session, error) {
 		gov = governor.WithPowerCap(gov, spec.PowerCapW)
 	}
 
-	opt := harness.Options{Seed: spec.Seed}
+	opt := harness.Options{Seed: spec.Seed, Tenants: muxSpec}
 	if spec.Faults != "" {
 		plan, ok := faults.Preset(spec.Faults)
 		if !ok {
@@ -191,7 +274,7 @@ func newSession(id string, spec Spec, now time.Time) (*Session, error) {
 		opt.Spans = tracer
 	}
 
-	s := &Session{ID: id, Spec: spec, gov: gov, tracer: tracer, created: now}
+	s := &Session{ID: id, Spec: spec, gov: gov, tracer: tracer, created: now, wlabel: wlabel}
 	s.lastActive.Store(now.UnixNano())
 
 	// Hooks observe the unwrapped governor (a power cap is transparent).
@@ -317,6 +400,29 @@ type WasteJSON struct {
 	WasteFrac float64 `json:"waste_frac"`
 }
 
+// TenantJSON is one tenant's energy attribution row in Status
+// responses (co-located sessions). Estimated carries the DCGM-style
+// label: false means every joule was measured under exclusive
+// ownership, true means utilisation-share estimation contributed.
+type TenantJSON struct {
+	Tenant     string  `json:"tenant"`
+	ExactJ     float64 `json:"exact_j"`
+	EstimatedJ float64 `json:"estimated_j"`
+	TotalJ     float64 `json:"total_j"`
+	Estimated  bool    `json:"estimated"`
+}
+
+// AttributionJSON is the per-tenant energy split of a co-located
+// session, live from session creation onward.
+type AttributionJSON struct {
+	Tenants []TenantJSON `json:"tenants"`
+	// TotalJ is the independently integrated node energy the tenant
+	// rows balance against; Balanced reports that invariant at the
+	// report's sample-scaled ulp tolerance.
+	TotalJ   float64 `json:"total_j"`
+	Balanced bool    `json:"balanced"`
+}
+
 // ResultJSON is the finalised run outcome of a completed session.
 type ResultJSON struct {
 	RuntimeS     float64 `json:"runtime_s"`
@@ -348,9 +454,10 @@ type Status struct {
 	StepOverruns uint64 `json:"step_overruns,omitempty"`
 	Error        string `json:"error,omitempty"`
 
-	Stats  *StatsJSON  `json:"stats,omitempty"`
-	Waste  *WasteJSON  `json:"waste,omitempty"`
-	Result *ResultJSON `json:"result,omitempty"`
+	Stats       *StatsJSON       `json:"stats,omitempty"`
+	Waste       *WasteJSON       `json:"waste,omitempty"`
+	Attribution *AttributionJSON `json:"attribution,omitempty"`
+	Result      *ResultJSON      `json:"result,omitempty"`
 }
 
 // StepResult is the outcome of one step request.
@@ -370,7 +477,7 @@ func (s *Session) statusLocked(now time.Time) Status {
 		ID:       s.ID,
 		Tenant:   s.Spec.Tenant,
 		System:   s.st.Node().Config().Name,
-		Workload: s.Spec.Workload,
+		Workload: s.wlabel,
 		Governor: s.gov.Name(),
 		State:    s.stateLocked().String(),
 		Health:   s.healthLocked().String(),
@@ -408,6 +515,22 @@ func (s *Session) statusLocked(now time.Time) Status {
 			TotalJ:    run.TotalJ,
 			WasteFrac: run.WasteFrac(),
 		}
+	}
+	if rep := s.st.TenantReport(); rep != nil {
+		a := &AttributionJSON{
+			TotalJ:   rep.TotalJ,
+			Balanced: rep.Balanced(rep.BalanceTol()),
+		}
+		for _, t := range rep.Tenants {
+			a.Tenants = append(a.Tenants, TenantJSON{
+				Tenant:     t.Tenant,
+				ExactJ:     t.ExactJ,
+				EstimatedJ: t.EstimatedJ,
+				TotalJ:     t.TotalJ(),
+				Estimated:  t.Estimated(),
+			})
+		}
+		st.Attribution = a
 	}
 	if s.st.Done() {
 		st.Result = resultJSON(s.st.Result())

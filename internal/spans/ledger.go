@@ -161,6 +161,13 @@ type PhaseEnergy struct {
 	Energy EnergyAttr
 }
 
+// TenantEnergy is one tenant's share of the uncore attribution in a
+// co-located run.
+type TenantEnergy struct {
+	Name   string
+	Energy EnergyAttr
+}
+
 // Ledger accumulates the decomposition at every open attribution
 // level. It is owned by a Tracer and advanced from its hooks; the
 // zero value is ready to use.
@@ -177,12 +184,27 @@ type Ledger struct {
 	phase      string
 	phaseAttr  map[string]*EnergyAttr
 	phaseOrder []string
+
+	// Tenant split (co-located runs): tenantW is a live, caller-owned
+	// weight slice the workload multiplexer mutates in place each step;
+	// every accumulation also lands in the per-tenant buckets,
+	// proportional to the current weights.
+	tenantNames []string
+	tenantW     []float64
+	tenantAttr  []EnergyAttr
 }
 
 func (l *Ledger) reset() {
 	windows := l.windows[:0] // keep a Reserve()d arena across reset
 	*l = Ledger{}
 	l.windows = windows
+}
+
+// setTenantSplit installs the tenant names and live weight slice.
+func (l *Ledger) setTenantSplit(names []string, weights []float64) {
+	l.tenantNames = names
+	l.tenantW = weights
+	l.tenantAttr = make([]EnergyAttr, len(names))
 }
 
 func (l *Ledger) openWindow(id ID) {
@@ -237,6 +259,20 @@ func (l *Ledger) accumulate(dt, baseW, usefulW, wasteW, totalW float64) {
 		}
 		a.add(dt, baseW, usefulW, wasteW, totalW)
 	}
+	if len(l.tenantW) > 0 {
+		var sum float64
+		for _, w := range l.tenantW {
+			sum += w
+		}
+		even := 1 / float64(len(l.tenantW))
+		for i, w := range l.tenantW {
+			frac := even
+			if sum > 0 {
+				frac = w / sum
+			}
+			l.tenantAttr[i].add(dt*frac, baseW, usefulW, wasteW, totalW)
+		}
+	}
 }
 
 // Run returns the whole-run attribution.
@@ -263,6 +299,19 @@ func (l *Ledger) Phases() []PhaseEnergy {
 	out := make([]PhaseEnergy, 0, len(l.phaseOrder))
 	for _, name := range l.phaseOrder {
 		out = append(out, PhaseEnergy{Name: name, Energy: *l.phaseAttr[name]})
+	}
+	return out
+}
+
+// Tenants returns per-tenant uncore attribution in split order (empty
+// unless the run was co-located and a tenant split was installed).
+func (l *Ledger) Tenants() []TenantEnergy {
+	if l == nil || len(l.tenantNames) == 0 {
+		return nil
+	}
+	out := make([]TenantEnergy, 0, len(l.tenantNames))
+	for i, name := range l.tenantNames {
+		out = append(out, TenantEnergy{Name: name, Energy: l.tenantAttr[i]})
 	}
 	return out
 }

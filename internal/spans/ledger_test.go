@@ -215,3 +215,68 @@ func TestEnergyAttrHelpers(t *testing.T) {
 		t.Error("nil ledger accessors not zero-safe")
 	}
 }
+
+// TestLedgerTenantSplit checks the co-located tenant bucketing: energy
+// splits by the live weight slice (re-read every accumulation), falls
+// back to an even split when all weights are zero, and the per-tenant
+// buckets sum to the run totals.
+func TestLedgerTenantSplit(t *testing.T) {
+	m := testModel()
+	tr := New(10)
+	tr.SetPowerModel(m)
+	tr.SetTenantSplit([]string{"a", "b"}, []float64{3, 1})
+	weights := tr.Ledger().tenantW
+	tr.BeginRun(Meta{})
+	dt := 10 * time.Millisecond
+
+	tr.AccumulateSocketActual(dt, 1, 100, m.Total(1, 100))
+	// Mutate the live slice in place, as the workload mux does.
+	weights[0], weights[1] = 1, 1
+	tr.AccumulateSocketActual(dt, 1, 100, m.Total(1, 100))
+	weights[0], weights[1] = 0, 0 // both idle: even split
+	tr.AccumulateSocketActual(dt, 0.5, 0, m.Total(0.5, 0))
+	tr.Finish(30 * time.Millisecond)
+
+	tenants := tr.Ledger().Tenants()
+	if len(tenants) != 2 || tenants[0].Name != "a" || tenants[1].Name != "b" {
+		t.Fatalf("tenants = %+v", tenants)
+	}
+	run := tr.Ledger().Run()
+	var sumTotal, sumSeconds float64
+	for _, te := range tenants {
+		sumTotal += te.Energy.TotalJ
+		sumSeconds += te.Energy.Seconds
+	}
+	if math.Abs(sumTotal-run.TotalJ) > 1e-9 {
+		t.Errorf("tenant totals %v != run total %v", sumTotal, run.TotalJ)
+	}
+	if math.Abs(sumSeconds-run.Seconds) > 1e-12 {
+		t.Errorf("tenant seconds %v != run seconds %v", sumSeconds, run.Seconds)
+	}
+	// First step 3:1, second 1:1, third even: a = 0.75·s1 + 0.5·(s2+s3).
+	s1 := m.Total(1, 100) * dt.Seconds()
+	s23 := m.Total(1, 100)*dt.Seconds() + m.Total(0.5, 0)*dt.Seconds()
+	wantA := 0.75*s1 + 0.5*s23
+	if got := tenants[0].Energy.TotalJ; math.Abs(got-wantA) > 1e-9 {
+		t.Errorf("tenant a total %v, want %v", got, wantA)
+	}
+}
+
+// TestLedgerTenantSplitAccessors: nil ledger and split-less ledgers
+// return no tenants; mismatched names/weights panic at install.
+func TestLedgerTenantSplitMisuse(t *testing.T) {
+	var nilLedger *Ledger
+	if nilLedger.Tenants() != nil {
+		t.Fatal("nil ledger has tenants")
+	}
+	tr := New(10)
+	if tr.Ledger().Tenants() != nil {
+		t.Fatal("split-less ledger has tenants")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched tenant split did not panic")
+		}
+	}()
+	tr.SetTenantSplit([]string{"a", "b"}, []float64{1})
+}

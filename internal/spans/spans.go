@@ -28,6 +28,7 @@
 package spans
 
 import (
+	"fmt"
 	"time"
 )
 
@@ -214,6 +215,23 @@ func (t *Tracer) SetPowerModel(m PowerModel) {
 	t.model = m
 	t.modelPresent = true
 	t.ledger.reset()
+}
+
+// SetTenantSplit installs a per-tenant attribution split for
+// co-located runs: weights is a live, caller-owned slice (the workload
+// multiplexer mutates it in place each step) and every subsequent
+// accumulation is divided across the tenant buckets in proportion to
+// the weights at that instant (even split while all weights are zero).
+// Must be called after SetPowerModel (which resets the ledger) and
+// before the run starts.
+func (t *Tracer) SetTenantSplit(names []string, weights []float64) {
+	if t == nil {
+		return
+	}
+	if len(names) != len(weights) {
+		panic(fmt.Sprintf("spans: tenant split names/weights mismatch (%d vs %d)", len(names), len(weights)))
+	}
+	t.ledger.setTenantSplit(names, weights)
 }
 
 // Meta returns the run identity (zero value for a nil tracer).

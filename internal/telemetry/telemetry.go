@@ -157,7 +157,10 @@ func (r *Recorder) Track(name string, probe func() float64) {
 	r.series[name] = s
 }
 
-// Step implements sim.Component.
+// Step implements sim.Component. The next sample time advances on the
+// fixed grid (multiples of the interval) rather than re-anchoring on
+// the tick that happened to cross it; re-anchoring stretched the
+// cadence whenever the engine step did not divide the interval.
 func (r *Recorder) Step(now, dt time.Duration) {
 	if now < r.next {
 		return
@@ -166,7 +169,9 @@ func (r *Recorder) Step(now, dt time.Duration) {
 	for i, name := range r.names {
 		r.series[name].Append(sec, r.probes[i]())
 	}
-	r.next = now + r.interval
+	for r.next <= now {
+		r.next += r.interval
+	}
 }
 
 // Reserve grows every tracked series' capacity to hold at least samples

@@ -206,6 +206,30 @@ func TestRecorder(t *testing.T) {
 	}
 }
 
+// TestRecorderGridCadence: with an interval the engine step does not
+// divide, the recorder must keep sampling on the fixed grid (first tick
+// at or past each multiple of the interval). The pre-fix code
+// re-anchored next on the observed tick (next = now + interval), which
+// stretched a 2.5 ms interval over 1 ms steps to samples at
+// 0, 3, 6, 9, ... instead of the grid's 0, 3, 5, 8, 10, ...
+func TestRecorderGridCadence(t *testing.T) {
+	r := NewRecorder(2500 * time.Microsecond)
+	r.Track("x", func() float64 { return 0 })
+	for i := 0; i <= 10; i++ {
+		r.Step(time.Duration(i)*time.Millisecond, time.Millisecond)
+	}
+	got := r.Series("x").Times
+	want := []float64{0, 0.003, 0.005, 0.008, 0.010}
+	if len(got) != len(want) {
+		t.Fatalf("sample times = %v, want %v", got, want)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("sample %d at %v, want %v (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
 func TestRecorderValidation(t *testing.T) {
 	for _, fn := range []func(){
 		func() { NewRecorder(0) },

@@ -48,9 +48,12 @@ type result struct {
 	hasAllocs   bool
 }
 
-// benchLine matches `BenchmarkName[-procs]  N  123 ns/op [ 45 B/op  6 allocs/op]`.
+// benchLine matches `BenchmarkName[-procs]  N  123 ns/op [custom metrics] [ 45 B/op  6 allocs/op]`.
+// Custom b.ReportMetric columns (e.g. `1408992 node-steps/s`) may sit
+// between ns/op and the -benchmem pair, so allocs/op is anchored to the
+// line end rather than adjacent to ns/op.
 var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+[0-9.]+ B/op\s+([0-9]+) allocs/op)?`)
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:.*\s([0-9]+) allocs/op)?\s*$`)
 
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_hotpath.json", "committed baseline with the gate section")

@@ -45,6 +45,8 @@ func main() {
 		tenants = flag.Bool("tenants", false, "co-located tenant study: per-tenant energy attribution across\nnoisy-neighbor, fractional-GPU and burst colocations")
 		tourn   = flag.Bool("tournament", false, "governor tournament for -app: default/UPS/DUF/MAGUS and\nMAGUS parameter variants, variants forked from shared prefixes")
 		scratch = flag.Bool("scratch", false, "with -tournament: disable fork-from-prefix sharing\n(reference mode; output is byte-identical either way)")
+		fleet   = flag.Bool("fleet", false, "fleet-scale study: -nodes mixed-preset members under\ndefault/MAGUS/UPS through the sharded cluster engine")
+		nodes   = flag.Int("nodes", 1000, "fleet size for -fleet")
 		reps    = flag.Int("reps", 5, "repeats per experiment cell")
 		seed    = flag.Int64("seed", 1, "base seed")
 		jobs    = flag.Int("jobs", 0, "parallel experiment cells (0 = GOMAXPROCS);\noutput is byte-identical for any value")
@@ -134,6 +136,10 @@ func main() {
 	if *all || *tourn {
 		ran = true
 		tournament(*app, *seed, *jobs, *scratch)
+	}
+	if *all || *fleet {
+		ran = true
+		fleetStudy(*nodes, *seed, *jobs)
 	}
 	if !ran {
 		flag.Usage()
@@ -257,6 +263,48 @@ func clusterStudy() {
 	fmt.Printf("budget = %.0f W (92 %% of the unmanaged peak)\n", budget)
 	fmt.Printf("aggregate power: default %s\n", report.Sparkline(base.Aggregate, 60))
 	fmt.Printf("                 magus   %s\n\n", report.Sparkline(tuned.Aggregate, 60))
+}
+
+// fleetStudy renders the fleet-scale governor comparison. Each row
+// ends with a greppable `balanced=true` marker when the uncore waste
+// ledger closes (baseline + useful + waste == integrated total); CI's
+// fleet smoke asserts one marker per governor row.
+func fleetStudy(nodes int, seed int64, jobs int) {
+	res, err := magus.RunFleetStudy(magus.FleetStudyOptions{Nodes: nodes, Seed: seed, Shards: jobs})
+	fatalIf(err)
+	fmt.Printf("== Extension: %d-node mixed-preset fleet under a power budget ==\n", res.Nodes)
+	t := report.NewTable("Policy", "Peak (W)", "Avg (W)", "Energy", "Makespan (s)", "Time over budget %")
+	for _, c := range res.Cells {
+		t.AddRow(c.Governor, c.PeakW, c.AvgW, report.Humanize(c.EnergyJ, "J"),
+			c.MakespanS, c.OverBudgetFrac*100)
+	}
+	fmt.Print(t)
+	fmt.Printf("budget = %s (92 %% of the unmanaged peak)\n", report.Humanize(res.BudgetW, "W"))
+
+	fmt.Println("uncore energy attribution (fleet ledger):")
+	var rows []report.WasteRow
+	for _, c := range res.Cells {
+		w := c.Waste
+		rows = append(rows, report.WasteRow{
+			Scope: c.Governor, BaselineJ: w.BaselineJ, UsefulJ: w.UsefulJ,
+			WasteJ: w.WasteJ, TotalJ: w.TotalJ, Seconds: w.Seconds,
+		})
+	}
+	fmt.Print(report.WasteTable(rows))
+	for _, c := range res.Cells {
+		fmt.Printf("ledger %s: waste %s of %s uncore balanced=%v\n",
+			c.Governor, report.Humanize(c.Waste.WasteJ, "J"),
+			report.Humanize(c.Waste.TotalJ, "J"), c.WasteBalanced)
+	}
+	for _, c := range res.Cells {
+		fmt.Printf("top members (%s):\n", c.Governor)
+		for _, m := range c.Top {
+			fmt.Printf("  #%d %-8s %-12s %-10s %s peak %s done %.1fs\n",
+				m.Index, m.Name, m.Workload, m.Governor,
+				report.Humanize(m.EnergyJ, "J"), report.Humanize(m.PeakW, "W"), m.DoneS)
+		}
+	}
+	fmt.Println()
 }
 
 func figure1(opt magus.ExperimentOptions) {

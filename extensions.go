@@ -101,6 +101,53 @@ func UniformCluster(cfg NodeConfig, apps []*Workload, count int, factory Governo
 	return cluster.Uniform(cfg, apps, count, factory, baseSeed)
 }
 
+// ---- Fleet-scale sharded cluster engine ----
+
+// ClusterOptions configures RunClusterFleet: shard count, telemetry
+// retention mode, top-K member summaries and the uncore waste ledger.
+type ClusterOptions = cluster.Options
+
+// ClusterTelemetryMode selects full per-member traces or
+// aggregate-only retention for large fleets.
+type ClusterTelemetryMode = cluster.TelemetryMode
+
+// Telemetry retention modes for ClusterOptions.Telemetry.
+const (
+	ClusterTelemetryFull      = cluster.TelemetryFull
+	ClusterTelemetryAggregate = cluster.TelemetryAggregate
+)
+
+// ClusterMemberSummary is one member's per-run roll-up (the TopK
+// substitute for full per-member traces at fleet scale).
+type ClusterMemberSummary = cluster.MemberSummary
+
+// RunClusterFleet executes a batch of nodes on the sharded cluster
+// engine: members are partitioned into contiguous shards stepped
+// concurrently, with output byte-identical to RunCluster for any
+// shard count. The zero ClusterOptions reproduces RunCluster exactly.
+func RunClusterFleet(specs []ClusterNodeSpec, opt ClusterOptions) (ClusterResult, error) {
+	return cluster.RunFleet(specs, opt)
+}
+
+// FleetStudyOptions sizes the fleet-scale governor study.
+type FleetStudyOptions = experiments.FleetOptions
+
+// FleetStudyResult is the per-governor fleet comparison: energy,
+// peak/average power, uncore waste attribution and time over a fleet
+// power budget.
+type FleetStudyResult = experiments.FleetResult
+
+// FleetStudyCell is one governor's row of the study.
+type FleetStudyCell = experiments.FleetCell
+
+// RunFleetStudy runs a mixed-preset fleet (Intel+A100, Intel+4xA100,
+// Intel+Max1550 round-robin) under the vendor default, MAGUS and UPS,
+// scoring each against a power budget anchored at a fraction of the
+// default governor's peak.
+func RunFleetStudy(opt FleetStudyOptions) (FleetStudyResult, error) {
+	return experiments.FleetStudy(opt)
+}
+
 // ---- Per-socket scaling (future-work extension) ----
 
 // PerSocket runs one MAGUS instance per CPU socket, each fed by that

@@ -8,19 +8,25 @@
 // governor; Run executes the batch to completion and returns per-node
 // and aggregate power traces plus budget analytics (peak power, time
 // over budget, energy, makespan).
+//
+// Execution is sharded: members are partitioned into contiguous blocks
+// run concurrently on the internal/parallel pool, each block stepping
+// its nodes in one cache-friendly pass over struct-of-arrays state (see
+// fleet.go and docs/FLEET.md). Because members are independent — each
+// owns its node, runner and governor, coupled only through the shared
+// fixed-step clock — the sharded run is byte-identical to the retained
+// single-engine reference path (single.go) for any shard count.
 package cluster
 
 import (
-	"errors"
 	"fmt"
-	"strconv"
-	"strings"
 	"time"
 
+	"github.com/spear-repro/magus/internal/faults"
 	"github.com/spear-repro/magus/internal/harness"
 	"github.com/spear-repro/magus/internal/node"
 	"github.com/spear-repro/magus/internal/obs"
-	"github.com/spear-repro/magus/internal/sim"
+	"github.com/spear-repro/magus/internal/spans"
 	"github.com/spear-repro/magus/internal/telemetry"
 	"github.com/spear-repro/magus/internal/workload"
 )
@@ -40,11 +46,18 @@ type NodeSpec struct {
 	// Factory builds the member's governor (nil = vendor default).
 	Factory harness.GovernorFactory
 	Seed    int64
+	// Faults arms a deterministic fault schedule against this member's
+	// telemetry devices, as harness.Options.Faults does for single
+	// runs (nil/empty = no injection, bit-identical to the unfaulted
+	// path). Faults reach only the member's own governor: members
+	// share no devices.
+	Faults *faults.Plan
 }
 
 // Result is one cluster run's outcome.
 type Result struct {
 	// NodePower holds each member's total power trace (CPU + GPU).
+	// Nil under Options.Telemetry == TelemetryAggregate.
 	NodePower map[string]*telemetry.Series
 	// Aggregate is the cluster-wide power trace.
 	Aggregate *telemetry.Series
@@ -54,6 +67,32 @@ type Result struct {
 	EnergyJ float64
 	// PeakW and AvgW summarise the aggregate trace.
 	PeakW, AvgW float64
+
+	// Top ranks the heaviest members by energy-to-completion when
+	// Options.TopK was set (nil otherwise).
+	Top []MemberSummary `json:",omitempty"`
+	// UncoreWaste is the fleet-wide uncore energy attribution
+	// (baseline + useful + waste vs. the independently integrated
+	// total) when Options.Waste was set; WasteBalanced reports whether
+	// the decomposition balances within the integration's ulp budget.
+	UncoreWaste   *spans.EnergyAttr `json:",omitempty"`
+	WasteBalanced bool              `json:",omitempty"`
+}
+
+// MemberSummary is one member's reduced trace: the per-node numbers a
+// fleet operator still wants when full 10k-member traces are switched
+// off.
+type MemberSummary struct {
+	Index    int
+	Name     string
+	Workload string
+	Governor string
+	PeakW    float64
+	AvgW     float64
+	EnergyJ  float64
+	// DoneS is the virtual time at which the member's application
+	// finished, in seconds.
+	DoneS float64
 }
 
 // TimeOverBudget returns the fraction of the makespan during which the
@@ -96,13 +135,92 @@ type member struct {
 	// govName is the attached governor's display name ("default" when
 	// the member runs under the vendor default, i.e. no factory).
 	govName string
+	// invoke/govInterval/govNext mirror a sim.Task for the member's
+	// governor (invoke nil = no governor daemon). The shard loop fires
+	// them with exactly the engine's task semantics.
+	invoke      func(now time.Duration) time.Duration
+	govInterval time.Duration
+	govNext     time.Duration
+	fset        *faults.Set
+}
+
+// normalize validates and canonicalises a spec list: names are
+// defaulted ("node<i>") and checked unique, workloads and fault plans
+// are validated, and the shared base horizon (4× the slowest nominal
+// duration + 10 s) is computed. Duplicate names are a loud error: the
+// name keys the telemetry series and the magus_cluster_node_power_watts
+// label, and a collision used to silently alias two members' traces
+// (the recorder's duplicate-probe panic was the only, accidental,
+// guard).
+func normalize(specs []NodeSpec, sampleEvery time.Duration) (out []NodeSpec, every, horizon time.Duration, err error) {
+	if len(specs) == 0 {
+		return nil, 0, 0, fmt.Errorf("cluster: empty spec list")
+	}
+	every = sampleEvery
+	if every <= 0 {
+		every = 100 * time.Millisecond
+	}
+	out = make([]NodeSpec, len(specs))
+	seen := make(map[string]int, len(specs))
+	for i, spec := range specs {
+		if spec.Name == "" {
+			spec.Name = fmt.Sprintf("node%d", i)
+		}
+		if spec.Workload == nil {
+			return nil, 0, 0, fmt.Errorf("cluster: %s has no workload", spec.Name)
+		}
+		if j, dup := seen[spec.Name]; dup {
+			return nil, 0, 0, fmt.Errorf(
+				"cluster: duplicate member name %q (specs %d and %d): names key telemetry series and the magus_cluster_node_power_watts label, so duplicates would silently alias two members' traces",
+				spec.Name, j, i)
+		}
+		seen[spec.Name] = i
+		if spec.Faults.Armed() {
+			if ferr := spec.Faults.Validate(); ferr != nil {
+				return nil, 0, 0, fmt.Errorf("cluster: %s: faults: %w", spec.Name, ferr)
+			}
+		}
+		if h := spec.Workload.NominalDuration()*4 + 10*time.Second; h > horizon {
+			horizon = h
+		}
+		out[i] = spec
+	}
+	return out, every, horizon, nil
+}
+
+// buildMember wires one normalized spec: node, workload runner, and —
+// when a factory is set — a fresh governor attached over an
+// environment whose telemetry devices carry the member's fault
+// wrappers. now is the virtual clock the fault injectors read.
+func buildMember(spec NodeSpec, now func() time.Duration) (*member, error) {
+	n := node.New(spec.Config)
+	runner := workload.NewRunner(spec.Workload, spec.Config.SystemBWGBs(), spec.Seed)
+	runner.SetAttained(n.AttainedGBs)
+	m := &member{spec: spec, node: n, runner: runner, govName: "default"}
+	if spec.Faults.Armed() {
+		m.fset = faults.NewSet(spec.Faults, now)
+	}
+	if spec.Factory != nil {
+		gov := spec.Factory()
+		env, err := harness.BuildFaultyEnv(n, m.fset)
+		if err != nil {
+			return nil, err
+		}
+		if err := gov.Attach(env); err != nil {
+			return nil, fmt.Errorf("cluster: %s: %w", spec.Name, err)
+		}
+		m.govName = gov.Name()
+		m.invoke = gov.Invoke
+		m.govInterval = gov.Interval()
+	}
+	return m, nil
 }
 
 // Run executes the batch. All nodes share the virtual clock; each
 // application starts at t=0 (a batch launched together). sampleEvery
 // sets the power-trace resolution (0 = 100 ms).
 func Run(specs []NodeSpec, sampleEvery time.Duration) (Result, error) {
-	return RunObserved(specs, sampleEvery, nil)
+	return RunFleet(specs, Options{SampleEvery: sampleEvery})
 }
 
 // RunObserved is Run with a metrics observer attached: per-node and
@@ -110,167 +228,7 @@ func Run(specs []NodeSpec, sampleEvery time.Duration) (Result, error) {
 // counters are published on the sampling interval. A nil observer is
 // exactly Run — observation is passive and never perturbs the batch.
 func RunObserved(specs []NodeSpec, sampleEvery time.Duration, o *obs.Observer) (Result, error) {
-	if len(specs) == 0 {
-		return Result{}, fmt.Errorf("cluster: empty spec list")
-	}
-	if sampleEvery <= 0 {
-		sampleEvery = 100 * time.Millisecond
-	}
-	eng := sim.NewEngine(0)
-	members := make([]*member, 0, len(specs))
-	var horizon time.Duration
-
-	for i, spec := range specs {
-		if spec.Name == "" {
-			spec.Name = fmt.Sprintf("node%d", i)
-		}
-		if spec.Workload == nil {
-			return Result{}, fmt.Errorf("cluster: %s has no workload", spec.Name)
-		}
-		n := node.New(spec.Config)
-		runner := workload.NewRunner(spec.Workload, spec.Config.SystemBWGBs(), spec.Seed)
-		runner.SetAttained(n.AttainedGBs)
-		m := &member{spec: spec, node: n, runner: runner, govName: "default"}
-		members = append(members, m)
-
-		eng.AddComponent(sim.ComponentFunc(func(now, dt time.Duration) {
-			m.runner.Step(now, dt)
-			m.node.SetDemand(m.runner.Demand())
-		}))
-		eng.AddComponent(n)
-
-		if spec.Factory != nil {
-			gov := spec.Factory()
-			env, err := harness.BuildEnv(n)
-			if err != nil {
-				return Result{}, err
-			}
-			if err := gov.Attach(env); err != nil {
-				return Result{}, fmt.Errorf("cluster: %s: %w", spec.Name, err)
-			}
-			m.govName = gov.Name()
-			eng.AddTask(&sim.Task{Name: spec.Name + "/" + gov.Name(), Interval: gov.Interval(), Fn: gov.Invoke}, 0)
-		}
-		if h := spec.Workload.NominalDuration()*4 + 10*time.Second; h > horizon {
-			horizon = h
-		}
-	}
-
-	rec := telemetry.NewRecorder(sampleEvery)
-	for _, m := range members {
-		mm := m
-		rec.Track(mm.spec.Name, mm.node.TotalPowerW)
-	}
-	rec.Track("aggregate", func() float64 {
-		var p float64
-		for _, m := range members {
-			p += m.node.TotalPowerW()
-		}
-		return p
-	})
-	eng.AddComponent(rec)
-
-	if o != nil {
-		reg := o.Registry()
-		nodeW := reg.GaugeVec("magus_cluster_node_power_watts",
-			"Total power per cluster member (CPU + GPU) in watts.", "node")
-		aggW := reg.Gauge("magus_cluster_power_watts", "Aggregate cluster power in watts.")
-		energyG := reg.Gauge("magus_cluster_energy_joules", "Cumulative cluster energy to completion.")
-		samplesC := reg.Counter("magus_cluster_observer_samples_total",
-			"Observer sampling ticks; tracks the telemetry recorder's fixed sample grid.")
-		doneG := reg.Gauge("magus_cluster_nodes_done", "Cluster members whose application finished.")
-		reg.Gauge("magus_cluster_nodes", "Cluster member count.").Set(float64(len(members)))
-		memberInfo := reg.GaugeVec("magus_cluster_member_info",
-			"Static cluster membership (constant 1): one series per member with its index, node name, workload and governor.",
-			"member", "node", "workload", "governor")
-		gauges := make([]*obs.Gauge, len(members))
-		for i, m := range members {
-			gauges[i] = nodeW.With(m.spec.Name)
-			memberInfo.With(strconv.Itoa(i), m.spec.Name, m.spec.Workload.Name, m.govName).Set(1)
-		}
-		var next time.Duration
-		eng.AddComponent(sim.ComponentFunc(func(now, dt time.Duration) {
-			if now < next {
-				return
-			}
-			// Advance on the fixed grid rather than re-anchoring on the
-			// observed tick (next = now + sampleEvery): if the engine
-			// step does not divide sampleEvery, re-anchoring stretches
-			// the cadence and the observer drifts out of alignment with
-			// the telemetry recorder sampling the same interval.
-			for next <= now {
-				next += sampleEvery
-			}
-			samplesC.Inc()
-			var agg, energy float64
-			finished := 0
-			for i, m := range members {
-				p := m.node.TotalPowerW()
-				gauges[i].Set(p)
-				agg += p
-				pkg, drm, gpu := m.node.EnergyJ()
-				energy += pkg + drm + gpu
-				if m.runner.Done() {
-					finished++
-				}
-			}
-			aggW.Set(agg)
-			energyG.Set(energy)
-			doneG.Set(float64(finished))
-		}))
-	}
-
-	done := func() bool {
-		for _, m := range members {
-			if !m.runner.Done() {
-				return false
-			}
-		}
-		return true
-	}
-	// The base horizon (4× the slowest member's nominal duration +
-	// 10 s) assumes no governor slows a member past 4× nominal. A
-	// throttled member used to hit that wall and the batch aborted with
-	// a bare horizon error — or, with the error ignored, reported a
-	// silently truncated makespan. Extend the horizon adaptively up to
-	// maxHorizonExtensions more base-horizon windows; a member that
-	// still hasn't finished is genuinely stuck (or slowed beyond any
-	// plausible governor effect), so name the stragglers explicitly.
-	end, err := eng.RunUntil(done, horizon)
-	for ext := 0; err != nil && errors.Is(err, sim.ErrHorizon) && ext < maxHorizonExtensions; ext++ {
-		end, err = eng.RunUntil(done, horizon)
-	}
-	if err != nil {
-		if errors.Is(err, sim.ErrHorizon) {
-			var stuck []string
-			for _, m := range members {
-				if !m.runner.Done() {
-					stuck = append(stuck, fmt.Sprintf("%s (%s on %s)",
-						m.spec.Name, m.spec.Workload.Name, m.spec.Config.Name))
-				}
-			}
-			return Result{}, fmt.Errorf(
-				"cluster: members unfinished after %v (%d× the 4×-nominal horizon %v): %s",
-				end, 1+maxHorizonExtensions, horizon, strings.Join(stuck, ", "))
-		}
-		return Result{}, fmt.Errorf("cluster: %w", err)
-	}
-
-	res := Result{
-		NodePower: make(map[string]*telemetry.Series, len(members)),
-		Aggregate: rec.Series("aggregate"),
-		MakespanS: end.Seconds(),
-	}
-	for _, m := range members {
-		res.NodePower[m.spec.Name] = rec.Series(m.spec.Name)
-		pkg, drm, gpu := m.node.EnergyJ()
-		res.EnergyJ += pkg + drm + gpu
-	}
-	if res.Aggregate.Len() > 0 {
-		res.PeakW = res.Aggregate.Max()
-		res.AvgW = res.Aggregate.Mean()
-	}
-	return res, nil
+	return RunFleet(specs, Options{SampleEvery: sampleEvery, Obs: o})
 }
 
 // Uniform builds a homogeneous spec list: count nodes of cfg, one

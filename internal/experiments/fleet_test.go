@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestFleetStudySmall(t *testing.T) {
+	opt := FleetOptions{Nodes: 12, TopK: 3, Shards: 2}
+	res, err := FleetStudy(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes != 12 || res.BudgetW <= 0 {
+		t.Fatalf("study header implausible: %+v", res)
+	}
+	if len(res.Cells) != 3 {
+		t.Fatalf("want 3 governor rows, got %d", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.EnergyJ <= 0 || c.PeakW <= 0 || c.AvgW <= 0 || c.MakespanS <= 0 {
+			t.Errorf("%s: implausible cell %+v", c.Governor, c)
+		}
+		if c.OverBudgetFrac < 0 || c.OverBudgetFrac > 1 {
+			t.Errorf("%s: OverBudgetFrac %v outside [0,1]", c.Governor, c.OverBudgetFrac)
+		}
+		if c.Waste == nil {
+			t.Fatalf("%s: waste ledger missing", c.Governor)
+		}
+		if !c.WasteBalanced {
+			t.Errorf("%s: waste ledger imbalanced by %v J over %v J",
+				c.Governor, c.Waste.Imbalance(), c.Waste.TotalJ)
+		}
+		if len(c.Top) != 3 {
+			t.Errorf("%s: TopK=3 returned %d summaries", c.Governor, len(c.Top))
+		}
+	}
+	// The default row anchors the budget at BudgetFrac of its own peak,
+	// so it must spend some time above it.
+	if res.Cells[0].Governor != "default" || res.Cells[0].OverBudgetFrac == 0 {
+		t.Errorf("default row should exceed its own 92%%-of-peak budget: %+v", res.Cells[0])
+	}
+}
+
+// TestFleetStudyDeterministicAcrossShards: the study result is
+// byte-identical for any shard count — the cluster engine's identity
+// contract surfaces intact through the experiment layer.
+func TestFleetStudyDeterministicAcrossShards(t *testing.T) {
+	a, err := FleetStudy(FleetOptions{Nodes: 9, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FleetStudy(FleetOptions{Nodes: 9, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Errorf("fleet study diverged across shard counts:\nshards=1: %.300s\nshards=4: %.300s", aj, bj)
+	}
+}

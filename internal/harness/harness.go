@@ -134,6 +134,14 @@ func BuildEnv(n *node.Node) (*governor.Env, error) {
 	return env, err
 }
 
+// BuildFaultyEnv is BuildEnv with a fault-wrapper set interposed on
+// the telemetry devices, for callers outside the harness (the cluster
+// engine arms per-member fault plans). A nil set is exactly BuildEnv.
+func BuildFaultyEnv(n *node.Node, fset *faults.Set) (*governor.Env, error) {
+	env, _, err := buildEnv(n, fset, nil)
+	return env, err
+}
+
 // envMonitors exposes the concrete PCM monitors underneath the fault
 // wrappers, so the checkpoint layer can capture and restore their
 // sampling baselines directly.

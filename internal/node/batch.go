@@ -1,0 +1,79 @@
+package node
+
+import "time"
+
+// Batch is the fleet-scale step surface: it advances a block of nodes
+// in one pass and mirrors the hot per-node scalars — demand, attained
+// bandwidth, uncore ratio, socket power, RAPL-style energy
+// accumulators — into contiguous struct-of-arrays storage. Cluster
+// shards sample and aggregate from these arrays instead of chasing one
+// pointer chain (member → node → accessor) per signal per sample; the
+// chase happens once per Snapshot pass, in index order, over nodes
+// that were just stepped and are still cache-warm.
+//
+// Batch adds no simulation semantics: Step calls each node's Step with
+// the same arguments a sim.Engine component registration would, in
+// slice order, so a batched run is computation-for-computation
+// identical to the unbatched one.
+type Batch struct {
+	nodes []*Node
+
+	// Snapshot mirrors, indexed like nodes. PowerW is total node power
+	// (CPU package + DRAM + GPU boards); EnergyJ is the cumulative
+	// (pkg+dram)+gpu sum in exactly that association order, matching
+	// the observer's fold; UncoreRel is socket 0's uncore frequency as
+	// a fraction of the config maximum.
+	DemandGBs   []float64
+	AttainedGBs []float64
+	UncoreRel   []float64
+	PowerW      []float64
+	PkgJ        []float64
+	DramJ       []float64
+	GpuJ        []float64
+	EnergyJ     []float64
+}
+
+// NewBatch builds the SoA mirrors for nodes. The slice is aliased, not
+// copied; the caller owns member order.
+func NewBatch(nodes []*Node) *Batch {
+	n := len(nodes)
+	return &Batch{
+		nodes:       nodes,
+		DemandGBs:   make([]float64, n),
+		AttainedGBs: make([]float64, n),
+		UncoreRel:   make([]float64, n),
+		PowerW:      make([]float64, n),
+		PkgJ:        make([]float64, n),
+		DramJ:       make([]float64, n),
+		GpuJ:        make([]float64, n),
+		EnergyJ:     make([]float64, n),
+	}
+}
+
+// Len returns the batch size.
+func (b *Batch) Len() int { return len(b.nodes) }
+
+// Node returns the i-th node.
+func (b *Batch) Node(i int) *Node { return b.nodes[i] }
+
+// Step advances every node one tick, in index order.
+func (b *Batch) Step(now, dt time.Duration) {
+	for _, n := range b.nodes {
+		n.Step(now, dt)
+	}
+}
+
+// Snapshot refreshes all SoA mirrors from node state in one pass.
+func (b *Batch) Snapshot() {
+	for i, n := range b.nodes {
+		b.DemandGBs[i] = n.demand.MemGBs
+		b.AttainedGBs[i] = n.attained
+		b.UncoreRel[i] = n.uncoreEff[0] / n.cfg.UncoreMaxGHz
+		b.PowerW[i] = n.TotalPowerW()
+		pkg, dram, gpu := n.EnergyJ()
+		b.PkgJ[i] = pkg
+		b.DramJ[i] = dram
+		b.GpuJ[i] = gpu
+		b.EnergyJ[i] = pkg + dram + gpu
+	}
+}

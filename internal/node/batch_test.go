@@ -1,0 +1,77 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"github.com/spear-repro/magus/internal/workload"
+)
+
+// TestBatchStepIdentity: stepping nodes through a Batch must perform
+// the identical computation to stepping them individually — the batch
+// is a surface, not a semantic.
+func TestBatchStepIdentity(t *testing.T) {
+	mk := func() []*Node {
+		return []*Node{New(IntelA100()), New(Intel4A100()), New(IntelMax1550())}
+	}
+	demand := workload.Demand{CPUBusyCores: 4, MemGBs: 120, MemBoundFrac: 0.6, GPUSMUtil: 0.8, GPUMemUtil: 0.5}
+
+	solo := mk()
+	batched := mk()
+	b := NewBatch(batched)
+	dt := time.Millisecond
+	for k := 0; k < 500; k++ {
+		now := time.Duration(k) * dt
+		for _, n := range solo {
+			n.SetDemand(demand)
+			n.Step(now, dt)
+		}
+		for _, n := range batched {
+			n.SetDemand(demand)
+		}
+		b.Step(now, dt)
+	}
+	b.Snapshot()
+	for i, n := range solo {
+		if got := b.PowerW[i]; got != n.TotalPowerW() {
+			t.Errorf("node %d power %v != solo %v", i, got, n.TotalPowerW())
+		}
+		pkg, dram, gpu := n.EnergyJ()
+		if b.PkgJ[i] != pkg || b.DramJ[i] != dram || b.GpuJ[i] != gpu {
+			t.Errorf("node %d energy mirrors (%v,%v,%v) != solo (%v,%v,%v)",
+				i, b.PkgJ[i], b.DramJ[i], b.GpuJ[i], pkg, dram, gpu)
+		}
+		if want := pkg + dram + gpu; b.EnergyJ[i] != want {
+			t.Errorf("node %d EnergyJ %v != %v", i, b.EnergyJ[i], want)
+		}
+		if b.AttainedGBs[i] != n.AttainedGBs() {
+			t.Errorf("node %d attained %v != %v", i, b.AttainedGBs[i], n.AttainedGBs())
+		}
+		if want := n.UncoreFreqGHz(0) / n.Config().UncoreMaxGHz; b.UncoreRel[i] != want {
+			t.Errorf("node %d uncore rel %v != %v", i, b.UncoreRel[i], want)
+		}
+		if b.DemandGBs[i] != demand.MemGBs {
+			t.Errorf("node %d demand %v != %v", i, b.DemandGBs[i], demand.MemGBs)
+		}
+	}
+	if b.Len() != 3 || b.Node(1) != batched[1] {
+		t.Fatal("batch accessors wrong")
+	}
+}
+
+// TestBatchSnapshotAllocFree: the steady-state snapshot pass must not
+// allocate — it only copies scalars into preallocated SoA arrays.
+func TestBatchSnapshotAllocFree(t *testing.T) {
+	nodes := []*Node{New(IntelA100()), New(IntelA100())}
+	b := NewBatch(nodes)
+	d := workload.Demand{CPUBusyCores: 2, MemGBs: 80, MemBoundFrac: 0.5}
+	for _, n := range nodes {
+		n.SetDemand(d)
+	}
+	for k := 0; k < 100; k++ {
+		b.Step(time.Duration(k)*time.Millisecond, time.Millisecond)
+	}
+	if allocs := testing.AllocsPerRun(100, b.Snapshot); allocs != 0 {
+		t.Fatalf("Snapshot allocates %v per run", allocs)
+	}
+}

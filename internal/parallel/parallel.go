@@ -153,6 +153,29 @@ func Map[T any](ctx context.Context, n, jobs int, m *Metrics, fn func(ctx contex
 	return out, nil
 }
 
+// Partition splits [0, n) into k contiguous blocks and returns the
+// k+1 boundaries: block s spans [b[s], b[s+1]). Blocks differ in size
+// by at most one element and the boundaries depend only on (n, k) —
+// never on scheduling — so any consumer that reassembles per-block
+// results in block order reads them in canonical element order. k is
+// clamped to [1, n] (n = 0 yields the degenerate [0, 0]).
+func Partition(n, k int) []int {
+	if n <= 0 {
+		return []int{0, 0}
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	b := make([]int, k+1)
+	for i := 1; i <= k; i++ {
+		b[i] = i * n / k
+	}
+	return b
+}
+
 // ForEach is Map without per-cell results: it executes fn for every
 // index in [0, n) under the same ordering, bounding and fail-fast
 // rules.

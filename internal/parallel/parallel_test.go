@@ -213,3 +213,52 @@ func TestMapDeterministicAcrossJobs(t *testing.T) {
 		}
 	}
 }
+
+func TestPartition(t *testing.T) {
+	for _, tc := range []struct {
+		n, k int
+		want []int
+	}{
+		{0, 4, []int{0, 0}},
+		{5, 1, []int{0, 5}},
+		{5, 2, []int{0, 2, 5}},
+		{6, 3, []int{0, 2, 4, 6}},
+		{3, 7, []int{0, 1, 2, 3}}, // k clamped to n
+		{10, 0, []int{0, 10}},     // k clamped to 1
+		{10, -3, []int{0, 10}},
+	} {
+		got := Partition(tc.n, tc.k)
+		if len(got) != len(tc.want) {
+			t.Errorf("Partition(%d,%d) = %v, want %v", tc.n, tc.k, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("Partition(%d,%d) = %v, want %v", tc.n, tc.k, got, tc.want)
+				break
+			}
+		}
+	}
+	// Properties: contiguous cover of [0,n), block sizes differ by ≤ 1.
+	for n := 1; n <= 40; n++ {
+		for k := 1; k <= n; k++ {
+			b := Partition(n, k)
+			if b[0] != 0 || b[len(b)-1] != n || len(b) != k+1 {
+				t.Fatalf("Partition(%d,%d) malformed: %v", n, k, b)
+			}
+			min, max := n, 0
+			for s := 0; s < k; s++ {
+				size := b[s+1] - b[s]
+				if size < min {
+					min = size
+				}
+				if size > max {
+					max = size
+				}
+			}
+			if min < 1 || max-min > 1 {
+				t.Fatalf("Partition(%d,%d) unbalanced: %v", n, k, b)
+			}
+		}
+	}
+}

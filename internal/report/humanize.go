@@ -1,0 +1,37 @@
+package report
+
+import (
+	"fmt"
+	"math"
+)
+
+// Humanize renders a physical quantity with an SI magnitude prefix:
+// Humanize(2.41e6, "J") == "2.41 MJ", Humanize(0.0031, "s") ==
+// "3.10 ms". Fleet-scale outputs span nine orders of magnitude (a
+// node-second of uncore waste to a 10k-node fleet's total energy);
+// raw joule counts stop being readable long before that.
+//
+// Values in [1, 1000) keep their unit unprefixed; zero, NaN and ±Inf
+// render without a prefix. Negative values keep their sign.
+func Humanize(v float64, unit string) string {
+	abs := math.Abs(v)
+	if v == 0 || math.IsNaN(abs) || math.IsInf(abs, 0) {
+		return fmt.Sprintf("%.2f %s", v, unit)
+	}
+	type scale struct {
+		factor float64
+		prefix string
+	}
+	scales := []scale{
+		{1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"},
+		{1, ""}, {1e-3, "m"}, {1e-6, "µ"}, {1e-9, "n"},
+	}
+	for _, s := range scales {
+		if abs >= s.factor {
+			return fmt.Sprintf("%.2f %s%s", v/s.factor, s.prefix, unit)
+		}
+	}
+	// Below a nanounit: fall through to scientific notation rather
+	// than inventing prefixes nothing in the simulator produces.
+	return fmt.Sprintf("%.2e %s", v, unit)
+}

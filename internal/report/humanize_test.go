@@ -1,0 +1,36 @@
+package report
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHumanize(t *testing.T) {
+	cases := []struct {
+		v    float64
+		unit string
+		want string
+	}{
+		{0, "J", "0.00 J"},
+		{2.41e6, "J", "2.41 MJ"},
+		{431_000, "J", "431.00 kJ"},
+		{3.5e9, "J", "3.50 GJ"},
+		{1.2e12, "J", "1.20 TJ"},
+		{842, "W", "842.00 W"},
+		{1, "s", "1.00 s"},
+		{0.0031, "s", "3.10 ms"},
+		{4.2e-5, "s", "42.00 µs"},
+		{7e-9, "s", "7.00 ns"},
+		{3e-11, "s", "3.00e-11 s"},
+		{-1500, "J", "-1.50 kJ"},
+		{999.994, "W", "999.99 W"},
+	}
+	for _, c := range cases {
+		if got := Humanize(c.v, c.unit); got != c.want {
+			t.Errorf("Humanize(%v, %q) = %q, want %q", c.v, c.unit, got, c.want)
+		}
+	}
+	if got := Humanize(math.Inf(1), "J"); got != "+Inf J" {
+		t.Errorf("Humanize(+Inf) = %q", got)
+	}
+}

@@ -114,6 +114,24 @@ type EnergyAttr struct {
 	Seconds float64
 }
 
+// Accumulate integrates one step of dt seconds: the decomposed watts
+// go to their buckets and totalW — the simulation's independently
+// computed actual — to TotalJ, keeping Imbalance a real check. It is
+// the exported face of add for integrators outside the tracer (the
+// cluster engine's fleet waste ledger).
+func (e *EnergyAttr) Accumulate(dt, baseW, usefulW, wasteW, totalW float64) {
+	e.add(dt, baseW, usefulW, wasteW, totalW)
+}
+
+// Merge folds another bucket into e (canonical-order fleet reduction).
+func (e *EnergyAttr) Merge(o EnergyAttr) { e.merge(o) }
+
+// Balanced reports whether the decomposition matches the
+// independently integrated total within tolUlps ulps of TotalJ.
+func (e EnergyAttr) Balanced(tolUlps float64) bool {
+	return e.Imbalance() <= tolUlps*ulp(e.TotalJ)
+}
+
 // add accumulates one integration step.
 func (e *EnergyAttr) add(dt, baseW, usefulW, wasteW, totalW float64) {
 	e.BaselineJ += baseW * dt

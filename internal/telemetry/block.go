@@ -1,0 +1,125 @@
+package telemetry
+
+// Block is a fixed-grid multi-series arena: one shared time axis and a
+// row of values per tracked signal, all backed by two contiguous
+// allocations. It is the fleet-scale alternative to one Recorder probe
+// per signal — a 10k-row block is two slices, not 10k map entries and
+// 20k backing arrays — and its rows alias into Series views without
+// copying, so reassembly stays allocation-light.
+//
+// A Block is written by exactly one goroutine (the shard that owns it)
+// and read only after that shard has finished; it does no locking.
+type Block struct {
+	rows   int
+	stride int // sample capacity per row
+	n      int // samples written
+	times  []float64
+	vals   []float64 // rows × stride, row-major
+}
+
+// NewBlock builds a block for rows signals with capacity samples per
+// row. Capacity is a starting estimate: Push grows the arena when the
+// grid outruns it (adaptive horizon extensions), so an underestimate
+// costs a copy, never correctness.
+func NewBlock(rows, capacity int) *Block {
+	if rows < 0 {
+		panic("telemetry: NewBlock with negative rows")
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Block{
+		rows:   rows,
+		stride: capacity,
+		times:  make([]float64, 0, capacity),
+		vals:   make([]float64, rows*capacity),
+	}
+}
+
+// Reset re-shapes the block for reuse, keeping the backing arenas when
+// they are large enough (the "arenas reused across cells" path).
+func (b *Block) Reset(rows, capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if cap(b.times) < capacity || cap(b.vals) < rows*capacity {
+		*b = *NewBlock(rows, capacity)
+		return
+	}
+	b.rows = rows
+	b.stride = capacity
+	b.n = 0
+	b.times = b.times[:0]
+	b.vals = b.vals[:rows*capacity]
+}
+
+// Push opens the next sample at time tSec and returns its index; the
+// caller fills the column with Set. Times must not decrease.
+func (b *Block) Push(tSec float64) int {
+	if n := len(b.times); n > 0 && tSec < b.times[n-1] {
+		panic("telemetry: block time went backwards")
+	}
+	if b.n == b.stride {
+		b.grow()
+	}
+	b.times = append(b.times, tSec)
+	b.n++
+	return b.n - 1
+}
+
+// Set writes row's value for the sample at index k.
+func (b *Block) Set(row, k int, v float64) { b.vals[row*b.stride+k] = v }
+
+// At reads row's value for the sample at index k.
+func (b *Block) At(row, k int) float64 { return b.vals[row*b.stride+k] }
+
+// Len returns the number of samples pushed.
+func (b *Block) Len() int { return b.n }
+
+// Times returns the shared time axis (aliased, read-only).
+func (b *Block) Times() []float64 { return b.times[:b.n] }
+
+// Row returns row's values (aliased, read-only).
+func (b *Block) Row(row int) []float64 {
+	off := row * b.stride
+	return b.vals[off : off+b.n : off+b.n]
+}
+
+// Series returns a Series view over row: it shares the block's time
+// axis and the row's slice of the arena. Views are read-only — they
+// must not be Appended to, or rows would overwrite each other.
+func (b *Block) Series(row int) *Series {
+	return &Series{Times: b.Times(), Values: b.Row(row)}
+}
+
+// AccumulateRows adds every row into out sample-by-sample, row by row
+// in order — the same float addition order a serial fold over the
+// signals would use, so chaining AccumulateRows over several blocks
+// reproduces bit-identically a probe that summed all signals live in
+// block-then-row order. The caller zeroes out; it must have length
+// Len().
+func (b *Block) AccumulateRows(out []float64) {
+	if len(out) != b.n {
+		panic("telemetry: AccumulateRows output length mismatch")
+	}
+	for r := 0; r < b.rows; r++ {
+		row := b.Row(r)
+		for k, v := range row {
+			out[k] += v
+		}
+	}
+}
+
+// grow doubles the per-row capacity, repacking rows into a fresh arena.
+func (b *Block) grow() {
+	stride := b.stride * 2
+	vals := make([]float64, b.rows*stride)
+	for r := 0; r < b.rows; r++ {
+		copy(vals[r*stride:], b.vals[r*b.stride:r*b.stride+b.n])
+	}
+	b.vals = vals
+	b.stride = stride
+	tt := make([]float64, b.n, stride)
+	copy(tt, b.times)
+	b.times = tt
+}

@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBlockRowsAndSum(t *testing.T) {
+	b := NewBlock(3, 2) // deliberately undersized: forces growth
+	for k := 0; k < 5; k++ {
+		idx := b.Push(float64(k) * 0.1)
+		if idx != k {
+			t.Fatalf("push %d returned index %d", k, idx)
+		}
+		for r := 0; r < 3; r++ {
+			b.Set(r, idx, float64(r*10+k))
+		}
+	}
+	if b.Len() != 5 {
+		t.Fatalf("len %d", b.Len())
+	}
+	for r := 0; r < 3; r++ {
+		row := b.Row(r)
+		for k, v := range row {
+			if want := float64(r*10 + k); v != want {
+				t.Fatalf("row %d sample %d = %v, want %v", r, k, v, want)
+			}
+		}
+	}
+	s := b.Series(1)
+	if s.Len() != 5 || s.Times[2] != 0.2 || s.Values[2] != 12 {
+		t.Fatalf("series view wrong: %+v", s)
+	}
+	sum := make([]float64, 5)
+	b.AccumulateRows(sum)
+	for k, v := range sum {
+		// rows 0,1,2 at sample k: k + (10+k) + (20+k)
+		if want := float64(30 + 3*k); v != want {
+			t.Fatalf("sum[%d] = %v, want %v", k, v, want)
+		}
+	}
+}
+
+// TestBlockSumOrder pins the canonical fold order: accumulation is row
+// 0, 1, 2... per sample, matching a serial fold over the signals, so
+// chained AccumulateRows is bitwise reproducible.
+func TestBlockSumOrder(t *testing.T) {
+	vals := []float64{1e16, 1.0, -1e16, 3.0}
+	b := NewBlock(len(vals), 1)
+	b.Push(0)
+	for r, v := range vals {
+		b.Set(r, 0, v)
+	}
+	var serial float64
+	for _, v := range vals {
+		serial += v
+	}
+	out := make([]float64, 1)
+	b.AccumulateRows(out)
+	if out[0] != serial {
+		t.Fatalf("fold order differs from serial: %v vs %v", out[0], serial)
+	}
+}
+
+func TestBlockReset(t *testing.T) {
+	b := NewBlock(2, 8)
+	b.Push(0)
+	b.Set(0, 0, 1)
+	b.Set(1, 0, 2)
+	b.Reset(4, 4) // 4×4 = 16 ≤ old arena 2×8: reuse
+	if b.Len() != 0 {
+		t.Fatalf("reset kept %d samples", b.Len())
+	}
+	b.Push(1.5)
+	for r := 0; r < 4; r++ {
+		b.Set(r, 0, float64(r))
+	}
+	for r := 0; r < 4; r++ {
+		if got := b.At(r, 0); got != float64(r) {
+			t.Fatalf("after reset row %d = %v", r, got)
+		}
+	}
+	// Growing reset reallocates.
+	b.Reset(10, 100)
+	if b.Len() != 0 || len(b.Row(9)) != 0 {
+		t.Fatal("grow-reset not clean")
+	}
+}
+
+func TestBlockTimeMonotonic(t *testing.T) {
+	b := NewBlock(1, 4)
+	b.Push(1.0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards time accepted")
+		}
+	}()
+	b.Push(0.5)
+}
+
+func TestBlockGrowthPreservesNaNAndValues(t *testing.T) {
+	b := NewBlock(2, 1)
+	b.Push(0)
+	b.Set(0, 0, math.NaN())
+	b.Set(1, 0, 7)
+	b.Push(1) // grows
+	b.Set(0, 1, 1)
+	b.Set(1, 1, 8)
+	if !math.IsNaN(b.At(0, 0)) || b.At(1, 0) != 7 || b.At(1, 1) != 8 {
+		t.Fatalf("growth corrupted arena: %v %v %v", b.At(0, 0), b.At(1, 0), b.At(1, 1))
+	}
+}

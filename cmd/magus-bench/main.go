@@ -47,6 +47,7 @@ func main() {
 		scratch = flag.Bool("scratch", false, "with -tournament: disable fork-from-prefix sharing\n(reference mode; output is byte-identical either way)")
 		fleet   = flag.Bool("fleet", false, "fleet-scale study: -nodes mixed-preset members under\ndefault/MAGUS/UPS through the sharded cluster engine")
 		nodes   = flag.Int("nodes", 1000, "fleet size for -fleet")
+		dist    = flag.Bool("dist", false, "with -fleet: fleet-wide distribution telemetry — quantile-sketch\np50/p90/p99/max of node power, uncore ratio, waste rate and\nattained bandwidth (exported as magus_fleet_* with -metrics)")
 		reps    = flag.Int("reps", 5, "repeats per experiment cell")
 		seed    = flag.Int64("seed", 1, "base seed")
 		jobs    = flag.Int("jobs", 0, "parallel experiment cells (0 = GOMAXPROCS);\noutput is byte-identical for any value")
@@ -139,7 +140,7 @@ func main() {
 	}
 	if *all || *fleet {
 		ran = true
-		fleetStudy(*nodes, *seed, *jobs)
+		fleetStudy(*nodes, *seed, *jobs, *dist, opt.Obs)
 	}
 	if !ran {
 		flag.Usage()
@@ -268,9 +269,14 @@ func clusterStudy() {
 // fleetStudy renders the fleet-scale governor comparison. Each row
 // ends with a greppable `balanced=true` marker when the uncore waste
 // ledger closes (baseline + useful + waste == integrated total); CI's
-// fleet smoke asserts one marker per governor row.
-func fleetStudy(nodes int, seed int64, jobs int) {
-	res, err := magus.RunFleetStudy(magus.FleetStudyOptions{Nodes: nodes, Seed: seed, Shards: jobs})
+// fleet smoke asserts one marker per governor row. With dist set, the
+// rows additionally carry the fleet-wide quantile-sketch summaries
+// (and the magus_fleet_* families land in obsrv's registry for
+// -metrics; CI's fleet smoke asserts finite p99 rows there).
+func fleetStudy(nodes int, seed int64, jobs int, dist bool, obsrv *magus.Observer) {
+	res, err := magus.RunFleetStudy(magus.FleetStudyOptions{
+		Nodes: nodes, Seed: seed, Shards: jobs, Dist: dist, Obs: obsrv,
+	})
 	fatalIf(err)
 	fmt.Printf("== Extension: %d-node mixed-preset fleet under a power budget ==\n", res.Nodes)
 	t := report.NewTable("Policy", "Peak (W)", "Avg (W)", "Energy", "Makespan (s)", "Time over budget %")
@@ -304,7 +310,27 @@ func fleetStudy(nodes int, seed int64, jobs int) {
 				report.Humanize(m.EnergyJ, "J"), report.Humanize(m.PeakW, "W"), m.DoneS)
 		}
 	}
+	for _, c := range res.Cells {
+		if c.Dist == nil {
+			continue
+		}
+		fmt.Printf("fleet distributions (%s, quantile sketch merged across shards):\n", c.Governor)
+		fmt.Print(report.DistTable([]report.DistRow{
+			distRow("node power (W)", c.Dist.NodePowerW),
+			distRow("uncore ratio", c.Dist.UncoreRatio),
+			distRow("uncore waste (W)", c.Dist.WasteW),
+			distRow("attained (GB/s)", c.Dist.AttainedGBs),
+		}))
+	}
 	fmt.Println()
+}
+
+// distRow flattens one sketch summary into a report row.
+func distRow(metric string, s magus.DistSummary) report.DistRow {
+	return report.DistRow{
+		Metric: metric, Count: s.Count, Min: s.Min,
+		P50: s.P50, P90: s.P90, P99: s.P99, Max: s.Max, Mean: s.Mean,
+	}
 }
 
 func figure1(opt magus.ExperimentOptions) {

@@ -64,13 +64,15 @@ func main() {
 		record   = flag.String("record", "", "archive the run as a JSON record at this path")
 		faultArg = flag.String("faults", "", "arm a fault plan: preset name or plan JSON path\n(presets: "+
 			strings.Join(magus.FaultPresets(), ", ")+")")
-		listen   = flag.String("listen", "", "serve /metrics, /healthz and /debug/pprof on this address\n(e.g. :9890); keeps serving after the run until interrupted")
-		events   = flag.String("events", "", "write the structured JSONL decision/event log to this path")
-		spansOut = flag.String("spans", "", "write decision-causality spans and the power-waste ledger\nas Perfetto/Chrome trace-event JSON to this path\n(open at ui.perfetto.dev; see docs/TRACING.md)")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this path\n(inspect with `go tool pprof`; see docs/PERF.md)")
-		memProf  = flag.String("memprofile", "", "write a heap profile taken after the run to this path")
-		list     = flag.Bool("list", false, "list catalog applications and exit")
-		dump     = flag.String("dump-workload", "", "print a catalog workload as JSON and exit")
+		listen    = flag.String("listen", "", "serve /metrics, /healthz and /debug/pprof on this address\n(e.g. :9890); keeps serving after the run until interrupted")
+		events    = flag.String("events", "", "write the structured JSONL decision/event log to this path")
+		maxEvents = flag.Uint64("max-events", 0, "cap the -events log at this many events (0 = unbounded);\na capped log ends with a terminal events_truncated record and\n/metrics reports magus_obs_events_emitted/dropped")
+		flightOut = flag.String("flight", "", "write the run's flight-recorder tail (recent decisions, health\ntransitions, fault events) as JSONL to this path\n(see docs/OBSERVABILITY.md)")
+		spansOut  = flag.String("spans", "", "write decision-causality spans and the power-waste ledger\nas Perfetto/Chrome trace-event JSON to this path\n(open at ui.perfetto.dev; see docs/TRACING.md)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this path\n(inspect with `go tool pprof`; see docs/PERF.md)")
+		memProf   = flag.String("memprofile", "", "write a heap profile taken after the run to this path")
+		list      = flag.Bool("list", false, "list catalog applications and exit")
+		dump      = flag.String("dump-workload", "", "print a catalog workload as JSON and exit")
 	)
 	flag.Parse()
 
@@ -152,8 +154,13 @@ func main() {
 			defer f.Close()
 			evw = f
 		}
-		obsrv = magus.NewObserver(nil, evw)
+		obsrv = magus.NewObserverWith(nil, evw, magus.ObserverOptions{MaxEvents: *maxEvents})
 		opt.Obs = obsrv
+	}
+	var ring *magus.FlightRing
+	if *flightOut != "" {
+		ring = magus.NewFlightRing(4096)
+		opt.Flight = ring
 	}
 	var srvErr chan error
 	var srv *http.Server
@@ -231,7 +238,19 @@ func main() {
 	if obsrv != nil && *events != "" {
 		ev := obsrv.Events()
 		fatalIf(ev.Err())
-		fmt.Printf("event log written to %s (%d events)\n", *events, ev.Count())
+		if d := ev.Dropped(); d > 0 {
+			fmt.Printf("event log written to %s (%d events, %d dropped past -max-events)\n",
+				*events, ev.Count(), d)
+		} else {
+			fmt.Printf("event log written to %s (%d events)\n", *events, ev.Count())
+		}
+	}
+	if ring != nil {
+		fatalIf(safeio.WriteFile(*flightOut, func(w io.Writer) error {
+			return ring.DumpJSONL(w, prog.Name)
+		}))
+		fmt.Printf("flight recorder written to %s (%d of %d records retained)\n",
+			*flightOut, ring.Len(), ring.Recorded())
 	}
 	fatalIf(stopProf())
 	if *cpuProf != "" {

@@ -29,6 +29,9 @@ func runServe(args []string) {
 		stepBudget   = fs.Duration("step-wall-budget", 2*time.Second, "wall-clock watchdog per step; repeated overruns mark the\nsession degraded (0 disables)")
 		idleExpiry   = fs.Duration("idle-expiry", 10*time.Minute, "reap sessions idle this long (negative disables)")
 		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+		flightCap    = fs.Int("flight-cap", 0, "per-session flight-recorder ring capacity\n(0 = 256, negative disables recording)")
+		flightDir    = fs.String("flight-dir", "", "directory receiving flight-recorder postmortems\n(flight-<session>.jsonl + .trace.json on session panic or SIGQUIT;\nempty = no files, GET /debug/flight still serves the rings)")
+		chaos        = fs.Bool("chaos", false, "allow session specs to arm the chaos_step panic drill\n(operator-only; exercises panic containment and crash dumps)")
 		quiet        = fs.Bool("quiet", false, "suppress per-session lifecycle logging")
 	)
 	fs.Parse(args)
@@ -44,6 +47,9 @@ func runServe(args []string) {
 		MaxStep:        *maxStep,
 		StepWallBudget: *stepBudget,
 		IdleExpiry:     *idleExpiry,
+		FlightCap:      *flightCap,
+		FlightDir:      *flightDir,
+		AllowChaos:     *chaos,
 		Logf:           logf,
 	})
 
@@ -54,6 +60,23 @@ func runServe(args []string) {
 	go func() { srvErr <- srv.Serve(ln) }()
 	fmt.Printf("magusd serve: listening on http://%s (max %d sessions, %d inflight)\n",
 		ln.Addr(), *maxSessions, *maxInflight)
+
+	// SIGQUIT is the operator's flight-dump trigger, not a shutdown:
+	// every live session's recorder lands in -flight-dir and the daemon
+	// keeps serving (notifying the channel also suppresses the Go
+	// runtime's default stack-dump-and-exit behaviour).
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		for range quit {
+			if *flightDir == "" {
+				fmt.Println("magusd serve: SIGQUIT, but no -flight-dir configured; nothing dumped")
+				continue
+			}
+			n := mg.DumpAllFlights("sigquit")
+			fmt.Printf("magusd serve: SIGQUIT, dumped %d flight recorder(s) to %s\n", n, *flightDir)
+		}
+	}()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

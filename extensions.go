@@ -11,6 +11,7 @@ import (
 	"github.com/spear-repro/magus/internal/governor"
 	"github.com/spear-repro/magus/internal/hsmp"
 	"github.com/spear-repro/magus/internal/resilient"
+	"github.com/spear-repro/magus/internal/sketch"
 )
 
 // This file exposes the extensions beyond the paper's evaluation:
@@ -128,6 +129,17 @@ type ClusterMemberSummary = cluster.MemberSummary
 func RunClusterFleet(specs []ClusterNodeSpec, opt ClusterOptions) (ClusterResult, error) {
 	return cluster.RunFleet(specs, opt)
 }
+
+// FleetDist carries the fleet-wide telemetry distributions of a run
+// with ClusterOptions.Dist set: mergeable quantile-sketch summaries
+// (p50/p90/p99/max) of node power, uncore ratio, per-socket waste rate
+// and attained bandwidth, merged across shards with byte-identical
+// output for any shard count.
+type FleetDist = cluster.FleetDist
+
+// DistSummary is one distribution's quantile summary (count, min,
+// p50/p90/p99, max, mean) as produced by the log-bucket sketch.
+type DistSummary = sketch.Summary
 
 // FleetStudyOptions sizes the fleet-scale governor study.
 type FleetStudyOptions = experiments.FleetOptions

@@ -77,6 +77,11 @@ type Result struct {
 	// the decomposition balances within the integration's ulp budget.
 	UncoreWaste   *spans.EnergyAttr `json:",omitempty"`
 	WasteBalanced bool              `json:",omitempty"`
+	// Dist is the fleet distribution snapshot (per-member node power,
+	// attained throughput; per-socket uncore ratio and waste watts)
+	// when Options.Dist was set. Identical for any shard count: the
+	// underlying sketches merge by integer bucket addition.
+	Dist *FleetDist `json:",omitempty"`
 }
 
 // MemberSummary is one member's reduced trace: the per-node numbers a

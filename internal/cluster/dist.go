@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/spear-repro/magus/internal/obs"
+	"github.com/spear-repro/magus/internal/sketch"
+)
+
+// Fleet distribution telemetry. The paper's argument is distributional
+// — power waste lives in the *tail* of per-socket uncore behaviour
+// across heterogeneous nodes — so at fleet scale the engine folds four
+// per-member per-tick samples into mergeable quantile sketches:
+//
+//	node power W     — one sample per member per tick;
+//	attained GB/s    — one sample per member per tick;
+//	uncore ratio     — one sample per member *socket* per tick;
+//	uncore waste W   — one sample per member socket per tick (model
+//	                   decomposition, the same Decompose the waste
+//	                   ledger integrates).
+//
+// Each shard owns one sketch per dimension; reassembly merges them.
+// Because sketch merging is integer bucket addition (see
+// internal/sketch), the merged distributions — and therefore
+// Result.Dist, the magus_fleet_* exposition and the /fleet page — are
+// byte-identical for any shard count, extending the PR 9 identity
+// contract to distribution telemetry.
+
+// Dimension indices into shard.sketches / the merged set.
+const (
+	distNodePowerW = iota
+	distUncoreRatio
+	distWasteW
+	distAttainedGBs
+	distDims
+)
+
+// distSpec carries each dimension's exposition metadata.
+var distSpecs = [distDims]struct {
+	metric  string
+	help    string
+	buckets []float64
+}{
+	{
+		"magus_fleet_node_power_watts",
+		"Distribution of per-member total node power (CPU + GPU) in watts, sampled every engine tick.",
+		[]float64{100, 150, 200, 250, 300, 400, 500, 650, 800, 1000, 1500},
+	},
+	{
+		"magus_fleet_uncore_ratio",
+		"Distribution of per-socket uncore frequency as a fraction of the hardware maximum, sampled every engine tick.",
+		[]float64{0.5, 0.55, 0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95, 1},
+	},
+	{
+		"magus_fleet_uncore_waste_watts",
+		"Distribution of per-socket uncore waste power (model decomposition) in watts, sampled every engine tick.",
+		[]float64{0.5, 1, 2, 4, 6, 8, 10, 15, 20, 30, 50},
+	},
+	{
+		"magus_fleet_attained_gbs",
+		"Distribution of per-member attained memory throughput in GB/s, sampled every engine tick.",
+		[]float64{10, 20, 40, 60, 80, 100, 150, 200, 300, 400, 600},
+	},
+}
+
+// FleetDist is the fleet's distribution snapshot: the five-number
+// summary of each sketched dimension. All numbers derive from merged
+// integer sketch state, so the snapshot is identical for any shard
+// count.
+type FleetDist struct {
+	NodePowerW  sketch.Summary
+	UncoreRatio sketch.Summary
+	WasteW      sketch.Summary
+	AttainedGBs sketch.Summary
+}
+
+// summaries returns the dimension summaries indexed like distSpecs.
+func (d *FleetDist) summaries() [distDims]sketch.Summary {
+	return [distDims]sketch.Summary{d.NodePowerW, d.UncoreRatio, d.WasteW, d.AttainedGBs}
+}
+
+// newDistSketches allocates one sketch per dimension (shard build and
+// reassembly both use it).
+func newDistSketches() [distDims]*sketch.Sketch {
+	var s [distDims]*sketch.Sketch
+	for i := range s {
+		s[i] = sketch.New()
+	}
+	return s
+}
+
+// mergeDist folds every shard's sketches into one merged set. Shards
+// are visited in canonical order, but the result is order-independent
+// by the sketch's merge contract.
+func mergeDist(shards []*shard) [distDims]*sketch.Sketch {
+	merged := newDistSketches()
+	for _, sh := range shards {
+		for d := range merged {
+			merged[d].Merge(sh.sketches[d])
+		}
+	}
+	return merged
+}
+
+// quantileLabels is the fixed label set of the *_quantile gauge
+// families, in registration order.
+var quantileLabels = [...]struct {
+	q   string
+	val func(sketch.Summary) float64
+}{
+	{"p50", func(s sketch.Summary) float64 { return s.P50 }},
+	{"p90", func(s sketch.Summary) float64 { return s.P90 }},
+	{"p99", func(s sketch.Summary) float64 { return s.P99 }},
+	{"max", func(s sketch.Summary) float64 { return s.Max }},
+}
+
+// exposeDist publishes the merged distributions on the observer's
+// registry: one histogram family per dimension (the sketch's log
+// buckets folded through ObserveN into fixed exposition bounds) plus
+// one *_quantile gauge family carrying the exact p50/p90/p99/max, and
+// registers the /fleet JSON page.
+func exposeDist(o *obs.Observer, merged [distDims]*sketch.Sketch, dist *FleetDist) {
+	reg := o.Registry()
+	sums := dist.summaries()
+	for d, spec := range distSpecs {
+		h := reg.Histogram(spec.metric, spec.help, spec.buckets)
+		merged[d].Buckets(h.ObserveN)
+		qv := reg.GaugeVec(spec.metric+"_quantile",
+			spec.help+" Five-number summary derived from the merged fleet sketch.", "q")
+		for _, ql := range quantileLabels {
+			qv.With(ql.q).Set(ql.val(sums[d]))
+		}
+	}
+	o.SetPage("fleet", func() (string, []byte, error) {
+		body, err := json.MarshalIndent(dist, "", "  ")
+		if err != nil {
+			return "", nil, fmt.Errorf("cluster: fleet page: %w", err)
+		}
+		return "application/json", body, nil
+	})
+}

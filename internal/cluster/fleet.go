@@ -13,6 +13,7 @@ import (
 	"github.com/spear-repro/magus/internal/obs"
 	"github.com/spear-repro/magus/internal/parallel"
 	"github.com/spear-repro/magus/internal/sim"
+	"github.com/spear-repro/magus/internal/sketch"
 	"github.com/spear-repro/magus/internal/spans"
 	"github.com/spear-repro/magus/internal/telemetry"
 )
@@ -76,6 +77,15 @@ type Options struct {
 	// spans power model each tick and integrated into
 	// Result.UncoreWaste. Purely passive reads; off by default.
 	Waste bool
+	// Dist enables fleet distribution telemetry: per-member per-tick
+	// samples (node power, attained GB/s; per-socket uncore ratio and
+	// model-decomposed waste watts) fold into mergeable quantile
+	// sketches (internal/sketch), reported in Result.Dist, exposed as
+	// magus_fleet_* families when Obs is set, and served on /fleet.
+	// Off by default; the disabled path is byte-identical to a run
+	// without it, and the enabled path is byte-identical for any
+	// Shards value (sketch merging is integer bucket addition).
+	Dist bool
 }
 
 // shard is one contiguous member block and its sub-engine state.
@@ -102,10 +112,16 @@ type shard struct {
 	lastEnergy []float64
 	lastDone   []bool
 
-	// Fleet waste ledger (Options.Waste).
+	// Fleet waste ledger (Options.Waste). models are also built under
+	// Options.Dist alone: the waste-watts sketch needs the same
+	// per-tick decomposition the ledger integrates.
 	waste  bool
 	models []spans.PowerModel
 	attrs  []spans.EnergyAttr
+
+	// Fleet distribution sketches (Options.Dist), one per dimension.
+	dist     bool
+	sketches [distDims]*sketch.Sketch
 
 	stuck    bool
 	buildErr error
@@ -136,6 +152,10 @@ func newShard(specs []NodeSpec, every time.Duration, sampleCap int, opt Options)
 		doneAt:   make([]time.Duration, len(specs)),
 		observed: opt.Obs != nil,
 		waste:    opt.Waste,
+		dist:     opt.Dist,
+	}
+	if opt.Dist {
+		sh.sketches = newDistSketches()
 	}
 	now := func() time.Duration { return sh.clock }
 	nodes := make([]*node.Node, 0, len(specs))
@@ -147,7 +167,7 @@ func newShard(specs []NodeSpec, every time.Duration, sampleCap int, opt Options)
 		}
 		sh.members = append(sh.members, m)
 		nodes = append(nodes, m.node)
-		if opt.Waste {
+		if opt.Waste || opt.Dist {
 			cfg := spec.Config
 			sh.models = append(sh.models, spans.PowerModel{
 				BaseWatts:          cfg.Uncore.BaseWatts,
@@ -197,8 +217,8 @@ func (sh *shard) tick() {
 			sh.doneAt[i] = now + dt
 		}
 	}
-	if sh.waste {
-		sh.integrateWaste()
+	if sh.waste || sh.dist {
+		sh.integrate()
 	}
 	if now >= sh.next {
 		sh.sample(now)
@@ -206,17 +226,31 @@ func (sh *shard) tick() {
 	sh.clock = now + dt
 }
 
-// integrateWaste attributes this tick's uncore energy per member and
-// socket: model decomposition against the node's actual uncore watts.
-func (sh *shard) integrateWaste() {
+// integrate runs the per-tick model decomposition shared by the waste
+// ledger and the distribution sketches: per member and socket, the
+// uncore operating point is decomposed (baseline/useful/waste) once,
+// then the ledger accumulates it (Options.Waste) and the sketches
+// fold it (Options.Dist). The ledger's float sequence is exactly the
+// historical integrateWaste path — sketch folding touches only
+// integer sketch state, so enabling Dist never perturbs the ledger.
+func (sh *shard) integrate() {
 	for i, m := range sh.members {
 		n := m.node
 		cfg := &m.spec.Config
-		a := &sh.attrs[i]
 		for s := 0; s < cfg.Sockets; s++ {
 			rel := n.UncoreFreqGHz(s) / cfg.UncoreMaxGHz
 			base, useful, waste := sh.models[i].Decompose(rel, n.AttainedGBsSocket(s))
-			a.Accumulate(sh.dtSec, base, useful, waste, n.UncorePowerW(s))
+			if sh.waste {
+				sh.attrs[i].Accumulate(sh.dtSec, base, useful, waste, n.UncorePowerW(s))
+			}
+			if sh.dist {
+				sh.sketches[distUncoreRatio].Add(rel)
+				sh.sketches[distWasteW].Add(waste)
+			}
+		}
+		if sh.dist {
+			sh.sketches[distNodePowerW].Add(n.TotalPowerW())
+			sh.sketches[distAttainedGBs].Add(n.AttainedGBs())
 		}
 	}
 }
@@ -502,6 +536,19 @@ func reassemble(shards []*shard, opt Options, fo *fleetObs, globalEnd time.Durat
 		}
 		res.UncoreWaste = &attr
 		res.WasteBalanced = attr.Balanced(spans.BalanceTolUlps(steps))
+	}
+
+	if opt.Dist {
+		merged := mergeDist(shards)
+		res.Dist = &FleetDist{
+			NodePowerW:  merged[distNodePowerW].Summarize(),
+			UncoreRatio: merged[distUncoreRatio].Summarize(),
+			WasteW:      merged[distWasteW].Summarize(),
+			AttainedGBs: merged[distAttainedGBs].Summarize(),
+		}
+		if opt.Obs != nil {
+			exposeDist(opt.Obs, merged, res.Dist)
+		}
 	}
 
 	if fo != nil {

@@ -17,6 +17,7 @@ import (
 	"github.com/spear-repro/magus/internal/cluster"
 	"github.com/spear-repro/magus/internal/governor"
 	"github.com/spear-repro/magus/internal/node"
+	"github.com/spear-repro/magus/internal/obs"
 	"github.com/spear-repro/magus/internal/spans"
 	"github.com/spear-repro/magus/internal/workload"
 )
@@ -40,6 +41,18 @@ type FleetOptions struct {
 	// TopK is the number of heaviest-by-energy member summaries kept
 	// per governor row (0 = 5).
 	TopK int
+	// Dist arms the fleet-wide distribution sketches
+	// (cluster.Options.Dist): each row then carries the quantile
+	// summaries of node power, uncore ratio, per-socket waste rate and
+	// attained bandwidth across every member and tick of that row's
+	// run.
+	Dist bool
+	// Obs, when set with Dist, receives each row's magus_fleet_*
+	// distribution exposition. The histogram families accumulate
+	// samples across the governor rows (the study-wide distribution);
+	// the *_quantile gauges and the /fleet page reflect the most
+	// recently finished row.
+	Obs *obs.Observer
 }
 
 func (o FleetOptions) normalize() (FleetOptions, error) {
@@ -85,6 +98,9 @@ type FleetCell struct {
 	WasteBalanced bool
 	// Top holds the TopK heaviest members by energy.
 	Top []cluster.MemberSummary
+	// Dist is the row's fleet-wide distribution snapshot (nil unless
+	// FleetOptions.Dist).
+	Dist *cluster.FleetDist
 }
 
 // FleetResult is the full study.
@@ -142,6 +158,10 @@ func FleetStudy(opt FleetOptions) (FleetResult, error) {
 		Telemetry:   cluster.TelemetryAggregate,
 		TopK:        opt.TopK,
 		Waste:       true,
+		Dist:        opt.Dist,
+	}
+	if opt.Dist {
+		copt.Obs = opt.Obs
 	}
 	for _, row := range rows {
 		specs := fleetStudySpecs(opt.Nodes, opt.Seed, row.factoryFor)
@@ -162,6 +182,7 @@ func FleetStudy(opt FleetOptions) (FleetResult, error) {
 			Waste:          r.UncoreWaste,
 			WasteBalanced:  r.WasteBalanced,
 			Top:            r.Top,
+			Dist:           r.Dist,
 		})
 	}
 	return res, nil

@@ -1,0 +1,100 @@
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonlHeader is the first line of every JSONL dump; consumers (and
+// cmd/flightlint) key on Flight == "v1".
+type jsonlHeader struct {
+	Flight   string `json:"flight"`
+	Source   string `json:"source,omitempty"`
+	Cap      int    `json:"cap"`
+	Recorded uint64 `json:"recorded"`
+	Dropped  uint64 `json:"dropped"`
+}
+
+// jsonlRecord is the wire form of one record.
+type jsonlRecord struct {
+	Seq  uint64  `json:"seq"`
+	T    float64 `json:"t"`
+	Kind string  `json:"kind"`
+	Tag  string  `json:"tag"`
+	A    float64 `json:"a"`
+	B    float64 `json:"b"`
+	C    float64 `json:"c"`
+}
+
+// DumpJSONL writes the ring as JSON Lines: one header object
+// (flight=v1, capacity, recorded/dropped totals) followed by one
+// object per retained record, oldest first. The dump path is cold, so
+// it uses encoding/json; recording stays allocation-free.
+func (r *Ring) DumpJSONL(w io.Writer, source string) error {
+	recs := r.Snapshot()
+	enc := json.NewEncoder(w)
+	hdr := jsonlHeader{Flight: "v1", Source: source, Cap: r.capOrZero(), Recorded: r.Recorded(), Dropped: r.Dropped()}
+	if err := enc.Encode(hdr); err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		if err := enc.Encode(jsonlRecord{
+			Seq: rec.Seq, T: rec.T, Kind: rec.Kind.String(), Tag: rec.Tag,
+			A: rec.A, B: rec.B, C: rec.C,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Ring) capOrZero() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return cap(r.rec)
+}
+
+// perfettoEvent is one Chrome/Perfetto trace event. Records render as
+// instant events ("ph":"i") on one thread per kind, with virtual run
+// time mapped to microseconds.
+type perfettoEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// perfettoTrace is the top-level Chrome trace JSON object.
+type perfettoTrace struct {
+	TraceEvents     []perfettoEvent `json:"traceEvents"`
+	DisplayTimeUnit string          `json:"displayTimeUnit"`
+}
+
+// DumpPerfetto writes the ring as a Chrome trace-event JSON file that
+// Perfetto (ui.perfetto.dev) and chrome://tracing load directly: each
+// record is an instant event at its virtual timestamp, grouped into
+// one track per kind.
+func (r *Ring) DumpPerfetto(w io.Writer, source string) error {
+	recs := r.Snapshot()
+	tr := perfettoTrace{DisplayTimeUnit: "ms", TraceEvents: make([]perfettoEvent, 0, len(recs)+len(kindNames))}
+	for k, name := range kindNames {
+		tr.TraceEvents = append(tr.TraceEvents, perfettoEvent{
+			Name: "thread_name", Phase: "M", PID: 1, TID: k + 1,
+			Args: map[string]any{"name": fmt.Sprintf("flight:%s %s", name, source)},
+		})
+	}
+	for _, rec := range recs {
+		tr.TraceEvents = append(tr.TraceEvents, perfettoEvent{
+			Name: rec.Tag, Phase: "i", TS: rec.T * 1e6, PID: 1, TID: int(rec.Kind) + 1, Scope: "t",
+			Args: map[string]any{"seq": rec.Seq, "a": rec.A, "b": rec.B, "c": rec.C},
+		})
+	}
+	return json.NewEncoder(w).Encode(tr)
+}

@@ -1,0 +1,156 @@
+// Package flight implements a bounded in-memory flight recorder: a
+// fixed-capacity ring of recent run events (governor decisions,
+// sensor-health transitions, fault injections, lifecycle marks) that
+// overwrites its oldest entry when full. Recording is zero-alloc and
+// cheap enough to stay armed on every run — the value of a flight
+// recorder is that it is *already on* when something goes wrong.
+//
+// The ring is the postmortem complement to the obs event log: the
+// event log is a complete, append-only stream an operator opts into;
+// the ring is a small always-on tail that the serve layer dumps (via
+// internal/safeio, as JSONL and a Perfetto-loadable trace) when a
+// session panics, when magusd receives SIGQUIT, or on demand from
+// GET /debug/flight.
+package flight
+
+import "sync"
+
+// Kind classifies a flight record.
+type Kind uint8
+
+const (
+	// KindMark is a lifecycle annotation (run start/finish, dump).
+	KindMark Kind = iota
+	// KindDecision is one governor decision (A=value, B=target/socket).
+	KindDecision
+	// KindHealth is a sensor-health transition (A=from, B=to).
+	KindHealth
+	// KindFault is a fault-injection tally change (A=total injected).
+	KindFault
+	// KindPanic marks a contained panic (recorded just before dump).
+	KindPanic
+)
+
+var kindNames = [...]string{"mark", "decision", "health", "fault", "panic"}
+
+// String returns the stable lowercase name used in dump files.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Record is one fixed-size flight entry. Tag must be a constant (or
+// otherwise retained) string so recording never allocates; A/B/C are
+// kind-specific scalar payloads.
+type Record struct {
+	// Seq is the 1-based global sequence number of the record; gaps
+	// never occur, so Seq of the oldest retained record reveals how
+	// many were overwritten.
+	Seq uint64
+	// T is the virtual run time in seconds at which the event fired.
+	T float64
+	// Kind classifies the record; Tag names the specific event.
+	Kind Kind
+	Tag  string
+	// A, B, C are kind-specific payloads (see Kind docs).
+	A, B, C float64
+}
+
+// Ring is a fixed-capacity overwrite-oldest flight recorder. A nil
+// *Ring is valid and records nothing, so call sites stay unconditional
+// on the hot path. Rings are safe for concurrent use: the serve layer
+// dumps a session's ring from the HTTP goroutine while the session
+// steps on another.
+type Ring struct {
+	mu  sync.Mutex
+	rec []Record
+	seq uint64 // total records ever written
+}
+
+// DefaultCap is the ring capacity used when callers pass cap <= 0:
+// enough to hold the recent decision history of a misbehaving run
+// (~256 decisions ≈ 25 s of 100 ms governor ticks) without holding
+// more than ~16 KiB per session.
+const DefaultCap = 256
+
+// NewRing returns a ring holding the most recent cap records
+// (DefaultCap when cap <= 0).
+func NewRing(cap int) *Ring {
+	if cap <= 0 {
+		cap = DefaultCap
+	}
+	return &Ring{rec: make([]Record, 0, cap)}
+}
+
+// Record appends one entry, overwriting the oldest when full. It is a
+// no-op on a nil ring and performs no allocation once the ring has
+// filled (the backing array is preallocated; growth is append into
+// existing capacity).
+func (r *Ring) Record(t float64, kind Kind, tag string, a, b, c float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.seq++
+	rec := Record{Seq: r.seq, T: t, Kind: kind, Tag: tag, A: a, B: b, C: c}
+	if len(r.rec) < cap(r.rec) {
+		r.rec = append(r.rec, rec)
+	} else {
+		r.rec[(r.seq-1)%uint64(cap(r.rec))] = rec
+	}
+	r.mu.Unlock()
+}
+
+// Len reports how many records are currently retained.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.rec)
+}
+
+// Recorded reports how many records were ever written (retained plus
+// overwritten).
+func (r *Ring) Recorded() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// Dropped reports how many records have been overwritten.
+func (r *Ring) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq - uint64(len(r.rec))
+}
+
+// Snapshot returns the retained records oldest-first. The copy is
+// taken under the lock, so a snapshot is a consistent prefix-free
+// window even while the run keeps recording.
+func (r *Ring) Snapshot() []Record {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Record, len(r.rec))
+	if len(r.rec) < cap(r.rec) {
+		copy(out, r.rec)
+		return out
+	}
+	// Full ring: the slot after the newest record is the oldest.
+	head := int(r.seq % uint64(cap(r.rec)))
+	n := copy(out, r.rec[head:])
+	copy(out[n:], r.rec[:head])
+	return out
+}

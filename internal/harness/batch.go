@@ -63,6 +63,7 @@ func RepeatSpecs(cfg node.Config, prog *workload.Program, factory GovernorFactor
 		o.Seed = opt.Seed + int64(i)*7919
 		o.TraceInterval = 0 // traces only make sense per run
 		o.Spans = nil       // tracers are single-run; sharing one across parallel repeats would race
+		o.Flight = nil      // flight rings are single-run diagnostics; interleaved repeats would garble the tail
 		specs[i] = RunSpec{Cfg: cfg, Prog: prog, Factory: factory, Opt: o}
 	}
 	return specs

@@ -18,6 +18,7 @@ import (
 
 	"github.com/spear-repro/magus/internal/attrib"
 	"github.com/spear-repro/magus/internal/faults"
+	"github.com/spear-repro/magus/internal/flight"
 	"github.com/spear-repro/magus/internal/governor"
 	"github.com/spear-repro/magus/internal/node"
 	"github.com/spear-repro/magus/internal/obs"
@@ -65,6 +66,13 @@ type Options struct {
 	// the seed). Tracers are single-run objects: like governors, they
 	// must not be shared across runs, and RepeatSpecs nils them out.
 	Spans *spans.Tracer
+	// Flight attaches a bounded flight recorder (internal/flight): the
+	// run's recent governor decisions, sensor-health transitions and
+	// fault tallies land in the ring, ready to dump on a panic or
+	// SIGQUIT. Recording is passive and allocation-free; nil (the
+	// default) adds no component and stays byte-identical to the seed.
+	// Rings are single-run diagnostics: RepeatSpecs nils them out.
+	Flight *flight.Ring
 	// Tenants co-locates several workloads on the node through a
 	// time-slicing multiplexer and attributes measured energy across
 	// them (Result.Tenants). It replaces the program argument: callers

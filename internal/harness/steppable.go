@@ -6,6 +6,7 @@ import (
 
 	"github.com/spear-repro/magus/internal/attrib"
 	"github.com/spear-repro/magus/internal/faults"
+	"github.com/spear-repro/magus/internal/flight"
 	"github.com/spear-repro/magus/internal/governor"
 	"github.com/spear-repro/magus/internal/node"
 	"github.com/spear-repro/magus/internal/sim"
@@ -178,6 +179,11 @@ func newSteppable(cfg node.Config, prog *workload.Program, gov governor.Governor
 		eng.AddComponent(ro)
 	}
 
+	if opt.Flight != nil {
+		eng.AddComponent(installFlight(opt.Flight, fset, gov))
+		opt.Flight.Record(0, flight.KindMark, "run_start", float64(opt.Seed), 0, 0)
+	}
+
 	govFn := gov.Invoke
 	var ss *spanSampler
 	if opt.Spans != nil {
@@ -312,6 +318,8 @@ func (s *Steppable) finish() Result {
 	if s.ro != nil {
 		s.ro.finish(s.eng.Clock().Now(), res)
 	}
+	s.opt.Flight.Record(s.eng.Clock().Now().Seconds(), flight.KindMark, "run_end",
+		res.RuntimeS, res.TotalEnergyJ(), 0)
 	s.done = true
 	s.res = res
 	return res

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEventLogMaxEvents(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewEventLog(&buf)
+	l.SetMaxEvents(3)
+	for i := 0; i < 10; i++ {
+		l.Event(time.Duration(i)*time.Second, "decision").F("v", float64(i)).End()
+	}
+	if got := l.Count(); got != 3 {
+		t.Fatalf("count = %d, want 3", got)
+	}
+	if got := l.Dropped(); got != 7 {
+		t.Fatalf("dropped = %d, want 7", got)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 { // 3 events + terminal truncation record
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), buf.String())
+	}
+	var term map[string]any
+	if err := json.Unmarshal([]byte(lines[3]), &term); err != nil {
+		t.Fatalf("terminal record parse: %v", err)
+	}
+	if term["type"] != "events_truncated" || term["max_events"] != float64(3) {
+		t.Fatalf("terminal record = %v", term)
+	}
+	// The truncation record fires at the first dropped event's time.
+	if term["t"] != float64(3) {
+		t.Fatalf("truncation t = %v, want 3", term["t"])
+	}
+}
+
+func TestEventLogUnboundedDefaultByteIdentical(t *testing.T) {
+	emit := func(l *EventLog) {
+		for i := 0; i < 50; i++ {
+			l.Event(time.Duration(i)*time.Millisecond, "x").U("i", uint64(i)).End()
+		}
+	}
+	var a, b bytes.Buffer
+	emit(NewEventLog(&a))
+	lb := NewEventLog(&b)
+	lb.SetMaxEvents(0) // explicit zero = unbounded
+	emit(lb)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("unbounded default changed the stream")
+	}
+	if lb.Bounded() || lb.Dropped() != 0 {
+		t.Fatalf("unbounded log reports bounded=%v dropped=%d", lb.Bounded(), lb.Dropped())
+	}
+}
+
+func TestNewWithMaxEvents(t *testing.T) {
+	var buf bytes.Buffer
+	o := NewWith(nil, &buf, Options{MaxEvents: 1})
+	o.Events().Event(0, "a").End()
+	o.Events().Event(time.Second, "b").End()
+	if o.Events().Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", o.Events().Dropped())
+	}
+}
+
+func TestMetricsExposeEventDropStats(t *testing.T) {
+	var buf bytes.Buffer
+	o := NewWith(nil, &buf, Options{MaxEvents: 2})
+	for i := 0; i < 5; i++ {
+		o.Events().Event(time.Duration(i), "e").End()
+	}
+	srv := httptest.NewServer(NewHandler(o))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body bytes.Buffer
+	body.ReadFrom(resp.Body)
+	if !strings.Contains(body.String(), "magus_obs_events_dropped 3") {
+		t.Fatalf("missing dropped gauge in exposition:\n%s", body.String())
+	}
+	if !strings.Contains(body.String(), "magus_obs_events_emitted 2") {
+		t.Fatalf("missing emitted gauge in exposition:\n%s", body.String())
+	}
+}
+
+func TestMetricsUnboundedExpositionUnchanged(t *testing.T) {
+	var buf bytes.Buffer
+	o := New(nil, &buf)
+	o.Events().Event(0, "e").End()
+	srv := httptest.NewServer(NewHandler(o))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body bytes.Buffer
+	body.ReadFrom(resp.Body)
+	if strings.Contains(body.String(), "magus_obs_events") {
+		t.Fatalf("unbounded log leaked event-stat gauges:\n%s", body.String())
+	}
+}
+
+func TestHistogramObserveN(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Histogram("obsn_a", "", []float64{1, 10})
+	b := reg.Histogram("obsn_b", "", []float64{1, 10})
+	for i := 0; i < 7; i++ {
+		a.Observe(5)
+	}
+	a.Observe(0.5)
+	b.ObserveN(5, 7)
+	b.ObserveN(0.5, 1)
+	b.ObserveN(2, 0) // no-op
+	if a.Count() != b.Count() || a.Sum() != b.Sum() {
+		t.Fatalf("ObserveN diverges: count %d/%d sum %v/%v", a.Count(), b.Count(), a.Sum(), b.Sum())
+	}
+	var nilH *Histogram
+	nilH.ObserveN(1, 5) // must not panic
+}
+
+func TestPagesServeAndLifecycle(t *testing.T) {
+	o := New(nil, nil)
+	srv := httptest.NewServer(NewHandler(o))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unregistered /fleet status = %d, want 404", resp.StatusCode)
+	}
+
+	o.SetPage("fleet", func() (string, []byte, error) {
+		return "application/json", []byte(`{"ok":true}`), nil
+	})
+	resp, err = http.Get(srv.URL + "/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body bytes.Buffer
+	body.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || body.String() != `{"ok":true}` {
+		t.Fatalf("registered /fleet: %d %q", resp.StatusCode, body.String())
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+
+	o.SetPage("fleet", nil)
+	resp, err = http.Get(srv.URL + "/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("removed /fleet status = %d, want 404", resp.StatusCode)
+	}
+
+	var nilObs *Observer
+	nilObs.SetPage("fleet", func() (string, []byte, error) { return "", nil, nil })
+	if nilObs.Page("fleet") != nil {
+		t.Fatal("nil observer page not inert")
+	}
+}

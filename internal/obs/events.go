@@ -23,6 +23,16 @@ type EventLog struct {
 	buf   []byte
 	count uint64
 	err   error
+
+	// max bounds the number of emitted events (0 = unbounded, the
+	// default — existing streams stay byte-identical). Once count
+	// reaches max, one terminal "events_truncated" record is written
+	// and every further event is counted in dropped instead of
+	// written, so a week-long daemon cannot grow the log without
+	// bound.
+	max       uint64
+	dropped   uint64
+	truncated bool
 }
 
 // NewEventLog returns a log writing JSONL to w (nil w returns a nil,
@@ -32,6 +42,40 @@ func NewEventLog(w io.Writer) *EventLog {
 		return nil
 	}
 	return &EventLog{w: w, buf: make([]byte, 0, 256)}
+}
+
+// SetMaxEvents bounds the log to max emitted events (0 restores the
+// unbounded default). When the bound is reached, the log writes one
+// terminal record — {"t":…,"type":"events_truncated","max_events":N}
+// — and silently counts (Dropped) every event after it.
+func (l *EventLog) SetMaxEvents(max uint64) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.max = max
+	l.mu.Unlock()
+}
+
+// Bounded reports whether a max-events bound is configured.
+func (l *EventLog) Bounded() bool {
+	if l == nil {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.max > 0
+}
+
+// Dropped returns the number of events discarded after the max-events
+// bound was reached (0 for an unbounded log).
+func (l *EventLog) Dropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
 }
 
 // Count returns the number of events emitted so far.
@@ -67,6 +111,15 @@ func (l *EventLog) Event(t time.Duration, typ string) Ev {
 		return Ev{}
 	}
 	l.mu.Lock()
+	if l.max > 0 && l.count >= l.max {
+		if !l.truncated {
+			l.truncated = true
+			l.writeTruncation(t)
+		}
+		l.dropped++
+		l.mu.Unlock()
+		return Ev{}
+	}
 	l.buf = l.buf[:0]
 	l.buf = append(l.buf, `{"t":`...)
 	// Virtual time advances in engine steps (≥ 1 ms); three decimals
@@ -143,6 +196,20 @@ func (e Ev) End() {
 	}
 	e.l.count++
 	e.l.mu.Unlock()
+}
+
+// writeTruncation emits the terminal truncation record. Called with
+// the lock held, at the virtual time of the first dropped event.
+func (l *EventLog) writeTruncation(t time.Duration) {
+	l.buf = l.buf[:0]
+	l.buf = append(l.buf, `{"t":`...)
+	l.buf = strconv.AppendFloat(l.buf, t.Seconds(), 'f', 3, 64)
+	l.buf = append(l.buf, `,"type":"events_truncated","max_events":`...)
+	l.buf = strconv.AppendUint(l.buf, l.max, 10)
+	l.buf = append(l.buf, '}', '\n')
+	if l.err == nil {
+		_, l.err = l.w.Write(l.buf)
+	}
 }
 
 const hexDigits = "0123456789abcdef"

@@ -14,6 +14,10 @@ const ExpositionContentType = "text/plain; version=0.0.4; charset=utf-8"
 //   - /metrics — the registry in Prometheus text exposition format;
 //   - /healthz — 200 "ok" while the sensing path is healthy, 503 with
 //     the state name ("degraded", "lost") once it is not;
+//   - /fleet — the fleet distribution snapshot (JSON) when a fleet
+//     run registered one via SetPage("fleet", …); 404 otherwise;
+//   - /debug/flight — the flight-recorder dump when a run registered
+//     one via SetPage("debug/flight", …); 404 otherwise;
 //   - /debug/pprof/... — the standard Go profiling endpoints.
 //
 // Every endpoint reads only atomically published state, so serving
@@ -35,8 +39,36 @@ func NewHandler(o *Observer) http.Handler {
 		if r.Method == http.MethodHead {
 			return
 		}
+		publishEventStats(o)
 		w.Write(o.Registry().AppendText(nil))
 	})
+	servePage := func(name string) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodGet && r.Method != http.MethodHead {
+				w.Header().Set("Allow", "GET, HEAD")
+				http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+				return
+			}
+			fn := o.Page(name)
+			if fn == nil {
+				http.Error(w, name+" not enabled", http.StatusNotFound)
+				return
+			}
+			ct, body, err := fn()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", ct)
+			w.WriteHeader(http.StatusOK)
+			if r.Method == http.MethodHead {
+				return
+			}
+			w.Write(body)
+		}
+	}
+	mux.HandleFunc("/fleet", servePage("fleet"))
+	mux.HandleFunc("/debug/flight", servePage("debug/flight"))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		h := o.Health()
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -55,4 +87,19 @@ func NewHandler(o *Observer) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// publishEventStats refreshes the event-log gauges before a scrape.
+// It registers nothing unless the log carries a max-events bound, so
+// unbounded runs keep their historical exposition byte-identical.
+func publishEventStats(o *Observer) {
+	l := o.Events()
+	if l == nil || !l.Bounded() {
+		return
+	}
+	reg := o.Registry()
+	reg.Gauge("magus_obs_events_emitted",
+		"Events written to the bounded JSONL event log.").Set(float64(l.Count()))
+	reg.Gauge("magus_obs_events_dropped",
+		"Events discarded after the event log's max-events bound was reached.").Set(float64(l.Dropped()))
 }

@@ -118,6 +118,20 @@ func (h *Histogram) Observe(v float64) {
 	h.count.Add(1)
 }
 
+// ObserveN records n identical samples in one update — the bulk fold
+// used when a pre-aggregated distribution (a quantile sketch bucket)
+// is re-exposed as a histogram. Equivalent to calling Observe(v) n
+// times, at O(1) cost.
+func (h *Histogram) ObserveN(v float64, n uint64) {
+	if h == nil || n == 0 || math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(n)
+	h.sum.Add(v * float64(n))
+	h.count.Add(n)
+}
+
 // Count returns the total number of observations.
 func (h *Histogram) Count() uint64 {
 	if h == nil {

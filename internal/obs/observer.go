@@ -2,6 +2,7 @@ package obs
 
 import (
 	"io"
+	"sync"
 	"sync/atomic"
 )
 
@@ -38,15 +39,71 @@ type Observer struct {
 	reg    *Registry
 	events *EventLog
 	health atomic.Int32
+
+	pageMu sync.RWMutex
+	pages  map[string]PageFunc
+}
+
+// Options configures observer construction beyond New's positional
+// arguments. The zero value reproduces New exactly.
+type Options struct {
+	// MaxEvents bounds the JSONL event log for long-running daemons:
+	// after MaxEvents emitted events the log writes one terminal
+	// "events_truncated" record and counts (EventLog.Dropped) instead
+	// of writing. 0 = unbounded, byte-identical to the historical
+	// stream.
+	MaxEvents uint64
 }
 
 // New returns an observer over reg (nil = a fresh registry) and an
 // optional JSONL event sink (nil = events discarded).
 func New(reg *Registry, events io.Writer) *Observer {
+	return NewWith(reg, events, Options{})
+}
+
+// NewWith is New with explicit Options.
+func NewWith(reg *Registry, events io.Writer, opt Options) *Observer {
 	if reg == nil {
 		reg = NewRegistry()
 	}
-	return &Observer{reg: reg, events: NewEventLog(events)}
+	log := NewEventLog(events)
+	if opt.MaxEvents > 0 {
+		log.SetMaxEvents(opt.MaxEvents)
+	}
+	return &Observer{reg: reg, events: log}
+}
+
+// PageFunc renders one auxiliary status page (the /fleet distribution
+// snapshot, the /debug/flight dump). It is called at request time, so
+// pages registered after the HTTP handler was built are still served.
+type PageFunc func() (contentType string, body []byte, err error)
+
+// SetPage registers (or, nil fn, removes) the page served under name.
+// Known names are routed by NewHandler; unknown names are inert.
+func (o *Observer) SetPage(name string, fn PageFunc) {
+	if o == nil {
+		return
+	}
+	o.pageMu.Lock()
+	if o.pages == nil {
+		o.pages = make(map[string]PageFunc)
+	}
+	if fn == nil {
+		delete(o.pages, name)
+	} else {
+		o.pages[name] = fn
+	}
+	o.pageMu.Unlock()
+}
+
+// Page returns the registered page renderer for name (nil when unset).
+func (o *Observer) Page(name string) PageFunc {
+	if o == nil {
+		return nil
+	}
+	o.pageMu.RLock()
+	defer o.pageMu.RUnlock()
+	return o.pages[name]
 }
 
 // Registry returns the metrics registry (nil for a nil observer).

@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// readLines parses b as JSONL and fails the test on any bad line.
+func readLines(t *testing.T, b []byte) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, ln := range bytes.Split(bytes.TrimSpace(b), []byte("\n")) {
+		if len(ln) == 0 {
+			continue
+		}
+		var obj map[string]any
+		if err := json.Unmarshal(ln, &obj); err != nil {
+			t.Fatalf("flight line does not parse: %v (%s)", err, ln)
+		}
+		out = append(out, obj)
+	}
+	return out
+}
+
+// TestChaosPanicLeavesFlightDump is the ISSUE's acceptance scenario: a
+// panicking tenant is contained, leaves a parseable flight-recorder
+// postmortem in FlightDir, and its neighbours keep running undisturbed.
+func TestChaosPanicLeavesFlightDump(t *testing.T) {
+	dir := t.TempDir()
+	mg := newTestManager(t, Config{FlightDir: dir, AllowChaos: true})
+
+	good := createSession(t, mg, "good")
+	evil, err := mg.Create(Spec{Tenant: "evil", Workload: "bfs", ChaosStep: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First steps succeed for both; the chaos drill fires on evil's
+	// second step and must surface as ErrSessionFailed, not a crash.
+	if _, err := mg.Step(evil.ID, time.Second); err != nil {
+		t.Fatalf("pre-chaos step: %v", err)
+	}
+	if _, err := mg.Step(good.ID, time.Second); err != nil {
+		t.Fatalf("neighbour step: %v", err)
+	}
+	if _, err := mg.Step(evil.ID, time.Second); !errors.Is(err, ErrSessionFailed) {
+		t.Fatalf("chaos step error = %v, want ErrSessionFailed", err)
+	}
+
+	// The postmortem pair exists and parses; the JSONL header carries
+	// the session ID and the tail records the contained panic.
+	jb, err := os.ReadFile(filepath.Join(dir, "flight-"+evil.ID+".jsonl"))
+	if err != nil {
+		t.Fatalf("postmortem missing: %v", err)
+	}
+	lines := readLines(t, jb)
+	if len(lines) < 2 {
+		t.Fatalf("postmortem has %d lines, want header + records", len(lines))
+	}
+	if src, _ := lines[0]["source"].(string); src != evil.ID {
+		t.Fatalf("header source = %q, want %q", src, evil.ID)
+	}
+	last := lines[len(lines)-1]
+	if last["kind"] != "panic" || last["tag"] != "session_failed" {
+		t.Fatalf("terminal record = %v, want kind=panic tag=session_failed", last)
+	}
+	tb, err := os.ReadFile(filepath.Join(dir, "flight-"+evil.ID+".trace.json"))
+	if err != nil {
+		t.Fatalf("perfetto postmortem missing: %v", err)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(tb, &trace); err != nil {
+		t.Fatalf("perfetto postmortem does not parse: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("perfetto postmortem has no events")
+	}
+
+	// Failing again must not rewrite the dump (and the neighbour has no
+	// dump at all — it never failed).
+	before, _ := os.Stat(filepath.Join(dir, "flight-"+evil.ID+".jsonl"))
+	if _, err := mg.Step(evil.ID, time.Second); !errors.Is(err, ErrSessionFailed) {
+		t.Fatalf("failed session step error = %v, want ErrSessionFailed", err)
+	}
+	after, _ := os.Stat(filepath.Join(dir, "flight-"+evil.ID+".jsonl"))
+	if !before.ModTime().Equal(after.ModTime()) || before.Size() != after.Size() {
+		t.Fatal("postmortem rewritten on a repeat failure")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "flight-"+good.ID+".jsonl")); !os.IsNotExist(err) {
+		t.Fatalf("healthy neighbour has a postmortem: %v", err)
+	}
+
+	// The neighbour still steps to completion.
+	if res := stepToDone(t, mg, good.ID); res.Result == nil {
+		t.Fatal("neighbour did not finish")
+	}
+}
+
+// TestChaosRequiresOperatorFlag: chaos_step is rejected at admission
+// unless the operator started the daemon with -chaos.
+func TestChaosRequiresOperatorFlag(t *testing.T) {
+	mg := newTestManager(t, Config{})
+	_, err := mg.Create(Spec{Tenant: "x", Workload: "bfs", ChaosStep: 1})
+	if !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("chaos without -chaos: err = %v, want ErrBadSpec", err)
+	}
+	if _, err := mg.Create(Spec{Tenant: "x", Workload: "bfs", ChaosStep: -1}); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("negative chaos_step: err = %v, want ErrBadSpec", err)
+	}
+}
+
+// TestDebugFlightRoute: GET /debug/flight streams every session's ring
+// as parseable JSONL with per-session headers, ordered by ID.
+func TestDebugFlightRoute(t *testing.T) {
+	mg := newTestManager(t, Config{})
+	h := NewHTTPHandler(mg)
+	a := createSession(t, mg, "a")
+	b := createSession(t, mg, "b")
+	if _, err := mg.Step(a.ID, time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/flight", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /debug/flight = %d, want 200", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "ndjson") {
+		t.Fatalf("content type = %q", ct)
+	}
+	lines := readLines(t, rec.Body.Bytes())
+	var sources []string
+	for _, ln := range lines {
+		if src, ok := ln["source"].(string); ok && ln["flight"] == "v1" {
+			sources = append(sources, src)
+		}
+	}
+	if len(sources) != 2 || sources[0] != a.ID || sources[1] != b.ID {
+		t.Fatalf("headers = %v, want [%s %s]", sources, a.ID, b.ID)
+	}
+}
+
+// TestFlightDisabled: a negative FlightCap turns recording off — panics
+// are still contained, but no ring exists, no files land, and
+// /debug/flight streams nothing.
+func TestFlightDisabled(t *testing.T) {
+	dir := t.TempDir()
+	mg := newTestManager(t, Config{FlightCap: -1, FlightDir: dir, AllowChaos: true})
+	st, err := mg.Create(Spec{Tenant: "x", Workload: "bfs", ChaosStep: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mg.Step(st.ID, time.Second); !errors.Is(err, ErrSessionFailed) {
+		t.Fatalf("chaos step error = %v, want ErrSessionFailed", err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("dump files written with recording disabled: %v", ents)
+	}
+	var buf bytes.Buffer
+	if err := mg.WriteFlightJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("WriteFlightJSONL wrote %d bytes with recording disabled", buf.Len())
+	}
+}
+
+// TestDumpAllFlights mirrors the SIGQUIT handler: every live session's
+// ring lands in FlightDir and the daemon keeps serving afterwards.
+func TestDumpAllFlights(t *testing.T) {
+	dir := t.TempDir()
+	mg := newTestManager(t, Config{FlightDir: dir})
+	a := createSession(t, mg, "a")
+	b := createSession(t, mg, "b")
+	if _, err := mg.Step(a.ID, time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	if n := mg.DumpAllFlights("sigquit"); n != 2 {
+		t.Fatalf("DumpAllFlights = %d, want 2", n)
+	}
+	for _, id := range []string{a.ID, b.ID} {
+		bs, err := os.ReadFile(filepath.Join(dir, "flight-"+id+".jsonl"))
+		if err != nil {
+			t.Fatalf("dump for %s missing: %v", id, err)
+		}
+		readLines(t, bs)
+	}
+	// Still serving: the dumped sessions keep stepping.
+	if _, err := mg.Step(b.ID, time.Second); err != nil {
+		t.Fatalf("step after SIGQUIT dump: %v", err)
+	}
+
+	// Without a FlightDir the dump is a counted no-op.
+	mg2 := newTestManager(t, Config{})
+	createSession(t, mg2, "c")
+	if n := mg2.DumpAllFlights("sigquit"); n != 0 {
+		t.Fatalf("DumpAllFlights without FlightDir = %d, want 0", n)
+	}
+}

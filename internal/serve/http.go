@@ -34,6 +34,7 @@ type errorBody struct {
 //	POST   /api/v1/sessions/{id}/step advance virtual time
 //	DELETE /api/v1/sessions/{id}      close a session
 //	GET    /healthz                   aggregated service health
+//	GET    /debug/flight              every session's flight ring (JSONL)
 //	GET    /metrics, /debug/pprof/... delegated to the obs handler
 //
 // /healthz and /metrics never take the work gate or a session lock, so
@@ -97,6 +98,18 @@ func NewHTTPHandler(mg *Manager) http.Handler {
 		writeJSON(w, code, h)
 	})
 	mux.Handle("GET /metrics", inner)
+	mux.HandleFunc("GET /debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		// On-demand flight dump: every live session's ring as
+		// concatenated JSONL. Like /healthz it bypasses the work gate
+		// and the session locks, so it answers even while the daemon is
+		// wedged — the moment a flight recorder is actually needed.
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if err := mg.WriteFlightJSONL(w); err != nil {
+			// The header already went out; all we can do is log-by-proxy
+			// through the manager's configured sink.
+			mg.cfg.Logf("serve: /debug/flight: %v", err)
+		}
+	})
 	mux.Handle("/debug/pprof/", inner)
 	return mux
 }

@@ -28,12 +28,16 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/spear-repro/magus/internal/flight"
 	"github.com/spear-repro/magus/internal/resilient"
+	"github.com/spear-repro/magus/internal/safeio"
 )
 
 // Sentinel errors; the HTTP layer maps them onto status codes.
@@ -76,6 +80,25 @@ type Config struct {
 	IdleExpiry time.Duration
 	// ReapInterval is the reaper's period (default 30 s).
 	ReapInterval time.Duration
+	// FlightCap sizes each session's flight-recorder ring
+	// (internal/flight): the always-on bounded tail of governor
+	// decisions, health transitions and fault events that is dumped
+	// when the session panics, on SIGQUIT, or on demand from
+	// GET /debug/flight (default flight.DefaultCap; negative disables
+	// recording entirely).
+	FlightCap int
+	// FlightDir, when set, receives postmortem dump files: a session
+	// killed by a panic (or stuck at its horizon) leaves
+	// flight-<id>.jsonl and flight-<id>.trace.json behind before it is
+	// marked lost. File names derive only from server-generated session
+	// IDs ("s-%06d"), never from request data — the serve API does not
+	// accept network-supplied paths. Empty = no files are written;
+	// GET /debug/flight still serves the rings.
+	FlightDir string
+	// AllowChaos admits session specs carrying the chaos_step panic
+	// drill. Off by default: injecting a panic is an operator decision
+	// (the `magusd serve -chaos` flag), never a client's.
+	AllowChaos bool
 	// Clock supplies wall time (tests inject a fake; nil = time.Now).
 	Clock func() time.Time
 	// Logf receives lifecycle log lines (nil = silent).
@@ -103,6 +126,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ReapInterval <= 0 {
 		c.ReapInterval = 30 * time.Second
+	}
+	if c.FlightCap == 0 {
+		c.FlightCap = flight.DefaultCap
 	}
 	if c.Clock == nil {
 		c.Clock = time.Now
@@ -198,6 +224,12 @@ func (mg *Manager) Create(spec Spec) (Status, error) {
 		mg.m.badSpec.Inc()
 		return Status{}, err
 	}
+	if spec.ChaosStep > 0 && !mg.cfg.AllowChaos {
+		// Chaos drills are an operator decision, never a client's: the
+		// daemon must opt in with -chaos before a spec may carry one.
+		mg.m.badSpec.Inc()
+		return Status{}, fmt.Errorf("%w: chaos_step requires the daemon's -chaos flag", ErrBadSpec)
+	}
 	rel, err := mg.acquire()
 	if err != nil {
 		return Status{}, err
@@ -222,7 +254,7 @@ func (mg *Manager) Create(spec Spec) (Status, error) {
 	mg.sessions[id] = nil
 	mg.mu.Unlock()
 
-	s, err := newSession(id, spec, now)
+	s, err := newSession(id, spec, now, mg.cfg)
 
 	mg.mu.Lock()
 	if err != nil || mg.draining {
@@ -283,6 +315,7 @@ func (mg *Manager) Step(id string, d time.Duration) (StepResult, error) {
 	if err != nil {
 		mg.m.failed.Inc()
 		mg.cfg.Logf("serve: %s failed: %v", id, err)
+		mg.dumpFailedFlight(s)
 		return StepResult{}, err
 	}
 	if res.Done {
@@ -446,6 +479,83 @@ func (mg *Manager) reapOnce() {
 	if len(expired) > 0 {
 		mg.m.live.Set(float64(live))
 	}
+}
+
+// flightSessions snapshots the sessions that carry a flight ring,
+// ordered by ID.
+func (mg *Manager) flightSessions() []*Session {
+	mg.mu.Lock()
+	out := make([]*Session, 0, len(mg.sessions))
+	for _, s := range mg.sessions {
+		if s != nil && s.ring != nil {
+			out = append(out, s)
+		}
+	}
+	mg.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// WriteFlightJSONL streams every live session's flight ring to w as
+// concatenated JSONL, ordered by session ID; each session contributes
+// its own header line (source = session ID). It takes neither the work
+// gate nor any session lock — rings self-synchronise — so the dump
+// stays available while the daemon is wedged, which is exactly when a
+// flight recorder matters.
+func (mg *Manager) WriteFlightJSONL(w io.Writer) error {
+	for _, s := range mg.flightSessions() {
+		if err := s.ring.DumpJSONL(w, s.ID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeFlightFiles writes one session's postmortem pair —
+// flight-<id>.jsonl and flight-<id>.trace.json (Perfetto-loadable) —
+// into FlightDir via safeio, so a failed write never leaves a
+// truncated dump behind. The base name derives only from the
+// server-generated session ID.
+func (mg *Manager) writeFlightFiles(s *Session, reason string) {
+	base := filepath.Join(mg.cfg.FlightDir, "flight-"+s.ID)
+	for _, d := range []struct {
+		path string
+		dump func(io.Writer, string) error
+	}{
+		{base + ".jsonl", s.ring.DumpJSONL},
+		{base + ".trace.json", s.ring.DumpPerfetto},
+	} {
+		dump := d.dump
+		if err := safeio.WriteFile(d.path, func(w io.Writer) error { return dump(w, s.ID) }); err != nil {
+			mg.cfg.Logf("serve: flight dump %s: %v", d.path, err)
+			continue
+		}
+		mg.cfg.Logf("serve: %s flight dump (%s) written to %s", s.ID, reason, d.path)
+	}
+}
+
+// dumpFailedFlight writes a newly failed session's postmortem once.
+// The sync.Once keeps an already-lost session (whose every later step
+// re-reports ErrSessionFailed) from rewriting its dump.
+func (mg *Manager) dumpFailedFlight(s *Session) {
+	if s == nil || s.ring == nil || mg.cfg.FlightDir == "" {
+		return
+	}
+	s.dumpOnce.Do(func() { mg.writeFlightFiles(s, "failed") })
+}
+
+// DumpAllFlights writes every live session's flight ring to FlightDir
+// (the magusd serve SIGQUIT handler) and returns how many sessions
+// were dumped. A no-op returning 0 when FlightDir is unset.
+func (mg *Manager) DumpAllFlights(reason string) int {
+	if mg.cfg.FlightDir == "" {
+		return 0
+	}
+	ss := mg.flightSessions()
+	for _, s := range ss {
+		mg.writeFlightFiles(s, reason)
+	}
+	return len(ss)
 }
 
 // Close drains the manager: new work is rejected immediately with

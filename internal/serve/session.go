@@ -9,6 +9,7 @@ import (
 
 	"github.com/spear-repro/magus/internal/core"
 	"github.com/spear-repro/magus/internal/faults"
+	"github.com/spear-repro/magus/internal/flight"
 	"github.com/spear-repro/magus/internal/governor"
 	"github.com/spear-repro/magus/internal/harness"
 	"github.com/spear-repro/magus/internal/node"
@@ -49,6 +50,13 @@ type Spec struct {
 	Policy string `json:"policy,omitempty"`
 	// QuantumMS is the round-robin slice in milliseconds (0 = 10 ms).
 	QuantumMS int `json:"quantum_ms,omitempty"`
+	// ChaosStep arms a chaos drill: the session panics inside its Nth
+	// step request (1-based), exercising the daemon's panic containment
+	// and the flight recorder's crash dump. Rejected unless the
+	// operator started the daemon with -chaos (Config.AllowChaos); the
+	// injected panic is contained like any other, so only this session
+	// is lost.
+	ChaosStep int `json:"chaos_step,omitempty"`
 }
 
 // ColocateTenant is one tenant of a co-located session spec.
@@ -93,6 +101,9 @@ func (sp *Spec) validate() error {
 	}
 	if sp.PowerCapW < 0 {
 		return fmt.Errorf("%w: negative power cap", ErrBadSpec)
+	}
+	if sp.ChaosStep < 0 {
+		return fmt.Errorf("%w: negative chaos_step", ErrBadSpec)
 	}
 	return nil
 }
@@ -190,6 +201,12 @@ type Session struct {
 	pending []core.Decision // decisions since the last step response
 	dropped uint64          // pending overflow
 
+	// ring is the session's always-on flight recorder (nil when the
+	// operator disabled it with a negative FlightCap); dumpOnce keeps
+	// the manager from rewriting a failed session's postmortem files.
+	ring     *flight.Ring
+	dumpOnce sync.Once
+
 	created    time.Time
 	lastActive atomic.Int64 // unix nanos
 	steps      uint64
@@ -208,8 +225,10 @@ type Session struct {
 }
 
 // newSession wires a steppable harness run for spec. The returned
-// session has not advanced past t=0.
-func newSession(id string, spec Spec, now time.Time) (*Session, error) {
+// session has not advanced past t=0. cfg supplies the operator-level
+// knobs a client must not control: the flight-ring capacity and the
+// chaos admission already enforced by Manager.Create.
+func newSession(id string, spec Spec, now time.Time, svc Config) (*Session, error) {
 	cfg, err := systemByName(spec.System)
 	if err != nil {
 		return nil, err
@@ -273,9 +292,26 @@ func newSession(id string, spec Spec, now time.Time) (*Session, error) {
 		tracer = spans.New(core.DefaultConfig().Window)
 		opt.Spans = tracer
 	}
+	var ring *flight.Ring
+	if svc.FlightCap > 0 {
+		ring = flight.NewRing(svc.FlightCap)
+		opt.Flight = ring
+	}
 
-	s := &Session{ID: id, Spec: spec, gov: gov, tracer: tracer, created: now, wlabel: wlabel}
+	s := &Session{ID: id, Spec: spec, gov: gov, tracer: tracer, ring: ring, created: now, wlabel: wlabel}
 	s.lastActive.Store(now.UnixNano())
+	if spec.ChaosStep > 0 {
+		// Admission (AllowChaos) was checked by the manager; the hook
+		// panics inside advanceGuarded's recover like any tenant bug
+		// would.
+		steps := 0
+		s.stepHook = func() {
+			steps++
+			if steps >= spec.ChaosStep {
+				panic(fmt.Sprintf("chaos drill: injected panic at step %d", steps))
+			}
+		}
+	}
 
 	// Hooks observe the unwrapped governor (a power cap is transparent).
 	hookTarget := gov
@@ -345,10 +381,15 @@ func (s *Session) publishLocked() {
 	s.pubNow.Store(int64(s.st.Now()))
 }
 
-// fail marks the session failed (idempotent); callers hold mu.
+// fail marks the session failed (idempotent); callers hold mu. The
+// failure lands in the flight ring as the terminal record, so the
+// postmortem dump ends with what killed the session (A = steps served
+// before the fatal one).
 func (s *Session) failLocked(err error) {
 	if s.failErr == nil {
 		s.failErr = err
+		s.ring.Record(s.st.Now().Seconds(), flight.KindPanic, "session_failed",
+			float64(s.steps), 0, 0)
 	}
 }
 

@@ -1,0 +1,73 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzSketchMerge feeds arbitrary sample bytes through a sharded
+// fold/merge and asserts the invariant the fleet engine relies on:
+// the merged sketch is indistinguishable from a single sketch over
+// the same samples, for any shard count and any (deterministic)
+// assignment.
+func FuzzSketchMerge(f *testing.F) {
+	f.Add([]byte("fleet power waste lives in the tail"), byte(3))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, byte(1))
+	f.Add([]byte{0x3f, 0xf0, 0, 0, 0, 0, 0, 0, 0x40, 0x59, 0, 0, 0, 0, 0, 0}, byte(7))
+	f.Fuzz(func(t *testing.T, data []byte, shardByte byte) {
+		shards := int(shardByte%16) + 1
+		var samples []float64
+		for len(data) >= 8 {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(data[:8]))
+			data = data[8:]
+			samples = append(samples, v)
+		}
+
+		ref := New()
+		leaves := make([]*Sketch, shards)
+		for i := range leaves {
+			leaves[i] = New()
+		}
+		for i, v := range samples {
+			ref.Add(v)
+			leaves[(i*7+int(shardByte))%shards].Add(v)
+		}
+		// Merge left-to-right and right-to-left; both must match ref.
+		ltr := New()
+		for _, l := range leaves {
+			ltr.Merge(l)
+		}
+		rtl := New()
+		for i := len(leaves) - 1; i >= 0; i-- {
+			rtl.Merge(leaves[i])
+		}
+		for _, m := range []*Sketch{ltr, rtl} {
+			if m.Count() != ref.Count() || m.zero != ref.zero {
+				t.Fatalf("count mismatch: merged %d/%d ref %d/%d", m.Count(), m.zero, ref.Count(), ref.zero)
+			}
+			// min/max must be bit-identical (NaN-free by Add's filter).
+			if math.Float64bits(m.Min()) != math.Float64bits(ref.Min()) ||
+				math.Float64bits(m.Max()) != math.Float64bits(ref.Max()) {
+				t.Fatalf("min/max mismatch: merged %v/%v ref %v/%v", m.Min(), m.Max(), ref.Min(), ref.Max())
+			}
+			for i := range m.counts {
+				if m.counts[i] != ref.counts[i] {
+					t.Fatalf("bucket %d mismatch: merged %d ref %d", i, m.counts[i], ref.counts[i])
+				}
+			}
+			if math.Float64bits(m.Sum()) != math.Float64bits(ref.Sum()) {
+				t.Fatalf("sum mismatch: merged %x ref %x", m.Sum(), ref.Sum())
+			}
+			if m.Count() != 0 {
+				for _, q := range []float64{0, 0.5, 0.99, 1} {
+					mq, _ := m.Quantile(q)
+					rq, _ := ref.Quantile(q)
+					if math.Float64bits(mq) != math.Float64bits(rq) {
+						t.Fatalf("q%v mismatch: merged %v ref %v", q, mq, rq)
+					}
+				}
+			}
+		}
+	})
+}

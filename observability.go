@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/spear-repro/magus/internal/cluster"
+	"github.com/spear-repro/magus/internal/flight"
 	"github.com/spear-repro/magus/internal/harness"
 	"github.com/spear-repro/magus/internal/obs"
 )
@@ -57,6 +58,41 @@ func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 func NewObserver(reg *MetricsRegistry, events io.Writer) *Observer {
 	return obs.New(reg, events)
 }
+
+// ObserverOptions tunes an Observer beyond the NewObserver defaults.
+type ObserverOptions = obs.Options
+
+// NewObserverWith is NewObserver with options. A non-zero MaxEvents
+// caps the JSONL event log: the log ends with a terminal
+// events_truncated record once the cap is hit, and /metrics gains
+// magus_obs_events_emitted / magus_obs_events_dropped so the
+// truncation is observable. The default (zero) is unbounded and
+// byte-identical to NewObserver.
+func NewObserverWith(reg *MetricsRegistry, events io.Writer, opt ObserverOptions) *Observer {
+	return obs.NewWith(reg, events, opt)
+}
+
+// ---- Flight recorder ----
+
+// FlightRing is the bounded always-on flight recorder
+// (internal/flight): attach one through Options.Flight and the run's
+// recent governor decisions, sensor-health transitions and fault
+// events stay resident for a postmortem dump (JSONL via DumpJSONL,
+// Perfetto-loadable trace via DumpPerfetto). Recording is passive and
+// allocation-free; an armed run stays byte-identical to an unarmed
+// one.
+type FlightRing = flight.Ring
+
+// FlightRecord is one flight-recorder entry.
+type FlightRecord = flight.Record
+
+// FlightDefaultCap is the ring capacity NewFlightRing selects for
+// cap <= 0.
+const FlightDefaultCap = flight.DefaultCap
+
+// NewFlightRing returns a recorder retaining the most recent cap
+// records (cap <= 0 selects FlightDefaultCap).
+func NewFlightRing(cap int) *FlightRing { return flight.NewRing(cap) }
 
 // NewObsHandler returns the observer's HTTP surface: GET /metrics
 // (Prometheus text format), GET /healthz (200 while healthy, 503 with
